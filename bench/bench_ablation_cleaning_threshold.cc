@@ -1,0 +1,67 @@
+// Ablation: sensitivity of the cleaning pipeline to the detector threshold
+// theta (the paper fixes theta1 = theta2 = 0.8; Toutanova & Chen "likely"
+// used different thresholds for FB15k-237, §5.1). Sweeps theta and reports
+// how many relations are collapsed, how much leakage survives, and how the
+// de-leaked TransE accuracy moves.
+
+#include "bench/bench_common.h"
+#include "redundancy/cleaner.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace kgc::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Ablation: detector threshold vs cleaning outcome",
+              "design-choice ablation for §4.2.2/§5.1 (theta = 0.8 in the "
+              "paper)");
+  ExperimentContext context = MakeContext();
+  const BenchmarkSuite& suite = context.Fb15k();
+  const Dataset& original = suite.kg.dataset;
+
+  AsciiTable table("FB15k-syn -> FB15k-237-like cleaning as theta varies");
+  table.SetHeader({"theta", "#relations dropped", "train kept", "test kept",
+                   "residual reverse leakage", "TransE FMRR'"});
+  // The planted reverse pairs have in-dataset coverage ~0.96: thresholds
+  // beyond that make the relation-collapsing step miss them entirely,
+  // leaving only the linked-entity-pair filter to de-leak the test set.
+  for (double theta : {0.6, 0.8, 0.9, 0.96, 0.99}) {
+    DetectorOptions options;
+    options.theta1 = theta;
+    options.theta2 = theta;
+    const RedundancyCatalog catalog =
+        RedundancyCatalog::Detect(original.all_store(), options);
+    CleaningReport report;
+    Dataset cleaned = MakeFb237Like(
+        original, catalog, StrFormat("FB15k-237-syn-th%.2f", theta), &report);
+
+    // Residual leakage measured against the oracle.
+    const ReverseLeakageStats leakage =
+        ComputeReverseLeakage(cleaned, suite.oracle);
+
+    const LinkPredictionMetrics metrics =
+        ComputeMetrics(context.GetRanks(cleaned, ModelType::kTransE));
+    table.AddRow({FormatDouble(theta, 2),
+                  StrFormat("%zu", report.dropped_relations.size()),
+                  StrFormat("%zu", cleaned.train().size()),
+                  StrFormat("%zu", cleaned.test().size()),
+                  FormatPercent(leakage.test_reverse_fraction),
+                  Mrr(metrics.fmrr)});
+  }
+  table.Print();
+  std::printf(
+      "The pipeline is robust across theta: even at 0.99, where relation\n"
+      "collapsing misses every reverse pair, the second cleaning step (drop\n"
+      "valid/test triples whose entity pair is linked in training) removes\n"
+      "the leakage on its own -- at the cost of discarding a much larger\n"
+      "share of the test set and keeping all the redundant training triples.\n"
+      "Low thresholds do the de-leaking the cheap way, by collapsing the\n"
+      "redundant relations outright.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgc::bench
+
+int main() { return kgc::bench::Run(); }

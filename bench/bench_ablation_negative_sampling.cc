@@ -1,0 +1,47 @@
+// Ablation: Bernoulli (relation-aware) vs uniform negative sampling
+// (Wang et al. 2014), one of the training-stack choices shared by every
+// model the paper compares.
+
+#include "bench/bench_common.h"
+#include "eval/ranker.h"
+#include "models/trainer.h"
+#include "util/table.h"
+
+namespace kgc::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Ablation: Bernoulli vs uniform negative sampling",
+              "training-stack ablation (Wang et al. 2014 sampling, used "
+              "throughout the harness)");
+  ExperimentContext context = MakeContext();
+  const Dataset& dataset = context.Fb15k().cleaned;
+
+  AsciiTable table("TransE / ComplEx on FB15k-237-syn");
+  table.SetHeader({"Model", "sampling", "FMR", "FHits@10", "FHits@1",
+                   "FMRR"});
+  for (ModelType type : {ModelType::kTransE, ModelType::kComplEx}) {
+    for (bool bernoulli : {true, false}) {
+      const ModelHyperParams params = DefaultHyperParams(type);
+      auto model = CreateModel(type, dataset.num_entities(),
+                               dataset.num_relations(), params);
+      TrainOptions options = context.ScaledTrainOptions(type);
+      options.bernoulli = bernoulli;
+      TrainModel(*model, dataset, options);
+      const LinkPredictionMetrics m = EvaluatePredictor(*model, dataset);
+      table.AddRow({ModelTypeName(type), bernoulli ? "bernoulli" : "uniform",
+                    Mr(m.fmr), Pct(m.fhits10), Pct(m.fhits1), Mrr(m.fmrr)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "Bernoulli corruption reduces false negatives on 1-to-n / n-to-1\n"
+      "relations; the gap shows how much of the measured accuracy depends\n"
+      "on this training detail rather than the scoring function.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgc::bench
+
+int main() { return kgc::bench::Run(); }

@@ -1,0 +1,64 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgc::bench {
+
+ExperimentContext MakeContext() {
+  ExperimentOptions options;
+  const char* cache_dir = std::getenv("KGC_CACHE_DIR");
+  options.cache_dir = cache_dir != nullptr ? cache_dir : "kgc_cache";
+  const char* epoch_scale = std::getenv("KGC_EPOCH_SCALE");
+  if (epoch_scale != nullptr) {
+    options.epoch_scale = std::atof(epoch_scale);
+  }
+  return ExperimentContext(std::move(options));
+}
+
+std::unique_ptr<RulePredictor> BuildAmie(const Dataset& dataset) {
+  const AmieOptions options;
+  std::vector<Rule> rules = MineRules(dataset.train_store(), options);
+  return std::make_unique<RulePredictor>(std::move(rules),
+                                         dataset.train_store(), options);
+}
+
+const std::vector<TripleRanks>& AmieRanks(ExperimentContext& context,
+                                          const Dataset& dataset) {
+  const auto amie = BuildAmie(dataset);
+  return context.GetPredictorRanks(dataset, *amie, "amie");
+}
+
+std::unique_ptr<SimpleRuleModel> BuildSimpleModel(const Dataset& dataset) {
+  // Rules come from full-dataset pair statistics (the paper's simple model,
+  // §4.2.1); predictions read the training adjacency only.
+  DetectorOptions options;
+  const RedundancyCatalog catalog =
+      RedundancyCatalog::Detect(dataset.all_store(), options);
+  return std::make_unique<SimpleRuleModel>(dataset.train_store(), catalog);
+}
+
+std::string Mr(double value) { return FormatDouble(value, 1); }
+std::string Pct(double fraction) { return FormatDouble(fraction * 100.0, 1); }
+std::string Mrr(double value) { return FormatDouble(value, 3); }
+
+std::vector<std::string> RawAndFilteredRow(const std::string& label,
+                                           const LinkPredictionMetrics& m) {
+  return {label,        Mr(m.mr),      Pct(m.hits10),  Mrr(m.mrr),
+          Mr(m.fmr),    Pct(m.fhits10), Mrr(m.fmrr)};
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Datasets are synthetic analogues (see DESIGN.md); compare the\n"
+              "shape of the numbers with the paper, not absolute values.\n");
+  std::printf("================================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace kgc::bench

@@ -1,0 +1,53 @@
+// Shared helpers for the bench harness.
+//
+// Every bench binary regenerates one table or figure of the paper. They all
+// share one ExperimentContext (and thus one on-disk cache of trained models
+// and rank tables), so the whole suite trains each (dataset, model) pair
+// exactly once regardless of execution order.
+
+#ifndef KGC_BENCH_BENCH_COMMON_H_
+#define KGC_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/audit.h"
+#include "core/experiment_context.h"
+#include "eval/comparison.h"
+#include "rules/amie.h"
+#include "rules/simple_rule_model.h"
+
+namespace kgc::bench {
+
+/// Builds the canonical context: cache dir from $KGC_CACHE_DIR (default
+/// "kgc_cache"), default seeds, quiet training logs.
+ExperimentContext MakeContext();
+
+/// AMIE predictor over a dataset's training split. The returned predictor
+/// references `dataset`; keep the dataset alive.
+std::unique_ptr<RulePredictor> BuildAmie(const Dataset& dataset);
+
+/// Ranks for the AMIE predictor, through the context's rank cache.
+const std::vector<TripleRanks>& AmieRanks(ExperimentContext& context,
+                                          const Dataset& dataset);
+
+/// The paper's simple rule model (>0.8 intersection), detected on the full
+/// dataset as in §4.2.1. References `dataset`.
+std::unique_ptr<SimpleRuleModel> BuildSimpleModel(const Dataset& dataset);
+
+/// Formatting helpers.
+std::string Mr(double value);        // mean rank, 1 decimal
+std::string Pct(double fraction);    // percentage, 1 decimal
+std::string Mrr(double value);       // reciprocal rank, 3 decimals
+
+/// Eight-column row "MR H10 MRR FMR FH10 FMRR" (paper Tables 5/6 layout).
+std::vector<std::string> RawAndFilteredRow(const std::string& label,
+                                           const LinkPredictionMetrics& m);
+
+/// Marks a bench header so outputs are self-describing.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+}  // namespace kgc::bench
+
+#endif  // KGC_BENCH_BENCH_COMMON_H_

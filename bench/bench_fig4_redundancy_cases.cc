@@ -1,0 +1,75 @@
+// Figure 4: bitmap classification of FB15k's test triples by the redundant
+// counterparts available to a model (reverse / duplicate, in train / test).
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace kgc::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Figure 4: redundancy cases in the FB15k test set",
+              "Akrami et al., SIGMOD'20, Figure 4 and §4.2.2");
+  ExperimentContext context = MakeContext();
+  const BenchmarkSuite& suite = context.Fb15k();
+
+  // Classified against the oracle catalog, as the paper classifies against
+  // the Freebase snapshot's metadata.
+  const RedundancyBitmap bitmap =
+      ComputeRedundancyBitmap(suite.kg.dataset, suite.oracle);
+  const size_t total = std::max<size_t>(bitmap.cases.size(), 1);
+
+  AsciiTable table("Bitmap code: [reverse|dup in TRAIN | reverse|dup in TEST]");
+  table.SetHeader({"case", "count", "share", "paper share"});
+  struct PaperShare {
+    const char* code;
+    const char* share;
+  };
+  const PaperShare paper[] = {{"1000", "68%"}, {"0000", "18%"},
+                              {"0010", "8%"},  {"0100", "3%"},
+                              {"1100", "2%"}};
+  std::vector<size_t> order(16);
+  for (size_t i = 0; i < 16; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return bitmap.histogram[a] > bitmap.histogram[b];
+  });
+  for (size_t c : order) {
+    if (bitmap.histogram[c] == 0) continue;
+    const std::string code = RedundancyCaseName(static_cast<uint8_t>(c));
+    std::string paper_share = "<1%";
+    for (const PaperShare& p : paper) {
+      if (code == p.code) paper_share = p.share;
+    }
+    table.AddRow({code, StrFormat("%zu", bitmap.histogram[c]),
+                  FormatPercent(static_cast<double>(bitmap.histogram[c]) /
+                                static_cast<double>(total)),
+                  paper_share});
+  }
+  table.Print();
+
+  AsciiTable counts("Counts by redundancy type (paper §4.2.2)");
+  counts.SetHeader({"test triples with ...", "count", "paper (FB15k)"});
+  counts.AddRow({"reverse in train", StrFormat("%zu", bitmap.reverse_in_train),
+                 "41,529"});
+  counts.AddRow({"duplicate in train",
+                 StrFormat("%zu", bitmap.duplicate_in_train), "2,701"});
+  counts.AddRow({"reverse-duplicate in train",
+                 StrFormat("%zu", bitmap.reverse_duplicate_in_train),
+                 "1,847"});
+  counts.AddRow({"reverse in test", StrFormat("%zu", bitmap.reverse_in_test),
+                 "4,992"});
+  counts.AddRow({"duplicate in test",
+                 StrFormat("%zu", bitmap.duplicate_in_test), "328"});
+  counts.AddRow({"reverse-duplicate in test",
+                 StrFormat("%zu", bitmap.reverse_duplicate_in_test), "249"});
+  counts.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgc::bench
+
+int main() { return kgc::bench::Run(); }

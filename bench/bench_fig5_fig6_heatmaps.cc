@@ -1,0 +1,81 @@
+// Figures 5 and 6: per-relation heatmaps of the percentage of test triples
+// on which each model attains the best per-triple FMRR (FB15k-237, WN18RR).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+
+namespace kgc::bench {
+namespace {
+
+void PrintHeatmap(const WinShareHeatmap& heatmap,
+                  const std::vector<LabeledRanks>& models,
+                  const char* title, size_t max_relations) {
+  std::printf("\n%s\n", title);
+  const size_t num_relations =
+      std::min(heatmap.relations.size(), max_relations);
+  std::printf("%-9s", "");
+  for (size_t k = 0; k < num_relations; ++k) {
+    std::printf("%3zu", k + 1);
+  }
+  std::printf("\n");
+  for (size_t m = 0; m < models.size(); ++m) {
+    std::printf("%-9s", models[m].model.c_str());
+    for (size_t k = 0; k < num_relations; ++k) {
+      const int cell =
+          std::min(99, static_cast<int>(heatmap.share[m][k] + 0.5));
+      std::printf("%3d", cell);
+    }
+    std::printf("\n");
+  }
+  if (heatmap.relations.size() > max_relations) {
+    std::printf("(%zu of %zu relations shown; cells = %% of the relation's "
+                "test triples won, 0-99)\n",
+                num_relations, heatmap.relations.size());
+  } else {
+    std::printf("(cells = %% of the relation's test triples on which the "
+                "model ties for the best FMRR)\n");
+  }
+  // Mean win share, the scalar summary of the heatmap row.
+  std::printf("mean win share: ");
+  for (size_t m = 0; m < models.size(); ++m) {
+    double sum = 0.0;
+    for (double v : heatmap.share[m]) sum += v;
+    std::printf("%s=%.1f%% ", models[m].model.c_str(),
+                sum / static_cast<double>(heatmap.share[m].size()));
+  }
+  std::printf("\n");
+}
+
+void RunDataset(ExperimentContext& context, const Dataset& dataset,
+                const char* title, size_t max_relations) {
+  std::vector<LabeledRanks> models;
+  for (ModelType type : FigureModelLineup()) {
+    models.push_back({ModelTypeName(type), &context.GetRanks(dataset, type)});
+  }
+  const WinShareHeatmap heatmap = ComputePerRelationWinShare(models);
+  PrintHeatmap(heatmap, models, title, max_relations);
+}
+
+int Run() {
+  PrintHeader("Figures 5/6: which model wins each relation's test triples",
+              "Akrami et al., SIGMOD'20, Figures 5 and 6");
+  ExperimentContext context = MakeContext();
+  RunDataset(context, context.Fb15k().cleaned,
+             "Figure 5: FB15k-237-syn relations", 40);
+  RunDataset(context, context.Wn18().cleaned,
+             "Figure 6: WN18RR-syn relations", 24);
+  std::printf(
+      "\nPaper observation: on WN18RR the symmetric relations retained by "
+      "the cleaning\n(derivationally_related_form, similar_to, verb_group) "
+      "are dominated by the\nstrongest models -- their residual leakage is "
+      "what those models exploit.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgc::bench
+
+int main() { return kgc::bench::Run(); }

@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark): scoring-function and ranking
+// throughput per model, plus triple-store lookup costs. These are the
+// throughput primitives the whole harness is built on.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/presets.h"
+#include "eval/ranker.h"
+#include "models/model.h"
+
+namespace kgc {
+namespace {
+
+const SyntheticKg& SharedKg() {
+  static const SyntheticKg* kg = new SyntheticKg(GenerateTiny(11));
+  return *kg;
+}
+
+std::unique_ptr<KgeModel> MakeModel(ModelType type) {
+  const SyntheticKg& kg = SharedKg();
+  return CreateModel(type, kg.dataset.num_entities(),
+                     kg.dataset.num_relations(), DefaultHyperParams(type));
+}
+
+void BM_Score(benchmark::State& state) {
+  const auto type = static_cast<ModelType>(state.range(0));
+  const auto model = MakeModel(type);
+  EntityId h = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Score(h, 1, (h + 7) % 100));
+    h = (h + 1) % 100;
+  }
+  state.SetLabel(ModelTypeName(type));
+}
+BENCHMARK(BM_Score)->DenseRange(0, 9, 1);
+
+void BM_ScoreTails(benchmark::State& state) {
+  const auto type = static_cast<ModelType>(state.range(0));
+  const auto model = MakeModel(type);
+  std::vector<float> scores(static_cast<size_t>(model->num_entities()));
+  EntityId h = 0;
+  for (auto _ : state) {
+    model->ScoreTails(h, 1, scores);
+    benchmark::DoNotOptimize(scores.data());
+    h = (h + 1) % 100;
+  }
+  state.SetItemsProcessed(state.iterations() * model->num_entities());
+  state.SetLabel(ModelTypeName(type));
+}
+BENCHMARK(BM_ScoreTails)->DenseRange(0, 9, 1);
+
+void BM_ApplyGradient(benchmark::State& state) {
+  const auto type = static_cast<ModelType>(state.range(0));
+  const auto model = MakeModel(type);
+  EntityId h = 0;
+  for (auto _ : state) {
+    model->ApplyGradient(Triple{h, 1, (h + 7) % 100}, -0.5f, 0.01f);
+    h = (h + 1) % 100;
+  }
+  state.SetLabel(ModelTypeName(type));
+}
+BENCHMARK(BM_ApplyGradient)->DenseRange(0, 9, 1);
+
+void BM_TripleStoreContains(benchmark::State& state) {
+  const TripleStore& store = SharedKg().dataset.train_store();
+  const TripleList& triples = SharedKg().dataset.train();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Contains(triples[i % triples.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TripleStoreContains);
+
+void BM_TripleStoreTails(benchmark::State& state) {
+  const TripleStore& store = SharedKg().dataset.train_store();
+  const TripleList& triples = SharedKg().dataset.train();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Triple& t = triples[i % triples.size()];
+    benchmark::DoNotOptimize(store.Tails(t.head, t.relation).size());
+    ++i;
+  }
+}
+BENCHMARK(BM_TripleStoreTails);
+
+void BM_RankOneTriple(benchmark::State& state) {
+  const auto type = static_cast<ModelType>(state.range(0));
+  const SyntheticKg& kg = SharedKg();
+  const auto model = MakeModel(type);
+  TripleList one = {kg.dataset.test().front()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RankTriples(*model, kg.dataset, one));
+  }
+  state.SetLabel(ModelTypeName(type));
+}
+BENCHMARK(BM_RankOneTriple)->Arg(0)->Arg(6)->Arg(8)->Arg(9);
+
+}  // namespace
+}  // namespace kgc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table 1: Statistics of evaluation datasets.
+
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace kgc::bench {
+namespace {
+
+void AddRow(AsciiTable& table, const Dataset& dataset) {
+  table.AddRow({dataset.name(), StrFormat("%d", dataset.CountUsedEntities()),
+                StrFormat("%d", dataset.CountUsedRelations()),
+                StrFormat("%zu", dataset.train().size()),
+                StrFormat("%zu", dataset.valid().size()),
+                StrFormat("%zu", dataset.test().size())});
+}
+
+int Run() {
+  PrintHeader("Table 1: Statistics of evaluation datasets",
+              "Akrami et al., SIGMOD'20, Table 1");
+  ExperimentContext context = MakeContext();
+
+  AsciiTable table;
+  table.SetHeader({"Dataset", "#entities", "#relations", "#train", "#valid",
+                   "#test"});
+  AddRow(table, context.Fb15k().kg.dataset);
+  AddRow(table, context.Fb15k().cleaned);
+  AddRow(table, context.Wn18().kg.dataset);
+  AddRow(table, context.Wn18().cleaned);
+  AddRow(table, context.Yago3().kg.dataset);
+  AddRow(table, context.Yago3().cleaned);
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgc::bench
+
+int main() { return kgc::bench::Run(); }

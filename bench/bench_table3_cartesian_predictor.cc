@@ -1,0 +1,102 @@
+// Tables 3 + 4: link prediction on Cartesian product relations using the
+// Cartesian-product property, vs TransE, judged against both the benchmark
+// dataset and the full world graph (the Freebase-snapshot analogue).
+
+#include "bench/bench_common.h"
+#include "eval/ranker.h"
+#include "redundancy/detectors.h"
+#include "rules/cartesian_predictor.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace kgc::bench {
+namespace {
+
+int Run() {
+  PrintHeader(
+      "Tables 3/4: the Cartesian-product property beats TransE, especially "
+      "under the world-graph ground truth",
+      "Akrami et al., SIGMOD'20, Tables 3 and 4, §4.3");
+  ExperimentContext context = MakeContext();
+  const BenchmarkSuite& suite = context.Fb15k();
+  const Dataset& dataset = suite.kg.dataset;
+
+  // Detect Cartesian relations over the dataset (paper: over FB15k training
+  // data and the snapshot).
+  const auto cartesian = FindCartesianRelations(dataset.all_store());
+  std::vector<RelationId> relations;
+  AsciiTable legend("Table 4: the Cartesian product relations used below");
+  legend.SetHeader({"id", "relation", "|S|x|O|", "density"});
+  for (size_t i = 0; i < cartesian.size(); ++i) {
+    relations.push_back(cartesian[i].relation);
+    legend.AddRow({StrFormat("r%zu", i + 1),
+                   dataset.vocab().RelationName(cartesian[i].relation),
+                   StrFormat("%zux%zu", cartesian[i].num_subjects,
+                             cartesian[i].num_objects),
+                   FormatDouble(cartesian[i].density, 2)});
+  }
+  legend.Print();
+
+  // Test triples restricted to those relations.
+  TripleList cartesian_test;
+  for (const Triple& t : dataset.test()) {
+    for (RelationId r : relations) {
+      if (t.relation == r) cartesian_test.push_back(t);
+    }
+  }
+
+  // TransE, dataset ground truth.
+  const KgeModel& transe = context.GetModel(dataset, ModelType::kTransE);
+  const auto transe_ranks = RankTriples(transe, dataset, cartesian_test);
+
+  // Cartesian-property predictor, dataset and world ground truth.
+  const CartesianPredictor rule(dataset.train_store(), relations);
+  const auto rule_ranks = RankTriples(rule, dataset, cartesian_test);
+  RankerOptions world_options;
+  world_options.filter = &suite.kg.world_store();
+  const auto rule_world_ranks =
+      RankTriples(rule, dataset, cartesian_test, world_options);
+
+  AsciiTable table("Table 3: per-relation results");
+  table.SetHeader({"rel", "#test",
+                   "TransE FMR", "TransE FH10", "TransE FMRR",
+                   "Cart FMR", "Cart FH10", "Cart FMRR",
+                   "Cart FMR(w)", "Cart FH10(w)", "Cart FMRR(w)"});
+  for (size_t i = 0; i < relations.size(); ++i) {
+    const RelationId r = relations[i];
+    auto subset = [&](const std::vector<TripleRanks>& ranks) {
+      std::vector<bool> keep(ranks.size());
+      for (size_t k = 0; k < ranks.size(); ++k) {
+        keep[k] = ranks[k].triple.relation == r;
+      }
+      return ComputeMetricsWhere(ranks, keep);
+    };
+    const LinkPredictionMetrics te = subset(transe_ranks);
+    const LinkPredictionMetrics cd = subset(rule_ranks);
+    const LinkPredictionMetrics cw = subset(rule_world_ranks);
+    if (te.num_triples == 0) continue;
+    table.AddRow({StrFormat("r%zu", i + 1),
+                  StrFormat("%zu", te.num_triples), Mr(te.fmr),
+                  Pct(te.fhits10), Mrr(te.fmrr), Mr(cd.fmr), Pct(cd.fhits10),
+                  Mrr(cd.fmrr), Mr(cw.fmr), Pct(cw.fhits10), Mrr(cw.fmrr)});
+  }
+  table.AddSeparator();
+  const LinkPredictionMetrics te_all = ComputeMetrics(transe_ranks);
+  const LinkPredictionMetrics cd_all = ComputeMetrics(rule_ranks);
+  const LinkPredictionMetrics cw_all = ComputeMetrics(rule_world_ranks);
+  table.AddRow({"all", StrFormat("%zu", cartesian_test.size()),
+                Mr(te_all.fmr), Pct(te_all.fhits10), Mrr(te_all.fmrr),
+                Mr(cd_all.fmr), Pct(cd_all.fhits10), Mrr(cd_all.fmrr),
+                Mr(cw_all.fmr), Pct(cw_all.fhits10), Mrr(cw_all.fmrr)});
+  table.Print();
+  std::printf(
+      "(w) = filtered against the world graph, the stand-in for the May 2013\n"
+      "Freebase snapshot: correct predictions absent from the benchmark stop\n"
+      "being penalized, so the Cartesian rule's numbers rise further.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgc::bench
+
+int main() { return kgc::bench::Run(); }

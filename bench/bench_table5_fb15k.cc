@@ -1,0 +1,36 @@
+// Table 5: full link-prediction results on FB15k vs FB15k-237 for all nine
+// embedding models plus AMIE, raw and filtered measures.
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+namespace kgc::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Table 5: link prediction results on FB15k and FB15k-237",
+              "Akrami et al., SIGMOD'20, Table 5");
+  ExperimentContext context = MakeContext();
+  const BenchmarkSuite& suite = context.Fb15k();
+
+  for (const Dataset* dataset : {&suite.kg.dataset, &suite.cleaned}) {
+    AsciiTable table("Results on " + dataset->name());
+    table.SetHeader({"Model", "MR", "Hits@10", "MRR", "FMR", "FHits@10",
+                     "FMRR"});
+    for (ModelType type : PaperModelLineup()) {
+      table.AddRow(RawAndFilteredRow(
+          ModelTypeName(type),
+          ComputeMetrics(context.GetRanks(*dataset, type))));
+    }
+    table.AddRow(
+        RawAndFilteredRow("AMIE", ComputeMetrics(AmieRanks(context,
+                                                           *dataset))));
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgc::bench
+
+int main() { return kgc::bench::Run(); }

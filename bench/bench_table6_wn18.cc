@@ -1,0 +1,36 @@
+// Table 6: full link-prediction results on WN18 vs WN18RR for all nine
+// embedding models plus AMIE, raw and filtered measures.
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+namespace kgc::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Table 6: link prediction results on WN18 and WN18RR",
+              "Akrami et al., SIGMOD'20, Table 6");
+  ExperimentContext context = MakeContext();
+  const BenchmarkSuite& suite = context.Wn18();
+
+  for (const Dataset* dataset : {&suite.kg.dataset, &suite.cleaned}) {
+    AsciiTable table("Results on " + dataset->name());
+    table.SetHeader({"Model", "MR", "Hits@10", "MRR", "FMR", "FHits@10",
+                     "FMRR"});
+    for (ModelType type : PaperModelLineup()) {
+      table.AddRow(RawAndFilteredRow(
+          ModelTypeName(type),
+          ComputeMetrics(context.GetRanks(*dataset, type))));
+    }
+    table.AddRow(
+        RawAndFilteredRow("AMIE", ComputeMetrics(AmieRanks(context,
+                                                           *dataset))));
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgc::bench
+
+int main() { return kgc::bench::Run(); }

@@ -1,0 +1,71 @@
+// Cartesian product relations (paper §4.3): detect them in the synthetic
+// FB15k analogue and show the trivial Cartesian-property predictor beating
+// TransE on exactly those relations.
+//
+//   ./cartesian_analysis
+
+#include <cstdio>
+
+#include "core/experiment_context.h"
+#include "redundancy/detectors.h"
+#include "rules/cartesian_predictor.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  kgc::ExperimentContext context;
+  const kgc::BenchmarkSuite& suite = context.Fb15k();
+  const kgc::Dataset& dataset = suite.kg.dataset;
+
+  // Detect over the full dataset (the paper's T_r is over G).
+  const auto cartesian = kgc::FindCartesianRelations(dataset.all_store());
+  kgc::AsciiTable detected("Detected Cartesian product relations");
+  detected.SetHeader({"relation", "|r|", "|S|x|O|", "density"});
+  std::vector<kgc::RelationId> relations;
+  for (const kgc::CartesianEvidence& e : cartesian) {
+    relations.push_back(e.relation);
+    detected.AddRow(
+        {dataset.vocab().RelationName(e.relation),
+         kgc::StrFormat("%zu", e.num_triples),
+         kgc::StrFormat("%zux%zu", e.num_subjects, e.num_objects),
+         kgc::FormatDouble(e.density, 3)});
+  }
+  detected.Print();
+
+  // Rank test triples of those relations under TransE vs the trivial rule.
+  const kgc::CartesianPredictor rule(dataset.train_store(), relations);
+  const auto& transe_ranks =
+      context.GetRanks(dataset, kgc::ModelType::kTransE);
+  const auto& rule_ranks =
+      context.GetPredictorRanks(dataset, rule, "cartesian");
+
+  std::vector<bool> keep(transe_ranks.size(), false);
+  for (size_t i = 0; i < transe_ranks.size(); ++i) {
+    for (kgc::RelationId r : relations) {
+      if (transe_ranks[i].triple.relation == r) keep[i] = true;
+    }
+  }
+  const kgc::LinkPredictionMetrics transe_metrics =
+      kgc::ComputeMetricsWhere(transe_ranks, keep);
+  const kgc::LinkPredictionMetrics rule_metrics =
+      kgc::ComputeMetricsWhere(rule_ranks, keep);
+
+  kgc::AsciiTable table(kgc::StrFormat(
+      "\nOn the %zu Cartesian-relation test triples of %s",
+      static_cast<size_t>(transe_metrics.num_triples),
+      dataset.name().c_str()));
+  table.SetHeader({"Method", "FMR", "FHits@10", "FHits@1", "FMRR"});
+  for (const auto& [name, m] :
+       {std::pair<const char*, const kgc::LinkPredictionMetrics&>{
+            "TransE", transe_metrics},
+        {"Cartesian property", rule_metrics}}) {
+    table.AddRow({name, kgc::FormatDouble(m.fmr, 1),
+                  kgc::FormatPercent(m.fhits10), kgc::FormatPercent(m.fhits1),
+                  kgc::FormatDouble(m.fmrr, 3)});
+  }
+  table.Print();
+  std::printf(
+      "The trivial product-closure rule matches or beats the embedding "
+      "model on these relations (paper §4.3(2), Table 3).\n");
+  return 0;
+}

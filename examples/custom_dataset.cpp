@@ -1,0 +1,67 @@
+// Auditing a user-supplied benchmark: load a dataset in the conventional
+// train.txt / valid.txt / test.txt layout (FB15k, WN18, FB15k-237, ... all
+// distribute this format), run the paper's redundancy audit on it, and
+// optionally write a cleaned copy.
+//
+//   ./custom_dataset <dataset_dir> [cleaned_output_dir]
+//
+// With a real FB15k directory this reproduces the paper's §4 findings on
+// the original data; with no arguments it demonstrates the flow by writing
+// the synthetic FB15k analogue to a temp directory and re-loading it.
+
+#include <cstdio>
+
+#include "core/audit.h"
+#include "datagen/presets.h"
+#include "kg/kg_io.h"
+#include "redundancy/cleaner.h"
+
+int main(int argc, char** argv) {
+  std::string dir;
+  if (argc > 1) {
+    dir = argv[1];
+  } else {
+    // Demo mode: round-trip the synthetic FB15k through the text format.
+    dir = "/tmp/kgc_custom_dataset_demo";
+    std::printf("no dataset given; writing FB15k-syn to %s as a demo\n",
+                dir.c_str());
+    const kgc::SyntheticKg kg = kgc::GenerateSynthFb15k();
+    const kgc::Status status = kgc::SaveDatasetDir(kg.dataset, dir);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto dataset = kgc::LoadDatasetDir(dir, dir);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", dir.c_str(),
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %s: %d entities, %d relations, %zu/%zu/%zu triples\n",
+              dir.c_str(), dataset->num_entities(), dataset->num_relations(),
+              dataset->train().size(), dataset->valid().size(),
+              dataset->test().size());
+
+  const kgc::AuditReport report = kgc::RunAudit(*dataset);
+  const std::string rendered = kgc::RenderAudit(report, dataset->vocab());
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+
+  if (argc > 2) {
+    kgc::CleaningReport cleaning;
+    const kgc::Dataset cleaned =
+        kgc::MakeFb237Like(*dataset, report.catalog, "cleaned", &cleaning);
+    const kgc::Status status = kgc::SaveDatasetDir(cleaned, argv[2]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "\nwrote cleaned dataset to %s (dropped %zu relations; removed "
+        "%zu/%zu/%zu train/valid/test triples)\n",
+        argv[2], cleaning.dropped_relations.size(), cleaning.train_removed,
+        cleaning.valid_removed, cleaning.test_removed);
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+#include "core/audit.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace kgc {
+
+AuditReport RunAudit(const Dataset& dataset, const DetectorOptions& options) {
+  // Pair-set statistics follow the paper's definition T_r = {(h,t) | r(h,t)
+  // in G} with G the whole dataset, not just the training split.
+  return RunAuditWithCatalog(
+      dataset, RedundancyCatalog::Detect(dataset.all_store(), options),
+      options);
+}
+
+AuditReport RunAuditWithCatalog(const Dataset& dataset,
+                                RedundancyCatalog catalog,
+                                const DetectorOptions& options) {
+  AuditReport report;
+  report.dataset_name = dataset.name();
+  report.num_train = dataset.train().size();
+  report.num_valid = dataset.valid().size();
+  report.num_test = dataset.test().size();
+  report.num_entities = dataset.CountUsedEntities();
+  report.num_relations = dataset.CountUsedRelations();
+  report.catalog = std::move(catalog);
+  report.leakage = ComputeReverseLeakage(dataset, report.catalog);
+  report.bitmap = ComputeRedundancyBitmap(dataset, report.catalog);
+  report.cartesian = FindCartesianRelations(dataset.all_store(), options);
+  return report;
+}
+
+RedundancyCatalog BuildOracleCatalog(const SyntheticKg& kg) {
+  RedundancyCatalog catalog;
+  for (const auto& [r1, r2] : kg.reverse_property) {
+    RelationPairOverlap pair;
+    pair.r1 = r1;
+    pair.r2 = r2;
+    pair.coverage_r1 = 1.0;
+    pair.coverage_r2 = 1.0;
+    catalog.reverse_pairs.push_back(pair);
+  }
+  for (const RelationMeta& meta : kg.relation_meta) {
+    RelationPairOverlap pair;
+    pair.r1 = meta.base;
+    pair.r2 = meta.id;
+    pair.coverage_r1 = 1.0;
+    pair.coverage_r2 = 1.0;
+    switch (meta.archetype) {
+      case RelationArchetype::kDuplicateOf:
+        catalog.duplicate_pairs.push_back(pair);
+        break;
+      case RelationArchetype::kReverseDuplicateOf:
+        catalog.reverse_duplicate_pairs.push_back(pair);
+        break;
+      case RelationArchetype::kSymmetric:
+        catalog.symmetric_relations.push_back(meta.id);
+        break;
+      default:
+        break;
+    }
+  }
+  return catalog;
+}
+
+std::string RenderAudit(const AuditReport& report, const Vocab& vocab) {
+  std::string out;
+  out += StrFormat("=== Audit: %s ===\n", report.dataset_name.c_str());
+  out += StrFormat(
+      "entities: %d  relations: %d  train/valid/test: %zu/%zu/%zu\n",
+      report.num_entities, report.num_relations, report.num_train,
+      report.num_valid, report.num_test);
+
+  out += StrFormat(
+      "\nReverse leakage (§4.2.1):\n"
+      "  train triples in reverse pairs: %zu (%s)\n"
+      "  test triples with reverse in train: %zu (%s)\n",
+      report.leakage.train_triples_in_reverse_pairs,
+      FormatPercent(report.leakage.train_reverse_fraction).c_str(),
+      report.leakage.test_triples_with_reverse_in_train,
+      FormatPercent(report.leakage.test_reverse_fraction).c_str());
+
+  out += StrFormat(
+      "\nDetected relation pathologies:\n"
+      "  reverse / reverse-duplicate pairs: %zu\n"
+      "  duplicate pairs: %zu\n"
+      "  symmetric relations: %zu\n"
+      "  Cartesian product relations: %zu\n",
+      report.catalog.reverse_pairs.size(),
+      report.catalog.duplicate_pairs.size(),
+      report.catalog.symmetric_relations.size(), report.cartesian.size());
+
+  AsciiTable table("\nTest-triple redundancy cases (Figure 4):");
+  table.SetHeader({"case", "meaning", "count", "share"});
+  const char* meanings[16] = {
+      "no redundancy",
+      "dup in test",
+      "reverse in test",
+      "reverse+dup in test",
+      "dup in train",
+      "dup in train; dup in test",
+      "dup in train; reverse in test",
+      "dup in train; rev+dup in test",
+      "reverse in train",
+      "reverse in train; dup in test",
+      "reverse in train+test",
+      "reverse in train; rev+dup in test",
+      "reverse+dup in train",
+      "rev+dup in train; dup in test",
+      "rev+dup in train; reverse in test",
+      "all four",
+  };
+  const size_t total = std::max<size_t>(report.bitmap.cases.size(), 1);
+  // Render largest cases first, as the paper's pie chart does.
+  std::vector<size_t> case_order(16);
+  for (size_t i = 0; i < 16; ++i) case_order[i] = i;
+  std::sort(case_order.begin(), case_order.end(), [&](size_t a, size_t b) {
+    return report.bitmap.histogram[a] > report.bitmap.histogram[b];
+  });
+  for (size_t c : case_order) {
+    if (report.bitmap.histogram[c] == 0) continue;
+    table.AddRow({RedundancyCaseName(static_cast<uint8_t>(c)), meanings[c],
+                  StrFormat("%zu", report.bitmap.histogram[c]),
+                  FormatPercent(static_cast<double>(
+                                    report.bitmap.histogram[c]) /
+                                static_cast<double>(total))});
+  }
+  out += table.ToString();
+
+  if (!report.cartesian.empty()) {
+    AsciiTable cart("\nCartesian product relations (§4.3):");
+    cart.SetHeader({"relation", "|r|", "|S|", "|O|", "density"});
+    for (const CartesianEvidence& e : report.cartesian) {
+      cart.AddRow({vocab.RelationName(e.relation),
+                   StrFormat("%zu", e.num_triples),
+                   StrFormat("%zu", e.num_subjects),
+                   StrFormat("%zu", e.num_objects),
+                   FormatDouble(e.density, 3)});
+    }
+    out += cart.ToString();
+  }
+  return out;
+}
+
+}  // namespace kgc

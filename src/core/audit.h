@@ -1,0 +1,50 @@
+// Dataset audit: the paper's §4 analyses packaged as one report.
+
+#ifndef KGC_CORE_AUDIT_H_
+#define KGC_CORE_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/synthetic_kg.h"
+#include "kg/dataset.h"
+#include "redundancy/cleaner.h"
+#include "redundancy/detectors.h"
+#include "redundancy/leakage.h"
+
+namespace kgc {
+
+/// Everything §4 of the paper measures about one dataset.
+struct AuditReport {
+  std::string dataset_name;
+  size_t num_train = 0, num_valid = 0, num_test = 0;
+  int32_t num_entities = 0, num_relations = 0;
+
+  RedundancyCatalog catalog;
+  ReverseLeakageStats leakage;
+  RedundancyBitmap bitmap;
+  std::vector<CartesianEvidence> cartesian;
+};
+
+/// Runs all detectors and leakage analyses on `dataset`.
+AuditReport RunAudit(const Dataset& dataset,
+                     const DetectorOptions& options = {});
+
+/// Same, but classifying triples against a pre-built catalog (typically the
+/// oracle catalog, as the paper classifies FB15k against the Freebase
+/// snapshot's reverse_property metadata).
+AuditReport RunAuditWithCatalog(const Dataset& dataset,
+                                RedundancyCatalog catalog,
+                                const DetectorOptions& options = {});
+
+/// Builds the ground-truth catalog from generator metadata -- the analogue
+/// of reading reverse_property and relation provenance out of the May 2013
+/// Freebase snapshot (§4.1).
+RedundancyCatalog BuildOracleCatalog(const SyntheticKg& kg);
+
+/// Renders the report as human-readable text (used by the audit example).
+std::string RenderAudit(const AuditReport& report, const Vocab& vocab);
+
+}  // namespace kgc
+
+#endif  // KGC_CORE_AUDIT_H_

@@ -1,0 +1,236 @@
+#include "core/experiment_context.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/audit.h"
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace kgc {
+namespace {
+
+constexpr uint32_t kRanksMagic = 0x4b524e4bU;  // "KRNK"
+
+}  // namespace
+
+ExperimentContext::ExperimentContext(ExperimentOptions options)
+    : options_(std::move(options)), store_(options_.cache_dir) {}
+
+BenchmarkSuite ExperimentContext::MakeSuite(int which) {
+  BenchmarkSuite suite;
+  switch (which) {
+    case 0:
+      suite.kg = GenerateSynthFb15k(options_.data_seed);
+      break;
+    case 1:
+      suite.kg = GenerateSynthWn18(options_.data_seed);
+      break;
+    default:
+      suite.kg = GenerateSynthYago3(options_.data_seed);
+      break;
+  }
+  // Detect over the whole dataset (the paper's T_r is defined over G).
+  suite.catalog = RedundancyCatalog::Detect(suite.kg.dataset.all_store());
+  suite.oracle = BuildOracleCatalog(suite.kg);
+  switch (which) {
+    case 0:
+      suite.cleaned = MakeFb237Like(suite.kg.dataset, suite.catalog,
+                                    "FB15k-237-syn");
+      break;
+    case 1:
+      suite.cleaned = MakeWn18rrLike(suite.kg.dataset, suite.catalog,
+                                     "WN18RR-syn");
+      break;
+    default:
+      suite.cleaned = MakeYagoDrLike(suite.kg.dataset, suite.catalog,
+                                     "YAGO3-10-DR-syn");
+      break;
+  }
+  return suite;
+}
+
+const BenchmarkSuite& ExperimentContext::Fb15k() {
+  if (fb15k_ == nullptr) {
+    fb15k_ = std::make_unique<BenchmarkSuite>(MakeSuite(0));
+  }
+  return *fb15k_;
+}
+
+const BenchmarkSuite& ExperimentContext::Wn18() {
+  if (wn18_ == nullptr) {
+    wn18_ = std::make_unique<BenchmarkSuite>(MakeSuite(1));
+  }
+  return *wn18_;
+}
+
+const BenchmarkSuite& ExperimentContext::Yago3() {
+  if (yago3_ == nullptr) {
+    yago3_ = std::make_unique<BenchmarkSuite>(MakeSuite(2));
+  }
+  return *yago3_;
+}
+
+TrainOptions ExperimentContext::ScaledTrainOptions(ModelType type) const {
+  TrainOptions train_options = DefaultTrainOptions(type);
+  train_options.epochs = std::max(
+      1, static_cast<int>(std::lround(train_options.epochs *
+                                      options_.epoch_scale)));
+  train_options.seed = options_.train_seed;
+  train_options.verbose = options_.verbose_training;
+  return train_options;
+}
+
+const KgeModel& ExperimentContext::GetModel(const Dataset& dataset,
+                                            ModelType type) {
+  const ModelHyperParams params = DefaultHyperParams(type);
+  const TrainOptions train_options = ScaledTrainOptions(type);
+  const std::string key =
+      ModelStore::MakeKey(dataset.name(), type, params, train_options.epochs,
+                          train_options.seed);
+  auto it = models_.find(key);
+  if (it != models_.end()) return *it->second;
+
+  auto loaded = store_.Load(key);
+  if (loaded.ok() &&
+      (*loaded)->num_entities() == dataset.num_entities() &&
+      (*loaded)->num_relations() == dataset.num_relations()) {
+    LogInfo("loaded cached %s for %s", ModelTypeName(type),
+            dataset.name().c_str());
+    return *models_.emplace(key, std::move(*loaded)).first->second;
+  }
+
+  LogInfo("training %s on %s (%zu train triples, %d epochs)...",
+          ModelTypeName(type), dataset.name().c_str(), dataset.train().size(),
+          train_options.epochs);
+  std::unique_ptr<KgeModel> model = CreateModel(
+      type, dataset.num_entities(), dataset.num_relations(), params);
+  const TrainStats stats = TrainModel(*model, dataset, train_options);
+  LogInfo("trained %s on %s in %.1fs (final loss %.4f)", ModelTypeName(type),
+          dataset.name().c_str(), stats.seconds, stats.final_loss);
+  const Status save_status = store_.Save(key, *model);
+  if (!save_status.ok()) {
+    LogWarning("model cache save failed: %s",
+               save_status.ToString().c_str());
+  }
+  return *models_.emplace(key, std::move(model)).first->second;
+}
+
+std::string ExperimentContext::RankCachePath(
+    const std::string& model_key) const {
+  return options_.cache_dir + "/" + model_key + ".ranks";
+}
+
+const std::vector<TripleRanks>& ExperimentContext::GetRanks(
+    const Dataset& dataset, ModelType type) {
+  const ModelHyperParams params = DefaultHyperParams(type);
+  const TrainOptions train_options = ScaledTrainOptions(type);
+  const std::string key =
+      ModelStore::MakeKey(dataset.name(), type, params, train_options.epochs,
+                          train_options.seed);
+  auto it = ranks_.find(key);
+  if (it != ranks_.end()) return it->second;
+
+  auto cached = LoadRanks(RankCachePath(key));
+  if (cached.ok() && cached->size() == dataset.test().size()) {
+    return ranks_.emplace(key, std::move(*cached)).first->second;
+  }
+
+  const KgeModel& model = GetModel(dataset, type);
+  Stopwatch watch;
+  std::vector<TripleRanks> ranks =
+      RankTriples(model, dataset, dataset.test());
+  LogInfo("ranked %zu test triples of %s under %s in %.1fs",
+          dataset.test().size(), dataset.name().c_str(), ModelTypeName(type),
+          watch.ElapsedSeconds());
+  const Status save_status = SaveRanks(RankCachePath(key), ranks);
+  if (!save_status.ok()) {
+    LogWarning("rank cache save failed: %s", save_status.ToString().c_str());
+  }
+  return ranks_.emplace(key, std::move(ranks)).first->second;
+}
+
+const std::vector<TripleRanks>& ExperimentContext::GetPredictorRanks(
+    const Dataset& dataset, const LinkPredictor& predictor,
+    const std::string& label) {
+  std::string key = dataset.name() + "__pred_" + label;
+  for (char& c : key) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  auto it = ranks_.find(key);
+  if (it != ranks_.end()) return it->second;
+
+  auto cached = LoadRanks(RankCachePath(key));
+  if (cached.ok() && cached->size() == dataset.test().size()) {
+    return ranks_.emplace(key, std::move(*cached)).first->second;
+  }
+
+  Stopwatch watch;
+  std::vector<TripleRanks> ranks =
+      RankTriples(predictor, dataset, dataset.test());
+  LogInfo("ranked %zu test triples of %s under %s in %.1fs",
+          dataset.test().size(), dataset.name().c_str(), predictor.name(),
+          watch.ElapsedSeconds());
+  const Status save_status = SaveRanks(RankCachePath(key), ranks);
+  if (!save_status.ok()) {
+    LogWarning("rank cache save failed: %s", save_status.ToString().c_str());
+  }
+  return ranks_.emplace(key, std::move(ranks)).first->second;
+}
+
+Status SaveRanks(const std::string& path,
+                 const std::vector<TripleRanks>& ranks) {
+  BinaryWriter writer;
+  writer.WriteU32(kRanksMagic);
+  writer.WriteU64(ranks.size());
+  for (const TripleRanks& r : ranks) {
+    writer.WriteI32(r.triple.head);
+    writer.WriteI32(r.triple.relation);
+    writer.WriteI32(r.triple.tail);
+    writer.WriteDouble(r.head_raw);
+    writer.WriteDouble(r.head_filtered);
+    writer.WriteDouble(r.tail_raw);
+    writer.WriteDouble(r.tail_filtered);
+  }
+  return writer.Flush(path);
+}
+
+StatusOr<std::vector<TripleRanks>> LoadRanks(const std::string& path) {
+  auto reader = BinaryReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  auto magic = reader->ReadU32();
+  if (!magic.ok() || *magic != kRanksMagic) {
+    return Status::IoError("bad rank cache: " + path);
+  }
+  auto count = reader->ReadU64();
+  if (!count.ok()) return count.status();
+  std::vector<TripleRanks> ranks;
+  ranks.reserve(static_cast<size_t>(*count));
+  for (uint64_t i = 0; i < *count; ++i) {
+    TripleRanks r;
+    auto h = reader->ReadI32();
+    if (!h.ok()) return h.status();
+    auto rel = reader->ReadI32();
+    if (!rel.ok()) return rel.status();
+    auto t = reader->ReadI32();
+    if (!t.ok()) return t.status();
+    r.triple = Triple{*h, *rel, *t};
+    auto hr = reader->ReadDouble();
+    if (!hr.ok()) return hr.status();
+    auto hf = reader->ReadDouble();
+    if (!hf.ok()) return hf.status();
+    auto tr = reader->ReadDouble();
+    if (!tr.ok()) return tr.status();
+    auto tf = reader->ReadDouble();
+    if (!tf.ok()) return tf.status();
+    r.head_raw = *hr;
+    r.head_filtered = *hf;
+    r.tail_raw = *tr;
+    r.tail_filtered = *tf;
+    ranks.push_back(r);
+  }
+  return ranks;
+}
+
+}  // namespace kgc

@@ -1,0 +1,304 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace kgc {
+namespace {
+
+// A fact in the world, annotated with whether the dataset subsample admits it.
+struct WorldFact {
+  Triple triple;
+  bool admitted = false;
+};
+
+using EntityPair = std::pair<EntityId, EntityId>;
+
+// Shared generation state.
+struct Context {
+  const GeneratorSpec* spec = nullptr;
+  Rng* rng = nullptr;
+  std::vector<std::vector<EntityId>> domain_entities;   // per domain
+  std::vector<int32_t> entity_domain;
+  std::vector<int32_t> entity_cluster;                  // global cluster ids
+  std::vector<std::vector<int32_t>> domain_clusters;    // per domain
+  std::vector<std::vector<EntityId>> cluster_members;   // per global cluster
+};
+
+// Samples 1 + Geometric(p) with p = 1/mean, truncated at `cap`, so the
+// expected value is roughly `mean`.
+int SampleDegree(Rng& rng, double mean, int cap = 12) {
+  const double p = mean <= 1.0 ? 1.0 : 1.0 / mean;
+  int degree = 1;
+  while (degree < cap && !rng.Bernoulli(p)) ++degree;
+  return degree;
+}
+
+// Generates the subject-object pairs of a latent-structure relation.
+// Subjects come from the subject domain; each subject cluster prefers one
+// object cluster (or, for functional relations, one specific object entity).
+std::vector<EntityPair> GenerateGenuinePairs(Context& ctx,
+                                             const GenuineParams& params) {
+  Rng& rng = *ctx.rng;
+  const auto& subjects =
+      ctx.domain_entities[static_cast<size_t>(params.subject_domain)];
+  const auto& objects =
+      ctx.domain_entities[static_cast<size_t>(params.object_domain)];
+  const auto& subject_clusters =
+      ctx.domain_clusters[static_cast<size_t>(params.subject_domain)];
+  const auto& object_clusters =
+      ctx.domain_clusters[static_cast<size_t>(params.object_domain)];
+  KGC_CHECK(!subjects.empty());
+  KGC_CHECK(!objects.empty());
+
+  // Latent mapping: subject cluster -> preferred object cluster, and (for
+  // functional relations) -> one preferred object entity.
+  std::unordered_map<int32_t, int32_t> preferred_cluster;
+  std::unordered_map<int32_t, EntityId> preferred_entity;
+  for (int32_t cluster : subject_clusters) {
+    const int32_t target =
+        object_clusters[rng.Uniform(object_clusters.size())];
+    preferred_cluster[cluster] = target;
+    const auto& members = ctx.cluster_members[static_cast<size_t>(target)];
+    preferred_entity[cluster] = members[rng.Uniform(members.size())];
+  }
+
+  std::vector<EntityPair> pairs;
+  std::unordered_set<uint64_t> seen;
+  for (EntityId h : subjects) {
+    if (!rng.Bernoulli(params.subject_participation)) continue;
+    const int32_t cluster = ctx.entity_cluster[static_cast<size_t>(h)];
+    const int degree =
+        params.functional
+            ? 1
+            : SampleDegree(rng, params.mean_out_degree,
+                           params.max_out_degree);
+    for (int k = 0; k < degree; ++k) {
+      EntityId t;
+      if (rng.Bernoulli(params.noise)) {
+        t = objects[rng.Uniform(objects.size())];
+      } else if (params.functional) {
+        t = preferred_entity[cluster];
+      } else {
+        const auto& members = ctx.cluster_members[static_cast<size_t>(
+            preferred_cluster[cluster])];
+        t = members[rng.Uniform(members.size())];
+      }
+      if (seen.insert(PackPair(h, t)).second) pairs.push_back({h, t});
+    }
+  }
+  return pairs;
+}
+
+// Emits a world fact, deciding dataset admission with `keep_rate`.
+void Emit(std::vector<WorldFact>& facts, Rng& rng, EntityId h, RelationId r,
+          EntityId t, double keep_rate) {
+  facts.push_back(WorldFact{Triple{h, r, t}, rng.Bernoulli(keep_rate)});
+}
+
+}  // namespace
+
+SyntheticKg GenerateKg(const GeneratorSpec& spec, uint64_t seed) {
+  KGC_CHECK_GT(spec.num_domains, 0);
+  KGC_CHECK_GT(spec.domain_size, 0);
+  KGC_CHECK_GT(spec.cluster_size, 0);
+
+  Rng rng(seed);
+  SyntheticKg kg;
+  Vocab vocab;
+
+  // --- Entities, domains, clusters. -------------------------------------
+  Context ctx;
+  ctx.spec = &spec;
+  ctx.rng = &rng;
+  ctx.domain_entities.resize(static_cast<size_t>(spec.num_domains));
+  ctx.domain_clusters.resize(static_cast<size_t>(spec.num_domains));
+  int32_t next_cluster = 0;
+  for (int32_t d = 0; d < spec.num_domains; ++d) {
+    for (int32_t i = 0; i < spec.domain_size; ++i) {
+      const EntityId e =
+          vocab.InternEntity(StrFormat("ent_d%02d_%04d", d, i));
+      ctx.domain_entities[static_cast<size_t>(d)].push_back(e);
+      ctx.entity_domain.push_back(d);
+      if (i % spec.cluster_size == 0) {
+        ctx.domain_clusters[static_cast<size_t>(d)].push_back(next_cluster);
+        ctx.cluster_members.emplace_back();
+        ++next_cluster;
+      }
+      ctx.entity_cluster.push_back(next_cluster - 1);
+      ctx.cluster_members.back().push_back(e);
+    }
+  }
+
+  // --- Relations. --------------------------------------------------------
+  std::vector<WorldFact> facts;
+  auto add_meta = [&kg](RelationId id, const std::string& name,
+                        RelationArchetype archetype, RelationId base,
+                        bool concatenated) {
+    RelationMeta meta;
+    meta.id = id;
+    meta.name = name;
+    meta.archetype = archetype;
+    meta.base = base;
+    meta.concatenated = concatenated;
+    kg.relation_meta.push_back(std::move(meta));
+  };
+
+  for (const RelationFamilySpec& family : spec.families) {
+    KGC_CHECK(!family.name.empty());
+    switch (family.archetype) {
+      case RelationArchetype::kGenuine: {
+        const RelationId r = vocab.InternRelation(family.name);
+        add_meta(r, family.name, RelationArchetype::kGenuine, -1,
+                 family.concatenated);
+        for (const EntityPair& p : GenerateGenuinePairs(ctx, family.genuine)) {
+          Emit(facts, rng, p.first, r, p.second, family.dataset_keep_rate);
+        }
+        break;
+      }
+
+      case RelationArchetype::kReverseBase:
+      case RelationArchetype::kReverseOf: {
+        // A family spec with either tag produces the full pair.
+        const RelationId r1 = vocab.InternRelation(family.name);
+        const std::string inv_name = family.name + "_inv";
+        const RelationId r2 = vocab.InternRelation(inv_name);
+        add_meta(r1, family.name, RelationArchetype::kReverseBase, r2,
+                 family.concatenated);
+        add_meta(r2, inv_name, RelationArchetype::kReverseOf, r1,
+                 family.concatenated);
+        kg.reverse_property.push_back({r1, r2});
+        for (const EntityPair& p : GenerateGenuinePairs(ctx, family.genuine)) {
+          // The world always contains both directions (Freebase added facts
+          // as reverse pairs); dataset admission is independent per side.
+          Emit(facts, rng, p.first, r1, p.second, family.dataset_keep_rate);
+          Emit(facts, rng, p.second, r2, p.first, family.dataset_keep_rate);
+        }
+        break;
+      }
+
+      case RelationArchetype::kSymmetric: {
+        const RelationId r = vocab.InternRelation(family.name);
+        add_meta(r, family.name, RelationArchetype::kSymmetric, -1,
+                 family.concatenated);
+        GenuineParams params = family.genuine;
+        // Symmetric relations live within one domain.
+        params.object_domain = params.subject_domain;
+        for (const EntityPair& p : GenerateGenuinePairs(ctx, params)) {
+          if (p.first == p.second) continue;
+          Emit(facts, rng, p.first, r, p.second, family.dataset_keep_rate);
+          Emit(facts, rng, p.second, r, p.first, family.dataset_keep_rate);
+        }
+        break;
+      }
+
+      case RelationArchetype::kDuplicateBase:
+      case RelationArchetype::kDuplicateOf:
+      case RelationArchetype::kReverseDuplicateOf: {
+        const bool reversed =
+            family.archetype == RelationArchetype::kReverseDuplicateOf;
+        const RelationId r1 = vocab.InternRelation(family.name);
+        const std::string dup_name =
+            family.name + (reversed ? "_revdup" : "_dup");
+        const RelationId r2 = vocab.InternRelation(dup_name);
+        add_meta(r1, family.name, RelationArchetype::kDuplicateBase, r2,
+                 family.concatenated);
+        add_meta(r2, dup_name,
+                 reversed ? RelationArchetype::kReverseDuplicateOf
+                          : RelationArchetype::kDuplicateOf,
+                 r1, family.concatenated);
+        const std::vector<EntityPair> base_pairs =
+            GenerateGenuinePairs(ctx, family.genuine);
+        for (const EntityPair& p : base_pairs) {
+          Emit(facts, rng, p.first, r1, p.second, family.dataset_keep_rate);
+        }
+        // Near-copy: each base pair with probability `duplicate_overlap`.
+        std::unordered_set<uint64_t> dup_seen;
+        for (const EntityPair& p : base_pairs) {
+          if (!rng.Bernoulli(family.duplicate_overlap)) continue;
+          const EntityId h = reversed ? p.second : p.first;
+          const EntityId t = reversed ? p.first : p.second;
+          if (dup_seen.insert(PackPair(h, t)).second) {
+            Emit(facts, rng, h, r2, t, family.dataset_keep_rate);
+          }
+        }
+        // A few pairs unique to the duplicate, so overlap stays below 1.
+        const size_t extra = static_cast<size_t>(
+            family.duplicate_extra * static_cast<double>(base_pairs.size()));
+        const auto& subjects = ctx.domain_entities[static_cast<size_t>(
+            family.genuine.subject_domain)];
+        const auto& objects = ctx.domain_entities[static_cast<size_t>(
+            family.genuine.object_domain)];
+        for (size_t i = 0; i < extra; ++i) {
+          const EntityId s = subjects[rng.Uniform(subjects.size())];
+          const EntityId o = objects[rng.Uniform(objects.size())];
+          const EntityId h = reversed ? o : s;
+          const EntityId t = reversed ? s : o;
+          if (dup_seen.insert(PackPair(h, t)).second) {
+            Emit(facts, rng, h, r2, t, family.dataset_keep_rate);
+          }
+        }
+        break;
+      }
+
+      case RelationArchetype::kCartesian: {
+        const RelationId r = vocab.InternRelation(family.name);
+        add_meta(r, family.name, RelationArchetype::kCartesian, -1,
+                 family.concatenated);
+        const auto& subject_pool = ctx.domain_entities[static_cast<size_t>(
+            family.genuine.subject_domain)];
+        const auto& object_pool = ctx.domain_entities[static_cast<size_t>(
+            family.genuine.object_domain)];
+        KGC_CHECK_LE(static_cast<size_t>(family.cartesian_subjects),
+                     subject_pool.size());
+        KGC_CHECK_LE(static_cast<size_t>(family.cartesian_objects),
+                     object_pool.size());
+        const auto subject_idx = rng.SampleWithoutReplacement(
+            subject_pool.size(), static_cast<size_t>(family.cartesian_subjects));
+        const auto object_idx = rng.SampleWithoutReplacement(
+            object_pool.size(), static_cast<size_t>(family.cartesian_objects));
+        // The world contains the full product; the dataset a dense subset.
+        for (size_t si : subject_idx) {
+          for (size_t oi : object_idx) {
+            Emit(facts, rng, subject_pool[si], r, object_pool[oi],
+                 family.dataset_keep_rate);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // --- Assemble world + dataset splits. ----------------------------------
+  TripleList admitted;
+  kg.world.reserve(facts.size());
+  for (const WorldFact& fact : facts) {
+    kg.world.push_back(fact.triple);
+    if (fact.admitted) admitted.push_back(fact.triple);
+  }
+  rng.Shuffle(admitted);
+  const size_t n = admitted.size();
+  const size_t num_valid = static_cast<size_t>(
+      spec.valid_fraction * static_cast<double>(n));
+  const size_t num_test = static_cast<size_t>(
+      spec.test_fraction * static_cast<double>(n));
+  KGC_CHECK_GE(n, num_valid + num_test);
+
+  TripleList valid(admitted.begin(), admitted.begin() + num_valid);
+  TripleList test(admitted.begin() + num_valid,
+                  admitted.begin() + num_valid + num_test);
+  TripleList train(admitted.begin() + num_valid + num_test, admitted.end());
+
+  kg.entity_domain = std::move(ctx.entity_domain);
+  kg.entity_cluster = std::move(ctx.entity_cluster);
+  kg.dataset = Dataset(spec.name, std::move(vocab), std::move(train),
+                       std::move(valid), std::move(test));
+  return kg;
+}
+
+}  // namespace kgc

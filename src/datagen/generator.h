@@ -1,0 +1,19 @@
+// Synthetic knowledge-graph generator.
+
+#ifndef KGC_DATAGEN_GENERATOR_H_
+#define KGC_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "datagen/spec.h"
+#include "datagen/synthetic_kg.h"
+
+namespace kgc {
+
+/// Generates a synthetic knowledge graph from `spec`, deterministically in
+/// `seed`. See spec.h for the semantics of each relation archetype.
+SyntheticKg GenerateKg(const GeneratorSpec& spec, uint64_t seed);
+
+}  // namespace kgc
+
+#endif  // KGC_DATAGEN_GENERATOR_H_

@@ -1,0 +1,312 @@
+#include "datagen/presets.h"
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace kgc {
+namespace {
+
+// Deterministic, spec-time pseudo-random stream used only to vary preset
+// parameters across families (domains, degrees, ...). Generation randomness
+// itself comes from the seed passed to GenerateKg.
+class ParamStream {
+ public:
+  explicit ParamStream(uint64_t salt) : state_(salt) {}
+  uint64_t Next() { return SplitMix64(state_); }
+  int32_t Pick(int32_t bound) {
+    return static_cast<int32_t>(Next() % static_cast<uint64_t>(bound));
+  }
+  double Unit() { return (Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t state_;
+};
+
+GenuineParams MakeGenuine(ParamStream& ps, int32_t num_domains,
+                          double degree_lo, double degree_hi, double noise) {
+  GenuineParams params;
+  params.subject_domain = ps.Pick(num_domains);
+  params.object_domain = ps.Pick(num_domains);
+  if (params.object_domain == params.subject_domain) {
+    params.object_domain = (params.object_domain + 1) % num_domains;
+  }
+  params.mean_out_degree = degree_lo + (degree_hi - degree_lo) * ps.Unit();
+  params.subject_participation = 0.7 + 0.25 * ps.Unit();
+  params.noise = noise;
+  return params;
+}
+
+}  // namespace
+
+GeneratorSpec SynthFb15kSpec() {
+  GeneratorSpec spec;
+  spec.name = "FB15k-syn";
+  spec.num_domains = 16;
+  spec.domain_size = 125;  // 2,000 entities
+  spec.cluster_size = 10;
+  spec.valid_fraction = 0.084;  // FB15k: 50,000 / 592,213
+  spec.test_fraction = 0.100;   // FB15k: 59,071 / 592,213
+
+  ParamStream ps(0xfb15d00dULL);
+
+  // ~2/3 of relations form reverse pairs (paper: 798 of the 1,100 distinct
+  // test relations), and their triples dominate the dataset. Freebase added
+  // facts as complete reverse pairs, so the in-dataset keep rate is high.
+  // Many of these relations are CVT-concatenated.
+  for (int i = 0; i < 52; ++i) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kReverseBase;
+    family.name = StrFormat("fb/rel%03d", i);
+    family.genuine = MakeGenuine(ps, spec.num_domains, 2.6, 4.4, 0.35);
+    family.genuine.subject_participation = 0.75 + 0.2 * ps.Unit();
+    family.dataset_keep_rate = 0.96;
+    family.concatenated = (i % 3) != 0;  // ~2/3 concatenated
+    spec.families.push_back(family);
+  }
+
+  // Duplicate relations (84 pairs in FB15k; scaled). Most involve a
+  // concatenated relation (80/84 pairs).
+  for (int i = 0; i < 7; ++i) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kDuplicateOf;
+    family.name = StrFormat("fb/dup%02d", i);
+    family.genuine = MakeGenuine(ps, spec.num_domains, 2.0, 3.2, 0.35);
+    family.duplicate_overlap = 0.92;
+    family.duplicate_extra = 0.06;
+    family.dataset_keep_rate = 0.96;
+    family.concatenated = i != 0;
+    spec.families.push_back(family);
+  }
+
+  // Reverse-duplicate relations (67 pairs in FB15k; scaled; 63/67 involve a
+  // concatenation).
+  for (int i = 0; i < 5; ++i) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kReverseDuplicateOf;
+    family.name = StrFormat("fb/rdup%02d", i);
+    family.genuine = MakeGenuine(ps, spec.num_domains, 2.0, 3.2, 0.35);
+    family.duplicate_overlap = 0.92;
+    family.duplicate_extra = 0.06;
+    family.dataset_keep_rate = 0.96;
+    family.concatenated = i != 0;
+    spec.families.push_back(family);
+  }
+
+  // Cartesian product relations (142 in FB15k, 13,038 triples; ~60%
+  // CVT-derived). Names follow the paper's examples (Table 4).
+  struct CartesianPreset {
+    const char* name;
+    int32_t subjects;
+    int32_t objects;
+    bool concatenated;
+  };
+  const CartesianPreset cartesians[] = {
+      {"fb/travel_destination/climate.monthly_climate/month", 26, 12, true},
+      {"fb/computer_videogame/gameplay_modes", 24, 6, false},
+      {"fb/gameplay_mode/games_with_this_mode", 6, 24, false},
+      {"fb/educational_institution/sexes_accepted.gender/sex", 40, 3, true},
+      {"fb/olympic_medal/medal_winners.honor/olympics", 3, 18, true},
+      {"fb/world_cup_squad/current_squad.squad/position", 20, 10, true},
+      {"fb/dietary_restriction/compatible_ingredients", 8, 22, false},
+      {"fb/ingredient/compatible_with_dietary_restrictions", 22, 8, false},
+      {"fb/olympic_games/medals_awarded.honor/medal", 12, 8, true},
+      {"fb/sports_team/roster_position.position/players", 18, 9, true},
+  };
+  for (const CartesianPreset& preset : cartesians) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kCartesian;
+    family.name = preset.name;
+    family.genuine.subject_domain = ps.Pick(spec.num_domains);
+    family.genuine.object_domain =
+        (family.genuine.subject_domain + 1 + ps.Pick(spec.num_domains - 1)) %
+        spec.num_domains;
+    family.cartesian_subjects = preset.subjects;
+    family.cartesian_objects = preset.objects;
+    family.dataset_keep_rate = 0.86;
+    family.concatenated = preset.concatenated;
+    spec.families.push_back(family);
+  }
+
+  // Genuine relations (the ~10% realistic remainder). A few are functional
+  // (profession-like n-to-1 relations).
+  for (int i = 0; i < 14; ++i) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kGenuine;
+    family.name = StrFormat("fb/genuine%02d", i);
+    family.genuine = MakeGenuine(ps, spec.num_domains, 1.6, 3.4, 0.4);
+    family.genuine.functional = (i % 5) == 0;
+    family.dataset_keep_rate = 0.9;
+    spec.families.push_back(family);
+  }
+
+  return spec;
+}
+
+GeneratorSpec SynthWn18Spec() {
+  GeneratorSpec spec;
+  spec.name = "WN18-syn";
+  spec.num_domains = 4;     // noun / verb / adj / adv -like
+  spec.domain_size = 1000;  // 4,000 entities
+  spec.cluster_size = 8;
+  spec.valid_fraction = 0.033;  // WN18: 5,000 / 151,442
+  spec.test_fraction = 0.033;
+
+  ParamStream ps(0x3218badcULL);
+
+  // 7 reverse pairs (has_part/part_of, hypernym/hyponym, ...). Leakage in
+  // WN18 is near total: keep rate high.
+  const char* reverse_names[] = {
+      "wn/hypernym",          "wn/member_meronym",   "wn/has_part",
+      "wn/member_of_domain",  "wn/instance_hypernym", "wn/synset_domain",
+      "wn/member_holonym_of",
+  };
+  for (int i = 0; i < 7; ++i) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kReverseBase;
+    family.name = reverse_names[i];
+    family.genuine = MakeGenuine(ps, spec.num_domains, 1.6, 2.6, 0.3);
+    family.genuine.subject_participation = 0.85;
+    family.dataset_keep_rate = 0.98;
+    spec.families.push_back(family);
+  }
+
+  // 3 symmetric (self-reciprocal) relations.
+  const char* symmetric_names[] = {"wn/derivationally_related_form",
+                                   "wn/similar_to", "wn/verb_group"};
+  for (int i = 0; i < 3; ++i) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kSymmetric;
+    family.name = symmetric_names[i];
+    family.genuine = MakeGenuine(ps, spec.num_domains, 1.4, 2.4, 0.25);
+    family.genuine.subject_domain = i;  // each inside one domain
+    family.genuine.subject_participation = i == 0 ? 0.95 : 0.35;
+    family.dataset_keep_rate = 0.97;
+    spec.families.push_back(family);
+  }
+
+  // 1 genuine relation (the only one in WN18 without a reverse).
+  {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kGenuine;
+    family.name = "wn/also_see";
+    family.genuine = MakeGenuine(ps, spec.num_domains, 1.5, 2.2, 0.4);
+    family.dataset_keep_rate = 0.95;
+    spec.families.push_back(family);
+  }
+
+  return spec;
+}
+
+GeneratorSpec SynthYago3Spec() {
+  GeneratorSpec spec;
+  spec.name = "YAGO3-10-syn";
+  spec.num_domains = 6;
+  spec.domain_size = 700;  // 4,200 entities
+  spec.cluster_size = 10;
+  spec.valid_fraction = 0.035;
+  spec.test_fraction = 0.035;
+
+  ParamStream ps(0x7a903310ULL);
+
+  // The two huge near-duplicate relations: isAffiliatedTo (base) and
+  // playsFor (its near-copy); together they carry ~65% of the triples.
+  {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kDuplicateOf;
+    family.name = "yago/isAffiliatedTo";  // duplicate emits "...\_dup"
+    family.genuine.subject_domain = 0;
+    family.genuine.object_domain = 1;
+    family.genuine.mean_out_degree = 26.0;
+    family.genuine.max_out_degree = 70;
+    family.genuine.subject_participation = 1.0;
+    // High noise spreads the tails beyond one latent cluster, giving the
+    // relation the broad n-to-m footprint isAffiliatedTo has in YAGO3-10.
+    family.genuine.noise = 0.55;
+    family.duplicate_overlap = 0.88;
+    family.duplicate_extra = 0.1;
+    family.dataset_keep_rate = 0.96;
+    spec.families.push_back(family);
+  }
+
+  // 3 symmetric relations (hasNeighbor, isConnectedTo, isMarriedTo).
+  const char* symmetric_names[] = {"yago/hasNeighbor", "yago/isConnectedTo",
+                                   "yago/isMarriedTo"};
+  for (int i = 0; i < 3; ++i) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kSymmetric;
+    family.name = symmetric_names[i];
+    family.genuine = MakeGenuine(ps, spec.num_domains, 1.2, 2.0, 0.25);
+    family.genuine.subject_domain = 2 + i;
+    family.genuine.subject_participation = 0.4;
+    family.dataset_keep_rate = 0.92;
+    spec.families.push_back(family);
+  }
+
+  // The remaining 32 relations are genuine.
+  for (int i = 0; i < 32; ++i) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kGenuine;
+    family.name = StrFormat("yago/genuine%02d", i);
+    family.genuine = MakeGenuine(ps, spec.num_domains, 1.5, 3.0, 0.4);
+    family.genuine.functional = (i % 6) == 0;
+    family.dataset_keep_rate = 0.92;
+    spec.families.push_back(family);
+  }
+
+  return spec;
+}
+
+GeneratorSpec TinySpec() {
+  GeneratorSpec spec;
+  spec.name = "tiny-syn";
+  spec.num_domains = 4;
+  spec.domain_size = 40;  // 160 entities
+  spec.cluster_size = 8;
+  spec.valid_fraction = 0.1;
+  spec.test_fraction = 0.1;
+
+  ParamStream ps(0x71417141ULL);
+  for (int i = 0; i < 2; ++i) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kReverseBase;
+    family.name = StrFormat("tiny/rev%d", i);
+    family.genuine = MakeGenuine(ps, spec.num_domains, 2.0, 3.0, 0.2);
+    family.dataset_keep_rate = 0.9;
+    spec.families.push_back(family);
+  }
+  for (int i = 0; i < 3; ++i) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kGenuine;
+    family.name = StrFormat("tiny/gen%d", i);
+    family.genuine = MakeGenuine(ps, spec.num_domains, 2.0, 3.0, 0.15);
+    family.genuine.functional = i == 2;
+    spec.families.push_back(family);
+  }
+  {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kCartesian;
+    family.name = "tiny/cart";
+    family.genuine.subject_domain = 0;
+    family.genuine.object_domain = 1;
+    family.cartesian_subjects = 10;
+    family.cartesian_objects = 6;
+    family.dataset_keep_rate = 0.85;
+    spec.families.push_back(family);
+  }
+  return spec;
+}
+
+SyntheticKg GenerateSynthFb15k(uint64_t seed) {
+  return GenerateKg(SynthFb15kSpec(), seed);
+}
+SyntheticKg GenerateSynthWn18(uint64_t seed) {
+  return GenerateKg(SynthWn18Spec(), seed);
+}
+SyntheticKg GenerateSynthYago3(uint64_t seed) {
+  return GenerateKg(SynthYago3Spec(), seed);
+}
+SyntheticKg GenerateTiny(uint64_t seed) {
+  return GenerateKg(TinySpec(), seed);
+}
+
+}  // namespace kgc

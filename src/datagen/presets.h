@@ -1,0 +1,45 @@
+// Dataset presets mirroring the structural statistics of the paper's
+// benchmarks (scaled ~10x down for single-core runtime).
+//
+//   SynthFb15k  ~ FB15k   : dominated by reverse pairs (~2/3 of relations),
+//                           plus duplicate / reverse-duplicate relations,
+//                           Cartesian product relations (many CVT-derived),
+//                           and a minority of genuine relations.
+//   SynthWn18   ~ WN18    : 18 relations; 7 reverse pairs, 3 symmetric,
+//                           1 genuine; near-total reverse leakage.
+//   SynthYago3  ~ YAGO3-10: two huge near-duplicate relations carrying most
+//                           triples, 3 symmetric relations, the rest genuine.
+//
+// Each preset also fixes the split fractions to match the original dataset's
+// train/valid/test proportions.
+
+#ifndef KGC_DATAGEN_PRESETS_H_
+#define KGC_DATAGEN_PRESETS_H_
+
+#include <cstdint>
+
+#include "datagen/generator.h"
+
+namespace kgc {
+
+/// Default seed used by the bench harness.
+inline constexpr uint64_t kDefaultDataSeed = 20200614;  // SIGMOD'20 dates
+
+/// Spec builders (pure; no RNG involved).
+GeneratorSpec SynthFb15kSpec();
+GeneratorSpec SynthWn18Spec();
+GeneratorSpec SynthYago3Spec();
+
+/// Convenience one-call generators.
+SyntheticKg GenerateSynthFb15k(uint64_t seed = kDefaultDataSeed);
+SyntheticKg GenerateSynthWn18(uint64_t seed = kDefaultDataSeed);
+SyntheticKg GenerateSynthYago3(uint64_t seed = kDefaultDataSeed);
+
+/// A tiny, fast, fully learnable KG for unit tests and the quickstart
+/// example (a few hundred entities, a handful of relations).
+GeneratorSpec TinySpec();
+SyntheticKg GenerateTiny(uint64_t seed = kDefaultDataSeed);
+
+}  // namespace kgc
+
+#endif  // KGC_DATAGEN_PRESETS_H_

@@ -1,0 +1,108 @@
+// Specification of a synthetic knowledge graph.
+//
+// The generator plants, over a latent-cluster world model, exactly the
+// relation pathologies the paper measures in FB15k / WN18 / YAGO3-10:
+//
+//   - genuine relations: facts driven by latent entity clusters; partially
+//     learnable, so embedding models perform moderately (the realistic case);
+//   - reverse relation pairs (paper §4.2.1): r and r_inv, every world fact
+//     has its mirror, leakage into train/test arises from dataset sampling;
+//   - symmetric (self-reciprocal) relations: r contains (a,b) and (b,a);
+//   - duplicate / reverse-duplicate relations (paper §4.2.2): a second
+//     relation whose subject-object pairs overlap the base's heavily;
+//   - Cartesian product relations (paper §4.3): a dense subset of S x O.
+//
+// Entities are organised into domains (Freebase domains / entity types), and
+// within each domain into small clusters (the latent structure embedding
+// models can learn). A genuine relation connects a subject domain to an
+// object domain; each subject cluster prefers one object cluster.
+
+#ifndef KGC_DATAGEN_SPEC_H_
+#define KGC_DATAGEN_SPEC_H_
+
+#include <string>
+#include <vector>
+
+namespace kgc {
+
+/// How a relation's instance triples were produced. This is ground-truth
+/// metadata (analogous to Freebase's reverse_property and CVT provenance),
+/// available to oracles but never to the models under evaluation.
+enum class RelationArchetype {
+  kGenuine = 0,           ///< latent-structure driven facts
+  kReverseBase = 1,       ///< base half of a reverse pair
+  kReverseOf = 2,         ///< the mirrored half of a reverse pair
+  kSymmetric = 3,         ///< self-reciprocal relation
+  kDuplicateBase = 4,     ///< base half of a (near-)duplicate pair
+  kDuplicateOf = 5,       ///< near-copy of a base relation's pairs
+  kReverseDuplicateOf = 6,///< near-copy of the base's reversed pairs
+  kCartesian = 7,         ///< dense Cartesian product S x O
+};
+
+/// Display name, e.g. "reverse-of".
+const char* RelationArchetypeName(RelationArchetype archetype);
+
+/// Parameters of a latent-structure ("genuine") relation.
+struct GenuineParams {
+  int32_t subject_domain = 0;
+  int32_t object_domain = 1;
+  /// Mean number of tails emitted per participating subject.
+  double mean_out_degree = 2.0;
+  /// Hard cap on per-subject out-degree (the geometric tail is truncated).
+  int32_t max_out_degree = 12;
+  /// Fraction of subjects of the domain that participate at all.
+  double subject_participation = 0.8;
+  /// Probability a tail ignores the latent preference and is drawn uniformly
+  /// from the object domain. Bounds how learnable the relation is.
+  double noise = 0.25;
+  /// If true the relation is functional per cluster: all subjects of a
+  /// cluster share one object (profession-like n-to-1 relations).
+  bool functional = false;
+};
+
+/// One relation family; may emit one or two relations (base + derived).
+struct RelationFamilySpec {
+  RelationArchetype archetype = RelationArchetype::kGenuine;
+  std::string name;
+
+  /// Base fact distribution (used by every archetype except kCartesian).
+  GenuineParams genuine;
+
+  /// kDuplicateOf / kReverseDuplicateOf: probability each base pair is
+  /// copied into the derived relation.
+  double duplicate_overlap = 0.9;
+  /// kDuplicateOf / kReverseDuplicateOf: extra pairs (fraction of base size)
+  /// unique to the derived relation, keeping the overlap coefficient < 1.
+  double duplicate_extra = 0.08;
+
+  /// kCartesian: sizes of the subject / object sets.
+  int32_t cartesian_subjects = 20;
+  int32_t cartesian_objects = 12;
+
+  /// Probability that a world fact of this family is admitted into the
+  /// benchmark dataset (the dataset is a subsample of the world, exactly as
+  /// FB15k is a subsample of Freebase). Controls leakage statistics.
+  double dataset_keep_rate = 0.9;
+
+  /// Provenance flag: relation derives from concatenating edges through a
+  /// Freebase mediator (CVT) node (paper §4.1). Metadata only.
+  bool concatenated = false;
+};
+
+/// Full dataset specification.
+struct GeneratorSpec {
+  std::string name = "synthetic";
+  int32_t num_domains = 8;
+  int32_t domain_size = 120;
+  /// Entities per latent cluster within a domain.
+  int32_t cluster_size = 10;
+  double valid_fraction = 0.08;
+  double test_fraction = 0.10;
+  std::vector<RelationFamilySpec> families;
+
+  int32_t num_entities() const { return num_domains * domain_size; }
+};
+
+}  // namespace kgc
+
+#endif  // KGC_DATAGEN_SPEC_H_

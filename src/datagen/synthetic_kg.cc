@@ -1,0 +1,35 @@
+#include "datagen/synthetic_kg.h"
+
+namespace kgc {
+
+const char* RelationArchetypeName(RelationArchetype archetype) {
+  switch (archetype) {
+    case RelationArchetype::kGenuine:
+      return "genuine";
+    case RelationArchetype::kReverseBase:
+      return "reverse-base";
+    case RelationArchetype::kReverseOf:
+      return "reverse-of";
+    case RelationArchetype::kSymmetric:
+      return "symmetric";
+    case RelationArchetype::kDuplicateBase:
+      return "duplicate-base";
+    case RelationArchetype::kDuplicateOf:
+      return "duplicate-of";
+    case RelationArchetype::kReverseDuplicateOf:
+      return "reverse-duplicate-of";
+    case RelationArchetype::kCartesian:
+      return "cartesian";
+  }
+  return "unknown";
+}
+
+const TripleStore& SyntheticKg::world_store() const {
+  if (world_store_ == nullptr) {
+    world_store_ = std::make_unique<TripleStore>(
+        world, dataset.num_entities(), dataset.num_relations());
+  }
+  return *world_store_;
+}
+
+}  // namespace kgc

@@ -1,0 +1,55 @@
+// Output of the synthetic generator: dataset + world graph + ground truth.
+
+#ifndef KGC_DATAGEN_SYNTHETIC_KG_H_
+#define KGC_DATAGEN_SYNTHETIC_KG_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/spec.h"
+#include "kg/dataset.h"
+
+namespace kgc {
+
+/// Ground-truth metadata for one generated relation.
+struct RelationMeta {
+  RelationId id = -1;
+  std::string name;
+  RelationArchetype archetype = RelationArchetype::kGenuine;
+  /// Partner relation for reverse / duplicate archetypes, -1 otherwise.
+  RelationId base = -1;
+  /// CVT-concatenation provenance (paper §4.1).
+  bool concatenated = false;
+};
+
+/// A generated benchmark plus its surrounding universe.
+///
+/// `world` plays the role of the May 2013 Freebase snapshot in the paper:
+/// it contains every fact that is true in the synthetic universe, of which
+/// the benchmark dataset is a subsample. Table-3 style experiments score
+/// predictions against the world to expose the closed-world-assumption flaw
+/// of the standard filtered metrics.
+struct SyntheticKg {
+  Dataset dataset;
+  TripleList world;
+  std::vector<RelationMeta> relation_meta;
+  /// Domain of each entity id.
+  std::vector<int32_t> entity_domain;
+  /// Global latent cluster id of each entity.
+  std::vector<int32_t> entity_cluster;
+  /// Oracle list of reverse relation pairs, mirroring Freebase's explicit
+  /// reverse_property triples (base, reverse).
+  std::vector<std::pair<RelationId, RelationId>> reverse_property;
+
+  /// Indexed world view (built on demand), num ids as in dataset vocab.
+  const TripleStore& world_store() const;
+
+ private:
+  mutable std::unique_ptr<TripleStore> world_store_;
+};
+
+}  // namespace kgc
+
+#endif  // KGC_DATAGEN_SYNTHETIC_KG_H_

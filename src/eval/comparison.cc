@@ -1,0 +1,201 @@
+#include "eval/comparison.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace kgc {
+namespace {
+
+double Round2(double x) { return std::round(x * 100.0) / 100.0; }
+double Round3(double x) { return std::round(x * 1000.0) / 1000.0; }
+
+// Per-triple filtered reciprocal rank, pooled over both sides.
+double TripleFmrr(const TripleRanks& r) {
+  return 0.5 * (1.0 / r.head_filtered + 1.0 / r.tail_filtered);
+}
+
+void CheckAligned(const std::vector<LabeledRanks>& models) {
+  KGC_CHECK(!models.empty());
+  for (const LabeledRanks& m : models) {
+    KGC_CHECK(m.ranks != nullptr);
+    KGC_CHECK_EQ(m.ranks->size(), models[0].ranks->size());
+  }
+}
+
+}  // namespace
+
+std::vector<BestRelationCounts> CountBestRelations(
+    const std::vector<LabeledRanks>& models) {
+  CheckAligned(models);
+  std::vector<std::unordered_map<RelationId, LinkPredictionMetrics>>
+      per_relation;
+  per_relation.reserve(models.size());
+  for (const LabeledRanks& m : models) {
+    per_relation.push_back(ComputeMetricsByRelation(*m.ranks));
+  }
+
+  std::vector<BestRelationCounts> counts(models.size());
+  for (size_t m = 0; m < models.size(); ++m) counts[m].model = models[m].model;
+
+  for (const auto& [relation, unused] : per_relation[0]) {
+    (void)unused;
+    // Gather rounded measures for each model on this relation.
+    std::vector<double> fmr(models.size()), fh10(models.size()),
+        fh1(models.size()), fmrr(models.size());
+    for (size_t m = 0; m < models.size(); ++m) {
+      const LinkPredictionMetrics& metrics = per_relation[m].at(relation);
+      fmr[m] = Round2(metrics.fmr);
+      fh10[m] = Round2(metrics.fhits10);
+      fh1[m] = Round2(metrics.fhits1);
+      fmrr[m] = Round3(metrics.fmrr);
+    }
+    const double best_fmr = *std::min_element(fmr.begin(), fmr.end());
+    const double best_fh10 = *std::max_element(fh10.begin(), fh10.end());
+    const double best_fh1 = *std::max_element(fh1.begin(), fh1.end());
+    const double best_fmrr = *std::max_element(fmrr.begin(), fmrr.end());
+    for (size_t m = 0; m < models.size(); ++m) {
+      if (fmr[m] == best_fmr) counts[m].fmr++;
+      if (fh10[m] == best_fh10) counts[m].fhits10++;
+      if (fh1[m] == best_fh1) counts[m].fhits1++;
+      if (fmrr[m] == best_fmrr) counts[m].fmrr++;
+    }
+  }
+  return counts;
+}
+
+WinShareHeatmap ComputePerRelationWinShare(
+    const std::vector<LabeledRanks>& models) {
+  CheckAligned(models);
+  const std::vector<TripleRanks>& reference = *models[0].ranks;
+
+  WinShareHeatmap heatmap;
+  std::unordered_map<RelationId, size_t> relation_index;
+  std::vector<size_t> relation_totals;
+  for (const TripleRanks& r : reference) {
+    if (relation_index.emplace(r.triple.relation, heatmap.relations.size())
+            .second) {
+      heatmap.relations.push_back(r.triple.relation);
+      relation_totals.push_back(0);
+    }
+  }
+  std::sort(heatmap.relations.begin(), heatmap.relations.end());
+  relation_index.clear();
+  for (size_t k = 0; k < heatmap.relations.size(); ++k) {
+    relation_index[heatmap.relations[k]] = k;
+  }
+
+  heatmap.share.assign(models.size(),
+                       std::vector<double>(heatmap.relations.size(), 0.0));
+  for (size_t i = 0; i < reference.size(); ++i) {
+    const size_t k = relation_index.at(reference[i].triple.relation);
+    relation_totals[k]++;
+    double best = -1.0;
+    for (const LabeledRanks& m : models) {
+      best = std::max(best, TripleFmrr((*m.ranks)[i]));
+    }
+    for (size_t m = 0; m < models.size(); ++m) {
+      if (TripleFmrr((*models[m].ranks)[i]) == best) {
+        heatmap.share[m][k] += 1.0;
+      }
+    }
+  }
+  for (size_t m = 0; m < models.size(); ++m) {
+    for (size_t k = 0; k < heatmap.relations.size(); ++k) {
+      if (relation_totals[k] > 0) {
+        heatmap.share[m][k] *=
+            100.0 / static_cast<double>(relation_totals[k]);
+      }
+    }
+  }
+  return heatmap;
+}
+
+OutperformRedundancyShare ComputeOutperformRedundancy(
+    const std::vector<TripleRanks>& challenger,
+    const std::vector<TripleRanks>& baseline,
+    const std::vector<bool>& has_train_redundancy) {
+  KGC_CHECK_EQ(challenger.size(), baseline.size());
+  KGC_CHECK_EQ(challenger.size(), has_train_redundancy.size());
+
+  size_t wins_fmr = 0, red_fmr = 0;
+  size_t wins_fh10 = 0, red_fh10 = 0;
+  size_t wins_fh1 = 0, red_fh1 = 0;
+  size_t wins_fmrr = 0, red_fmrr = 0;
+  for (size_t i = 0; i < challenger.size(); ++i) {
+    const TripleRanks& c = challenger[i];
+    const TripleRanks& b = baseline[i];
+    const bool redundant = has_train_redundancy[i];
+    const double c_rank = c.head_filtered + c.tail_filtered;
+    const double b_rank = b.head_filtered + b.tail_filtered;
+    if (c_rank < b_rank) {
+      ++wins_fmr;
+      if (redundant) ++red_fmr;
+    }
+    const auto hits = [](const TripleRanks& r, double k) {
+      return (r.head_filtered <= k ? 1 : 0) + (r.tail_filtered <= k ? 1 : 0);
+    };
+    if (hits(c, 10) > hits(b, 10)) {
+      ++wins_fh10;
+      if (redundant) ++red_fh10;
+    }
+    if (hits(c, 1) > hits(b, 1)) {
+      ++wins_fh1;
+      if (redundant) ++red_fh1;
+    }
+    if (TripleFmrr(c) > TripleFmrr(b)) {
+      ++wins_fmrr;
+      if (redundant) ++red_fmrr;
+    }
+  }
+
+  OutperformRedundancyShare share;
+  const auto pct = [](size_t num, size_t den) {
+    return den > 0 ? 100.0 * static_cast<double>(num) /
+                         static_cast<double>(den)
+                   : 0.0;
+  };
+  share.fmr = pct(red_fmr, wins_fmr);
+  share.fhits10 = pct(red_fh10, wins_fh10);
+  share.fhits1 = pct(red_fh1, wins_fh1);
+  share.fmrr = pct(red_fmrr, wins_fmrr);
+  share.outperform_fmr = wins_fmr;
+  share.outperform_fhits10 = wins_fh10;
+  share.outperform_fhits1 = wins_fh1;
+  share.outperform_fmrr = wins_fmrr;
+  return share;
+}
+
+std::vector<std::array<int, 4>> CountBestRelationsByCategory(
+    const std::vector<LabeledRanks>& models,
+    const std::vector<RelationCategory>& categories) {
+  CheckAligned(models);
+  std::vector<std::unordered_map<RelationId, LinkPredictionMetrics>>
+      per_relation;
+  per_relation.reserve(models.size());
+  for (const LabeledRanks& m : models) {
+    per_relation.push_back(ComputeMetricsByRelation(*m.ranks));
+  }
+
+  std::vector<std::array<int, 4>> counts(models.size(),
+                                         std::array<int, 4>{});
+  for (const auto& [relation, unused] : per_relation[0]) {
+    (void)unused;
+    KGC_CHECK_LT(static_cast<size_t>(relation), categories.size());
+    const size_t category =
+        static_cast<size_t>(categories[static_cast<size_t>(relation)]);
+    std::vector<double> fmrr(models.size());
+    for (size_t m = 0; m < models.size(); ++m) {
+      fmrr[m] = Round3(per_relation[m].at(relation).fmrr);
+    }
+    const double best = *std::max_element(fmrr.begin(), fmrr.end());
+    for (size_t m = 0; m < models.size(); ++m) {
+      if (fmrr[m] == best) counts[m][category]++;
+    }
+  }
+  return counts;
+}
+
+}  // namespace kgc

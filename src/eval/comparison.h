@@ -1,0 +1,74 @@
+// Cross-model comparisons (paper Tables 7, 8 and Figures 5-8).
+//
+// All functions take per-model rank vectors produced by RankTriples over the
+// SAME test list, so index i refers to the same test triple everywhere.
+
+#ifndef KGC_EVAL_COMPARISON_H_
+#define KGC_EVAL_COMPARISON_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "eval/category.h"
+#include "eval/metrics.h"
+
+namespace kgc {
+
+/// One model's ranks, labelled.
+struct LabeledRanks {
+  std::string model;
+  const std::vector<TripleRanks>* ranks = nullptr;
+};
+
+/// Table 8: number of distinct test relations on which each model is the
+/// most accurate, per measure. Measures are rounded as in the paper (two
+/// decimals; MRR-like measures three), and ties credit every tied model.
+struct BestRelationCounts {
+  std::string model;
+  int fmr = 0;
+  int fhits10 = 0;
+  int fhits1 = 0;
+  int fmrr = 0;
+};
+std::vector<BestRelationCounts> CountBestRelations(
+    const std::vector<LabeledRanks>& models);
+
+/// Figure 5/6 heatmap: share[m][k] = percentage of relation k's test triples
+/// on which model m achieves the best per-triple reciprocal rank (filtered,
+/// both sides pooled; ties credit every tied model). `relations` lists the
+/// distinct test relations in display order.
+struct WinShareHeatmap {
+  std::vector<RelationId> relations;
+  /// models x relations, percentages 0..100.
+  std::vector<std::vector<double>> share;
+};
+WinShareHeatmap ComputePerRelationWinShare(
+    const std::vector<LabeledRanks>& models);
+
+/// Table 7: among test triples on which `challenger` outperforms `baseline`
+/// under each measure, the percentage having redundant (reverse or
+/// duplicate) counterparts in the training set. `has_train_redundancy` is
+/// aligned with the rank vectors (from ComputeRedundancyBitmap cases).
+struct OutperformRedundancyShare {
+  double fmr = 0.0;
+  double fhits10 = 0.0;
+  double fhits1 = 0.0;
+  double fmrr = 0.0;
+  size_t outperform_fmr = 0, outperform_fhits10 = 0, outperform_fhits1 = 0,
+         outperform_fmrr = 0;
+};
+OutperformRedundancyShare ComputeOutperformRedundancy(
+    const std::vector<TripleRanks>& challenger,
+    const std::vector<TripleRanks>& baseline,
+    const std::vector<bool>& has_train_redundancy);
+
+/// Figure 7a/8a: per relation category, the number of relations on which
+/// each model attains the best FMRR. result[m][c] for model m, category c.
+std::vector<std::array<int, 4>> CountBestRelationsByCategory(
+    const std::vector<LabeledRanks>& models,
+    const std::vector<RelationCategory>& categories);
+
+}  // namespace kgc
+
+#endif  // KGC_EVAL_COMPARISON_H_

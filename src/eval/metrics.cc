@@ -1,0 +1,71 @@
+#include "eval/metrics.h"
+
+#include "util/check.h"
+
+namespace kgc {
+
+void MetricsAccumulator::Add(double raw_rank, double filtered_rank) {
+  KGC_DCHECK(raw_rank >= 1.0);
+  KGC_DCHECK(filtered_rank >= 1.0);
+  ++count_;
+  sum_rank_ += raw_rank;
+  sum_inv_rank_ += 1.0 / raw_rank;
+  if (raw_rank <= 1.0) hits1_ += 1;
+  if (raw_rank <= 10.0) hits10_ += 1;
+  fsum_rank_ += filtered_rank;
+  fsum_inv_rank_ += 1.0 / filtered_rank;
+  if (filtered_rank <= 1.0) fhits1_ += 1;
+  if (filtered_rank <= 10.0) fhits10_ += 1;
+}
+
+void MetricsAccumulator::Add(const TripleRanks& ranks) {
+  Add(ranks.head_raw, ranks.head_filtered);
+  Add(ranks.tail_raw, ranks.tail_filtered);
+  ++triples_;
+}
+
+LinkPredictionMetrics MetricsAccumulator::Finalize() const {
+  LinkPredictionMetrics metrics;
+  metrics.num_triples = triples_ > 0 ? triples_ : count_;
+  if (count_ == 0) return metrics;
+  const double n = static_cast<double>(count_);
+  metrics.mr = sum_rank_ / n;
+  metrics.mrr = sum_inv_rank_ / n;
+  metrics.hits1 = hits1_ / n;
+  metrics.hits10 = hits10_ / n;
+  metrics.fmr = fsum_rank_ / n;
+  metrics.fmrr = fsum_inv_rank_ / n;
+  metrics.fhits1 = fhits1_ / n;
+  metrics.fhits10 = fhits10_ / n;
+  return metrics;
+}
+
+LinkPredictionMetrics ComputeMetrics(std::span<const TripleRanks> ranks) {
+  MetricsAccumulator acc;
+  for (const TripleRanks& r : ranks) acc.Add(r);
+  return acc.Finalize();
+}
+
+std::unordered_map<RelationId, LinkPredictionMetrics> ComputeMetricsByRelation(
+    std::span<const TripleRanks> ranks) {
+  std::unordered_map<RelationId, MetricsAccumulator> accs;
+  for (const TripleRanks& r : ranks) accs[r.triple.relation].Add(r);
+  std::unordered_map<RelationId, LinkPredictionMetrics> result;
+  result.reserve(accs.size());
+  for (const auto& [relation, acc] : accs) {
+    result.emplace(relation, acc.Finalize());
+  }
+  return result;
+}
+
+LinkPredictionMetrics ComputeMetricsWhere(std::span<const TripleRanks> ranks,
+                                          const std::vector<bool>& keep) {
+  KGC_CHECK_EQ(ranks.size(), keep.size());
+  MetricsAccumulator acc;
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    if (keep[i]) acc.Add(ranks[i]);
+  }
+  return acc.Finalize();
+}
+
+}  // namespace kgc

@@ -1,0 +1,80 @@
+// Link-prediction accuracy measures (paper §3.2).
+//
+// For each test triple the ranker produces four ranks: head/tail side, each
+// raw and filtered. The aggregate measures follow the original definitions:
+//   MR    = mean rank                      (lower is better)
+//   MRR   = mean reciprocal rank           (higher is better)
+//   Hits@k = fraction of ranks <= k        (higher is better)
+// and the F-prefixed (filtered) variants use ranks computed after removing
+// corrupted triples that are known facts.
+
+#ifndef KGC_EVAL_METRICS_H_
+#define KGC_EVAL_METRICS_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/triple.h"
+
+namespace kgc {
+
+/// Ranks of one test triple. Ranks are 1-based and tie-averaged: with g
+/// strictly-better and e equally-scored other candidates, rank = g + e/2 + 1.
+struct TripleRanks {
+  Triple triple;
+  double head_raw = 0;
+  double head_filtered = 0;
+  double tail_raw = 0;
+  double tail_filtered = 0;
+};
+
+/// Aggregated measures over a set of test triples (head and tail predictions
+/// pooled, as in the paper: each triple contributes two ranks).
+struct LinkPredictionMetrics {
+  size_t num_triples = 0;
+  double mr = 0.0;
+  double mrr = 0.0;
+  double hits1 = 0.0;
+  double hits10 = 0.0;
+  double fmr = 0.0;
+  double fmrr = 0.0;
+  double fhits1 = 0.0;
+  double fhits10 = 0.0;
+};
+
+/// Incremental metric computation.
+class MetricsAccumulator {
+ public:
+  /// Adds one ranked prediction (one side of one triple).
+  void Add(double raw_rank, double filtered_rank);
+
+  /// Adds both sides of a triple's ranks.
+  void Add(const TripleRanks& ranks);
+
+  LinkPredictionMetrics Finalize() const;
+
+  size_t num_predictions() const { return count_; }
+
+ private:
+  size_t count_ = 0;
+  size_t triples_ = 0;
+  double sum_rank_ = 0, sum_inv_rank_ = 0, hits1_ = 0, hits10_ = 0;
+  double fsum_rank_ = 0, fsum_inv_rank_ = 0, fhits1_ = 0, fhits10_ = 0;
+};
+
+/// Pools all ranks into one metrics struct.
+LinkPredictionMetrics ComputeMetrics(std::span<const TripleRanks> ranks);
+
+/// Metrics grouped by the test triple's relation.
+std::unordered_map<RelationId, LinkPredictionMetrics> ComputeMetricsByRelation(
+    std::span<const TripleRanks> ranks);
+
+/// Metrics over the subset of triples passing `keep` (indexed into `ranks`).
+LinkPredictionMetrics ComputeMetricsWhere(
+    std::span<const TripleRanks> ranks,
+    const std::vector<bool>& keep);
+
+}  // namespace kgc
+
+#endif  // KGC_EVAL_METRICS_H_

@@ -1,0 +1,93 @@
+#include "eval/ranker.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace kgc {
+namespace {
+
+// Computes tie-averaged raw and filtered rank of `true_entity` given the
+// score array and the set of known-correct candidates to filter.
+void ComputeRank(std::span<const float> scores, EntityId true_entity,
+                 const std::vector<EntityId>& known_correct, double* raw,
+                 double* filtered) {
+  const float s_true = scores[static_cast<size_t>(true_entity)];
+  size_t greater = 0;
+  size_t equal = 0;
+  for (size_t e = 0; e < scores.size(); ++e) {
+    if (scores[e] > s_true) {
+      ++greater;
+    } else if (scores[e] == s_true) {
+      ++equal;
+    }
+  }
+  KGC_DCHECK(equal >= 1);  // the true entity itself
+  equal -= 1;
+
+  size_t greater_known = 0;
+  size_t equal_known = 0;
+  for (EntityId e : known_correct) {
+    if (e == true_entity) continue;
+    const float s = scores[static_cast<size_t>(e)];
+    if (s > s_true) {
+      ++greater_known;
+    } else if (s == s_true) {
+      ++equal_known;
+    }
+  }
+  *raw = static_cast<double>(greater) + static_cast<double>(equal) / 2.0 + 1.0;
+  *filtered = static_cast<double>(greater - greater_known) +
+              static_cast<double>(equal - equal_known) / 2.0 + 1.0;
+}
+
+}  // namespace
+
+std::vector<TripleRanks> RankTriples(const LinkPredictor& predictor,
+                                     const Dataset& dataset,
+                                     const TripleList& test,
+                                     const RankerOptions& options) {
+  const TripleStore& filter =
+      options.filter != nullptr ? *options.filter : dataset.all_store();
+  const size_t num_entities = static_cast<size_t>(predictor.num_entities());
+  KGC_CHECK_EQ(predictor.num_entities(), dataset.num_entities());
+
+  // Group by relation for per-relation model caches.
+  std::vector<size_t> order(test.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return test[a].relation < test[b].relation;
+  });
+
+  std::vector<TripleRanks> results(test.size());
+  std::vector<float> scores(num_entities);
+  for (size_t idx : order) {
+    const Triple& triple = test[idx];
+    TripleRanks ranks;
+    ranks.triple = triple;
+
+    predictor.ScoreTails(triple.head, triple.relation, scores);
+    ComputeRank(scores, triple.tail,
+                filter.Tails(triple.head, triple.relation), &ranks.tail_raw,
+                &ranks.tail_filtered);
+
+    predictor.ScoreHeads(triple.relation, triple.tail, scores);
+    ComputeRank(scores, triple.head,
+                filter.Heads(triple.relation, triple.tail), &ranks.head_raw,
+                &ranks.head_filtered);
+
+    results[idx] = ranks;
+  }
+  return results;
+}
+
+LinkPredictionMetrics EvaluatePredictor(const LinkPredictor& predictor,
+                                        const Dataset& dataset,
+                                        const RankerOptions& options) {
+  const std::vector<TripleRanks> ranks =
+      RankTriples(predictor, dataset, dataset.test(), options);
+  return ComputeMetrics(ranks);
+}
+
+}  // namespace kgc

@@ -1,0 +1,41 @@
+// Link-prediction ranking protocol (paper §3.2).
+//
+// For each test triple (h, r, t) the head is replaced by every entity and
+// the candidates are ordered by model score; rank_h is the position of the
+// true head (tie-averaged). Same for the tail. Filtered ranks ignore
+// corrupted candidates that are themselves known facts (by default: any
+// triple in train/valid/test; Table-3 experiments pass the synthetic world
+// graph instead to emulate scoring against the full Freebase snapshot).
+
+#ifndef KGC_EVAL_RANKER_H_
+#define KGC_EVAL_RANKER_H_
+
+#include <vector>
+
+#include "eval/metrics.h"
+#include "kg/dataset.h"
+#include "kg/link_predictor.h"
+
+namespace kgc {
+
+struct RankerOptions {
+  /// Store used to filter known facts; if null, dataset.all_store() is used.
+  const TripleStore* filter = nullptr;
+};
+
+/// Ranks every triple of `test` under `predictor`. Results align with the
+/// order of `test`. Triples are internally processed grouped by relation so
+/// models with per-relation caches (TransR) amortize their projections.
+std::vector<TripleRanks> RankTriples(const LinkPredictor& predictor,
+                                     const Dataset& dataset,
+                                     const TripleList& test,
+                                     const RankerOptions& options = {});
+
+/// Convenience: ranks the dataset's test split and pools the metrics.
+LinkPredictionMetrics EvaluatePredictor(const LinkPredictor& predictor,
+                                        const Dataset& dataset,
+                                        const RankerOptions& options = {});
+
+}  // namespace kgc
+
+#endif  // KGC_EVAL_RANKER_H_

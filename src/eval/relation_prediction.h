@@ -1,0 +1,31 @@
+// Relation prediction (paper §3.2; Shi & Weninger 2017): given (h, ?, t),
+// rank the relations. A much smaller candidate space than link prediction
+// (|R| instead of |E|), evaluated with the same rank-based measures.
+
+#ifndef KGC_EVAL_RELATION_PREDICTION_H_
+#define KGC_EVAL_RELATION_PREDICTION_H_
+
+#include "eval/metrics.h"
+#include "kg/dataset.h"
+#include "models/model.h"
+
+namespace kgc {
+
+struct RelationPredictionMetrics {
+  size_t num_triples = 0;
+  double mr = 0.0;
+  double mrr = 0.0;
+  double hits1 = 0.0;
+  /// Filtered variants: other relations known to link (h, t) are ignored.
+  double fmr = 0.0;
+  double fmrr = 0.0;
+  double fhits1 = 0.0;
+};
+
+/// Ranks the true relation of every test triple among all relations.
+RelationPredictionMetrics EvaluateRelationPrediction(const KgeModel& model,
+                                                     const Dataset& dataset);
+
+}  // namespace kgc
+
+#endif  // KGC_EVAL_RELATION_PREDICTION_H_

@@ -1,0 +1,124 @@
+#include "eval/triple_classification.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace kgc {
+namespace {
+
+struct ScoredExample {
+  double score = 0.0;
+  bool positive = false;
+};
+
+// Corrupts `positive` into a negative absent from the full dataset.
+Triple Corrupt(const Triple& positive, const TripleStore& all,
+               const TripleClassificationOptions& options, Rng& rng) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Triple corrupted = positive;
+    const EntityId replacement = static_cast<EntityId>(
+        rng.Uniform(static_cast<uint64_t>(all.num_entities())));
+    if (options.corrupt_both_sides && rng.Bernoulli(0.5)) {
+      corrupted.head = replacement;
+    } else {
+      corrupted.tail = replacement;
+    }
+    if (corrupted != positive && !all.Contains(corrupted)) return corrupted;
+  }
+  Triple corrupted = positive;
+  corrupted.tail = static_cast<EntityId>(
+      rng.Uniform(static_cast<uint64_t>(all.num_entities())));
+  return corrupted;
+}
+
+// The threshold maximizing balanced accuracy over scored examples; midpoint
+// between the best separating pair.
+double BestThreshold(std::vector<ScoredExample>& examples) {
+  if (examples.empty()) return 0.0;
+  std::sort(examples.begin(), examples.end(),
+            [](const ScoredExample& a, const ScoredExample& b) {
+              return a.score < b.score;
+            });
+  // Classifying "score >= t" as positive: sweep candidate cuts.
+  int64_t positives = 0;
+  for (const ScoredExample& e : examples) positives += e.positive ? 1 : 0;
+  // Start with the threshold below all scores: all predicted positive.
+  int64_t correct = positives;
+  int64_t best_correct = correct;
+  double best_threshold = examples.front().score - 1.0;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    // Move the threshold just above examples[i].
+    correct += examples[i].positive ? -1 : 1;
+    if (correct > best_correct) {
+      best_correct = correct;
+      best_threshold = i + 1 < examples.size()
+                           ? (examples[i].score + examples[i + 1].score) / 2.0
+                           : examples[i].score + 1.0;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace
+
+TripleClassificationResult EvaluateTripleClassification(
+    const KgeModel& model, const Dataset& dataset,
+    const TripleClassificationOptions& options) {
+  TripleClassificationResult result;
+  const TripleStore& all = dataset.all_store();
+  Rng rng(options.seed);
+
+  // Score balanced valid examples per relation.
+  std::vector<std::vector<ScoredExample>> valid_scores(
+      static_cast<size_t>(dataset.num_relations()));
+  std::vector<ScoredExample> global_scores;
+  for (const Triple& t : dataset.valid()) {
+    const Triple negative = Corrupt(t, all, options, rng);
+    const ScoredExample pos{model.Score(t.head, t.relation, t.tail), true};
+    const ScoredExample neg{
+        model.Score(negative.head, negative.relation, negative.tail), false};
+    valid_scores[static_cast<size_t>(t.relation)].push_back(pos);
+    valid_scores[static_cast<size_t>(t.relation)].push_back(neg);
+    global_scores.push_back(pos);
+    global_scores.push_back(neg);
+  }
+
+  const double global_threshold = BestThreshold(global_scores);
+  result.thresholds.assign(static_cast<size_t>(dataset.num_relations()),
+                           global_threshold);
+  for (RelationId r = 0; r < dataset.num_relations(); ++r) {
+    auto& scores = valid_scores[static_cast<size_t>(r)];
+    if (scores.size() >= 4) {
+      result.thresholds[static_cast<size_t>(r)] = BestThreshold(scores);
+    }
+  }
+
+  // Classify the balanced test set.
+  size_t true_positives = 0, true_negatives = 0, total = 0;
+  for (const Triple& t : dataset.test()) {
+    const Triple negative = Corrupt(t, all, options, rng);
+    const double threshold = result.thresholds[static_cast<size_t>(t.relation)];
+    if (model.Score(t.head, t.relation, t.tail) >= threshold) {
+      ++true_positives;
+    }
+    if (model.Score(negative.head, negative.relation, negative.tail) <
+        threshold) {
+      ++true_negatives;
+    }
+    ++total;
+  }
+  result.num_test_pairs = total;
+  if (total > 0) {
+    result.true_positive_rate =
+        static_cast<double>(true_positives) / static_cast<double>(total);
+    result.true_negative_rate =
+        static_cast<double>(true_negatives) / static_cast<double>(total);
+    result.accuracy =
+        (result.true_positive_rate + result.true_negative_rate) / 2.0;
+  }
+  return result;
+}
+
+}  // namespace kgc

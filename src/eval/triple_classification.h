@@ -1,0 +1,43 @@
+// Triple classification (paper §3.2; Socher et al. 2013, Wang et al. 2014).
+//
+// The binary variant of knowledge-graph completion: decide whether a triple
+// is true. Protocol: corrupt each validation triple once to obtain balanced
+// positives/negatives, fit one score threshold per relation on validation
+// accuracy, then classify the equally-corrupted test set.
+
+#ifndef KGC_EVAL_TRIPLE_CLASSIFICATION_H_
+#define KGC_EVAL_TRIPLE_CLASSIFICATION_H_
+
+#include <vector>
+
+#include "kg/dataset.h"
+#include "models/model.h"
+
+namespace kgc {
+
+struct TripleClassificationOptions {
+  uint64_t seed = 99;
+  /// Corrupt heads and tails with equal probability (true) or tails only.
+  bool corrupt_both_sides = true;
+};
+
+struct TripleClassificationResult {
+  /// Overall test accuracy in [0, 1].
+  double accuracy = 0.0;
+  /// Accuracy on positive / negative halves separately.
+  double true_positive_rate = 0.0;
+  double true_negative_rate = 0.0;
+  size_t num_test_pairs = 0;
+  /// Chosen threshold per relation (score >= threshold => predicted true).
+  std::vector<double> thresholds;
+};
+
+/// Runs the full protocol with `model` on `dataset`. Relations absent from
+/// the validation split fall back to the global threshold.
+TripleClassificationResult EvaluateTripleClassification(
+    const KgeModel& model, const Dataset& dataset,
+    const TripleClassificationOptions& options = {});
+
+}  // namespace kgc
+
+#endif  // KGC_EVAL_TRIPLE_CLASSIFICATION_H_

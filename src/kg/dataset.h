@@ -1,0 +1,77 @@
+// A benchmark dataset: vocab + train/valid/test splits.
+
+#ifndef KGC_KG_DATASET_H_
+#define KGC_KG_DATASET_H_
+
+#include <memory>
+#include <string>
+
+#include "kg/triple.h"
+#include "kg/triple_store.h"
+#include "kg/vocab.h"
+
+namespace kgc {
+
+/// A link-prediction benchmark dataset. Splits are plain triple lists;
+/// indexed views are built (and cached) on demand.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, Vocab vocab, TripleList train, TripleList valid,
+          TripleList test)
+      : name_(std::move(name)),
+        vocab_(std::move(vocab)),
+        train_(std::move(train)),
+        valid_(std::move(valid)),
+        test_(std::move(test)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const Vocab& vocab() const { return vocab_; }
+  Vocab& mutable_vocab() { return vocab_; }
+
+  int32_t num_entities() const { return vocab_.num_entities(); }
+  int32_t num_relations() const { return vocab_.num_relations(); }
+
+  const TripleList& train() const { return train_; }
+  const TripleList& valid() const { return valid_; }
+  const TripleList& test() const { return test_; }
+
+  TripleList& mutable_train() { return train_; }
+  TripleList& mutable_valid() { return valid_; }
+  TripleList& mutable_test() { return test_; }
+
+  /// Indexed view of the training split (built on first use).
+  const TripleStore& train_store() const;
+
+  /// Indexed view of the test split (built on first use).
+  const TripleStore& test_store() const;
+
+  /// Indexed view over train+valid+test, used as the "known triples" filter
+  /// in filtered metrics (built on first use).
+  const TripleStore& all_store() const;
+
+  /// Drops cached stores (call after mutating splits).
+  void InvalidateCaches();
+
+  /// Count of entities/relations actually used (some cleaned datasets no
+  /// longer touch every id).
+  int32_t CountUsedEntities() const;
+  int32_t CountUsedRelations() const;
+
+ private:
+  std::string name_;
+  Vocab vocab_;
+  TripleList train_;
+  TripleList valid_;
+  TripleList test_;
+
+  mutable std::unique_ptr<TripleStore> train_store_;
+  mutable std::unique_ptr<TripleStore> test_store_;
+  mutable std::unique_ptr<TripleStore> all_store_;
+};
+
+}  // namespace kgc
+
+#endif  // KGC_KG_DATASET_H_

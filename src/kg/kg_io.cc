@@ -1,0 +1,211 @@
+#include "kg/kg_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <utility>
+
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace kgc {
+
+StatusOr<TripleList> LoadTripleFile(const std::string& path, Vocab& vocab) {
+  auto lines = ReadLines(path);
+  if (!lines.ok()) return lines.status();
+  TripleList triples;
+  triples.reserve(lines->size());
+  for (size_t line_no = 0; line_no < lines->size(); ++line_no) {
+    const std::string& line = (*lines)[line_no];
+    if (Trim(line).empty()) continue;
+    const std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 3 tab-separated fields, got %zu",
+                    path.c_str(), line_no + 1, fields.size()));
+    }
+    Triple t;
+    t.head = vocab.InternEntity(Trim(fields[0]));
+    t.relation = vocab.InternRelation(Trim(fields[1]));
+    t.tail = vocab.InternEntity(Trim(fields[2]));
+    triples.push_back(t);
+  }
+  return triples;
+}
+
+StatusOr<Dataset> LoadDatasetDir(const std::string& dir,
+                                 const std::string& name) {
+  Vocab vocab;
+  auto train = LoadTripleFile(dir + "/train.txt", vocab);
+  if (!train.ok()) return train.status();
+  auto valid = LoadTripleFile(dir + "/valid.txt", vocab);
+  if (!valid.ok()) return valid.status();
+  auto test = LoadTripleFile(dir + "/test.txt", vocab);
+  if (!test.ok()) return test.status();
+  return Dataset(name, std::move(vocab), std::move(*train), std::move(*valid),
+                 std::move(*test));
+}
+
+namespace {
+
+std::string RenderSplit(const Dataset& dataset, const TripleList& triples) {
+  std::string out;
+  for (const Triple& t : triples) {
+    out += dataset.vocab().EntityName(t.head);
+    out += '\t';
+    out += dataset.vocab().RelationName(t.relation);
+    out += '\t';
+    out += dataset.vocab().EntityName(t.tail);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+// Parses an OpenKE "<count>\n<entries...>" symbol file into `table` via
+// `intern`, validating that ids are dense and consistent.
+Status LoadOpenKeSymbols(const std::string& path,
+                         const std::function<int32_t(std::string_view)>&
+                             intern) {
+  auto lines = ReadLines(path);
+  if (!lines.ok()) return lines.status();
+  if (lines->empty()) {
+    return Status::InvalidArgument(path + ": missing count header");
+  }
+  const long declared = std::atol((*lines)[0].c_str());
+  std::vector<std::pair<std::string, int32_t>> entries;
+  for (size_t i = 1; i < lines->size(); ++i) {
+    if (Trim((*lines)[i]).empty()) continue;
+    const std::vector<std::string> fields = Split((*lines)[i], '\t');
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 'name<TAB>id'", path.c_str(), i + 1));
+    }
+    entries.push_back({std::string(Trim(fields[0])),
+                       static_cast<int32_t>(std::atol(fields[1].c_str()))});
+  }
+  if (static_cast<long>(entries.size()) != declared) {
+    return Status::InvalidArgument(
+        StrFormat("%s: header declares %ld entries, found %zu", path.c_str(),
+                  declared, entries.size()));
+  }
+  // Ids must be the dense range [0, n); intern in id order so our ids match.
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].second != static_cast<int32_t>(i)) {
+      return Status::InvalidArgument(path + ": ids are not dense from 0");
+    }
+    if (intern(entries[i].first) != entries[i].second) {
+      return Status::InvalidArgument(path + ": duplicate symbol " +
+                                     entries[i].first);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<TripleList> LoadOpenKeTriples(const std::string& path,
+                                       int32_t num_entities,
+                                       int32_t num_relations) {
+  auto lines = ReadLines(path);
+  if (!lines.ok()) return lines.status();
+  if (lines->empty()) {
+    return Status::InvalidArgument(path + ": missing count header");
+  }
+  TripleList triples;
+  for (size_t i = 1; i < lines->size(); ++i) {
+    if (Trim((*lines)[i]).empty()) continue;
+    const std::vector<std::string> fields = SplitWhitespace((*lines)[i]);
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 'h t r'", path.c_str(), i + 1));
+    }
+    Triple t;
+    t.head = static_cast<EntityId>(std::atol(fields[0].c_str()));
+    t.tail = static_cast<EntityId>(std::atol(fields[1].c_str()));  // tail 2nd
+    t.relation = static_cast<RelationId>(std::atol(fields[2].c_str()));
+    if (t.head < 0 || t.head >= num_entities || t.tail < 0 ||
+        t.tail >= num_entities || t.relation < 0 ||
+        t.relation >= num_relations) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: id out of range", path.c_str(), i + 1));
+    }
+    triples.push_back(t);
+  }
+  return triples;
+}
+
+}  // namespace
+
+StatusOr<Dataset> LoadOpenKeDataset(const std::string& dir,
+                                    const std::string& name) {
+  Vocab vocab;
+  KGC_RETURN_IF_ERROR(LoadOpenKeSymbols(
+      dir + "/entity2id.txt",
+      [&vocab](std::string_view s) { return vocab.InternEntity(s); }));
+  KGC_RETURN_IF_ERROR(LoadOpenKeSymbols(
+      dir + "/relation2id.txt",
+      [&vocab](std::string_view s) { return vocab.InternRelation(s); }));
+  auto train = LoadOpenKeTriples(dir + "/train2id.txt", vocab.num_entities(),
+                                 vocab.num_relations());
+  if (!train.ok()) return train.status();
+  auto valid = LoadOpenKeTriples(dir + "/valid2id.txt", vocab.num_entities(),
+                                 vocab.num_relations());
+  if (!valid.ok()) return valid.status();
+  auto test = LoadOpenKeTriples(dir + "/test2id.txt", vocab.num_entities(),
+                                vocab.num_relations());
+  if (!test.ok()) return test.status();
+  return Dataset(name, std::move(vocab), std::move(*train),
+                 std::move(*valid), std::move(*test));
+}
+
+Status SaveOpenKeDataset(const Dataset& dataset, const std::string& dir) {
+  KGC_RETURN_IF_ERROR(MakeDirectories(dir));
+  const Vocab& vocab = dataset.vocab();
+  {
+    std::string out = StrFormat("%d\n", vocab.num_entities());
+    for (EntityId e = 0; e < vocab.num_entities(); ++e) {
+      out += StrFormat("%s\t%d\n", vocab.EntityName(e).c_str(), e);
+    }
+    KGC_RETURN_IF_ERROR(WriteStringToFile(dir + "/entity2id.txt", out));
+  }
+  {
+    std::string out = StrFormat("%d\n", vocab.num_relations());
+    for (RelationId r = 0; r < vocab.num_relations(); ++r) {
+      out += StrFormat("%s\t%d\n", vocab.RelationName(r).c_str(), r);
+    }
+    KGC_RETURN_IF_ERROR(WriteStringToFile(dir + "/relation2id.txt", out));
+  }
+  const std::pair<const char*, const TripleList*> splits[] = {
+      {"train2id.txt", &dataset.train()},
+      {"valid2id.txt", &dataset.valid()},
+      {"test2id.txt", &dataset.test()},
+  };
+  for (const auto& [file, triples] : splits) {
+    std::string out = StrFormat("%zu\n", triples->size());
+    for (const Triple& t : *triples) {
+      out += StrFormat("%d %d %d\n", t.head, t.tail, t.relation);
+    }
+    KGC_RETURN_IF_ERROR(WriteStringToFile(dir + "/" + file, out));
+  }
+  return Status::Ok();
+}
+
+Status SaveDatasetDir(const Dataset& dataset, const std::string& dir) {
+  KGC_RETURN_IF_ERROR(MakeDirectories(dir));
+  KGC_RETURN_IF_ERROR(
+      WriteStringToFile(dir + "/train.txt", RenderSplit(dataset,
+                                                        dataset.train())));
+  KGC_RETURN_IF_ERROR(
+      WriteStringToFile(dir + "/valid.txt", RenderSplit(dataset,
+                                                        dataset.valid())));
+  KGC_RETURN_IF_ERROR(
+      WriteStringToFile(dir + "/test.txt", RenderSplit(dataset,
+                                                       dataset.test())));
+  return Status::Ok();
+}
+
+}  // namespace kgc

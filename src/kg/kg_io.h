@@ -1,0 +1,47 @@
+// Dataset text I/O in the conventional benchmark layout:
+//
+//   <dir>/train.txt   one "head<TAB>relation<TAB>tail" triple per line
+//   <dir>/valid.txt
+//   <dir>/test.txt
+//
+// Identical to the distribution format of FB15k / WN18 / FB15k-237 etc., so
+// users with the real datasets can load them directly.
+
+#ifndef KGC_KG_KG_IO_H_
+#define KGC_KG_KG_IO_H_
+
+#include <string>
+
+#include "kg/dataset.h"
+#include "util/status.h"
+
+namespace kgc {
+
+/// Loads a dataset from a directory with train.txt/valid.txt/test.txt.
+/// Symbols are interned in encounter order.
+StatusOr<Dataset> LoadDatasetDir(const std::string& dir,
+                                 const std::string& name);
+
+/// Saves a dataset into `dir` (created if missing) in the same layout.
+Status SaveDatasetDir(const Dataset& dataset, const std::string& dir);
+
+/// Parses one split file into `vocab`-interned triples.
+StatusOr<TripleList> LoadTripleFile(const std::string& path, Vocab& vocab);
+
+/// OpenKE benchmark layout (github.com/thunlp/OpenKE):
+///
+///   <dir>/entity2id.txt     first line = count, then "name<TAB>id"
+///   <dir>/relation2id.txt   same
+///   <dir>/train2id.txt      first line = count, then "head tail relation"
+///   <dir>/valid2id.txt, <dir>/test2id.txt
+///
+/// Note OpenKE's id files put the TAIL before the RELATION.
+StatusOr<Dataset> LoadOpenKeDataset(const std::string& dir,
+                                    const std::string& name);
+
+/// Saves a dataset in the OpenKE layout.
+Status SaveOpenKeDataset(const Dataset& dataset, const std::string& dir);
+
+}  // namespace kgc
+
+#endif  // KGC_KG_KG_IO_H_

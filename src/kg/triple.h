@@ -1,0 +1,75 @@
+// Core triple types.
+//
+// A knowledge graph stores facts (head, relation, tail), denoted (h, r, t).
+// Entities and relations are interned to dense int32 ids by kg::Vocab; all
+// library internals operate on ids.
+
+#ifndef KGC_KG_TRIPLE_H_
+#define KGC_KG_TRIPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace kgc {
+
+using EntityId = int32_t;
+using RelationId = int32_t;
+
+/// A fact (head entity, relation, tail entity).
+struct Triple {
+  EntityId head = 0;
+  RelationId relation = 0;
+  EntityId tail = 0;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.head == b.head && a.relation == b.relation && a.tail == b.tail;
+  }
+  friend bool operator!=(const Triple& a, const Triple& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Triple& a, const Triple& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    if (a.head != b.head) return a.head < b.head;
+    return a.tail < b.tail;
+  }
+};
+
+/// Packs an entity pair into one key; used for pair-set overlap computations.
+inline uint64_t PackPair(EntityId head, EntityId tail) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(head)) << 32) |
+         static_cast<uint32_t>(tail);
+}
+
+/// Inverse of PackPair.
+inline std::pair<EntityId, EntityId> UnpackPair(uint64_t key) {
+  return {static_cast<EntityId>(key >> 32),
+          static_cast<EntityId>(key & 0xffffffffULL)};
+}
+
+/// Hash functor for Triple (64-bit mix of the three ids).
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t x = static_cast<uint64_t>(static_cast<uint32_t>(t.head));
+    x = x * 0x9e3779b97f4a7c15ULL + static_cast<uint32_t>(t.relation);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = x * 0x9e3779b97f4a7c15ULL + static_cast<uint32_t>(t.tail);
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+using TripleList = std::vector<Triple>;
+
+}  // namespace kgc
+
+namespace std {
+template <>
+struct hash<kgc::Triple> {
+  size_t operator()(const kgc::Triple& t) const {
+    return kgc::TripleHash{}(t);
+  }
+};
+}  // namespace std
+
+#endif  // KGC_KG_TRIPLE_H_

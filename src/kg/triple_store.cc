@@ -1,0 +1,108 @@
+#include "kg/triple_store.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace kgc {
+namespace {
+
+// Key for (entity, relation) adjacency maps. Relation ids are < 2^31 and
+// entity ids are < 2^31, so a 64-bit pack is collision-free.
+uint64_t PackEntityRelation(EntityId e, RelationId r) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(e)) << 32) |
+         static_cast<uint32_t>(r);
+}
+
+const std::vector<EntityId>& EmptyEntityList() {
+  static const std::vector<EntityId>* empty = new std::vector<EntityId>();
+  return *empty;
+}
+
+}  // namespace
+
+TripleStore::TripleStore(TripleList triples, int32_t num_entities,
+                         int32_t num_relations)
+    : num_entities_(num_entities),
+      num_relations_(num_relations),
+      triples_(std::move(triples)) {
+  KGC_CHECK_GE(num_entities_, 0);
+  KGC_CHECK_GE(num_relations_, 0);
+  std::sort(triples_.begin(), triples_.end());
+
+  relation_offsets_.assign(static_cast<size_t>(num_relations_) + 1, 0);
+  pairs_.resize(static_cast<size_t>(num_relations_));
+  subjects_.resize(static_cast<size_t>(num_relations_));
+  objects_.resize(static_cast<size_t>(num_relations_));
+  existence_.reserve(triples_.size() * 2);
+  linked_pairs_.reserve(triples_.size() * 2);
+
+  for (const Triple& t : triples_) {
+    KGC_CHECK_GE(t.head, 0);
+    KGC_CHECK_LT(t.head, num_entities_);
+    KGC_CHECK_GE(t.tail, 0);
+    KGC_CHECK_LT(t.tail, num_entities_);
+    KGC_CHECK_GE(t.relation, 0);
+    KGC_CHECK_LT(t.relation, num_relations_);
+    relation_offsets_[static_cast<size_t>(t.relation) + 1]++;
+    tails_by_hr_[PackEntityRelation(t.head, t.relation)].push_back(t.tail);
+    heads_by_rt_[PackEntityRelation(t.tail, t.relation)].push_back(t.head);
+    existence_.insert(t);
+    const uint64_t pair = PackPair(t.head, t.tail);
+    pairs_[static_cast<size_t>(t.relation)].insert(pair);
+    subjects_[static_cast<size_t>(t.relation)].insert(t.head);
+    objects_[static_cast<size_t>(t.relation)].insert(t.tail);
+    linked_pairs_.insert(pair);
+  }
+  for (size_t r = 1; r < relation_offsets_.size(); ++r) {
+    relation_offsets_[r] += relation_offsets_[r - 1];
+  }
+}
+
+std::span<const Triple> TripleStore::ByRelation(RelationId r) const {
+  KGC_CHECK_GE(r, 0);
+  KGC_CHECK_LT(r, num_relations_);
+  const size_t begin = relation_offsets_[static_cast<size_t>(r)];
+  const size_t end = relation_offsets_[static_cast<size_t>(r) + 1];
+  return {triples_.data() + begin, end - begin};
+}
+
+const std::vector<EntityId>& TripleStore::Tails(EntityId h,
+                                                RelationId r) const {
+  auto it = tails_by_hr_.find(PackEntityRelation(h, r));
+  return it == tails_by_hr_.end() ? EmptyEntityList() : it->second;
+}
+
+const std::vector<EntityId>& TripleStore::Heads(RelationId r,
+                                                EntityId t) const {
+  auto it = heads_by_rt_.find(PackEntityRelation(t, r));
+  return it == heads_by_rt_.end() ? EmptyEntityList() : it->second;
+}
+
+bool TripleStore::Contains(EntityId h, RelationId r, EntityId t) const {
+  return existence_.contains(Triple{h, r, t});
+}
+
+const PairSet& TripleStore::Pairs(RelationId r) const {
+  KGC_CHECK_GE(r, 0);
+  KGC_CHECK_LT(r, num_relations_);
+  return pairs_[static_cast<size_t>(r)];
+}
+
+const EntitySet& TripleStore::Subjects(RelationId r) const {
+  KGC_CHECK_GE(r, 0);
+  KGC_CHECK_LT(r, num_relations_);
+  return subjects_[static_cast<size_t>(r)];
+}
+
+const EntitySet& TripleStore::Objects(RelationId r) const {
+  KGC_CHECK_GE(r, 0);
+  KGC_CHECK_LT(r, num_relations_);
+  return objects_[static_cast<size_t>(r)];
+}
+
+bool TripleStore::AnyRelationLinks(EntityId h, EntityId t) const {
+  return linked_pairs_.contains(PackPair(h, t));
+}
+
+}  // namespace kgc

@@ -1,0 +1,92 @@
+// Indexed, immutable triple collection.
+//
+// TripleStore is built once from a list of triples and then serves the access
+// patterns the rest of the library needs:
+//   - iteration over all triples and over one relation's triples,
+//   - adjacency lookups tails(h, r) / heads(r, t),
+//   - existence tests Contains(h, r, t) for filtered evaluation,
+//   - per-relation subject/object/pair sets for redundancy analysis.
+
+#ifndef KGC_KG_TRIPLE_STORE_H_
+#define KGC_KG_TRIPLE_STORE_H_
+
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kg/triple.h"
+
+namespace kgc {
+
+using PairSet = std::unordered_set<uint64_t>;
+using EntitySet = std::unordered_set<EntityId>;
+
+/// Immutable indexed view over a set of triples.
+class TripleStore {
+ public:
+  /// Builds all indexes. `num_entities`/`num_relations` bound the id spaces;
+  /// every triple must be within bounds.
+  TripleStore(TripleList triples, int32_t num_entities, int32_t num_relations);
+
+  int32_t num_entities() const { return num_entities_; }
+  int32_t num_relations() const { return num_relations_; }
+  size_t size() const { return triples_.size(); }
+
+  const TripleList& triples() const { return triples_; }
+
+  /// All triples of one relation (contiguous storage).
+  std::span<const Triple> ByRelation(RelationId r) const;
+
+  /// Number of instance triples |r| of a relation.
+  size_t RelationSize(RelationId r) const {
+    return ByRelation(r).size();
+  }
+
+  /// Tail entities t with (h, r, t) present; empty if none.
+  const std::vector<EntityId>& Tails(EntityId h, RelationId r) const;
+
+  /// Head entities h with (h, r, t) present; empty if none.
+  const std::vector<EntityId>& Heads(RelationId r, EntityId t) const;
+
+  /// Whether (h, r, t) is present.
+  bool Contains(EntityId h, RelationId r, EntityId t) const;
+  bool Contains(const Triple& triple) const {
+    return Contains(triple.head, triple.relation, triple.tail);
+  }
+
+  /// Set of subject-object pairs T_r = {(h,t) | r(h,t)} of a relation,
+  /// packed with PackPair.
+  const PairSet& Pairs(RelationId r) const;
+
+  /// Distinct subjects S_r of a relation.
+  const EntitySet& Subjects(RelationId r) const;
+
+  /// Distinct objects O_r of a relation.
+  const EntitySet& Objects(RelationId r) const;
+
+  /// Whether any relation links h to t (directed). Used by the FB15k-237
+  /// style cleaner ("entity pairs directly linked in the training set").
+  bool AnyRelationLinks(EntityId h, EntityId t) const;
+
+ private:
+  int32_t num_entities_;
+  int32_t num_relations_;
+
+  // Triples sorted by relation; relation_offsets_[r] .. relation_offsets_[r+1]
+  // delimit relation r's slice.
+  TripleList triples_;
+  std::vector<size_t> relation_offsets_;
+
+  std::unordered_map<uint64_t, std::vector<EntityId>> tails_by_hr_;
+  std::unordered_map<uint64_t, std::vector<EntityId>> heads_by_rt_;
+  std::unordered_set<Triple, TripleHash> existence_;
+  std::vector<PairSet> pairs_;
+  std::vector<EntitySet> subjects_;
+  std::vector<EntitySet> objects_;
+  std::unordered_set<uint64_t> linked_pairs_;  // (h,t) linked by any relation
+};
+
+}  // namespace kgc
+
+#endif  // KGC_KG_TRIPLE_STORE_H_

@@ -1,0 +1,112 @@
+#include "models/complex.h"
+
+#include <cmath>
+
+namespace kgc {
+
+ComplEx::ComplEx(int32_t num_entities, int32_t num_relations,
+                 const ModelHyperParams& params)
+    : KgeModel(ModelType::kComplEx, num_entities, num_relations, params),
+      entities_(num_entities, 2 * params.dim),
+      relations_(num_relations, 2 * params.dim) {
+  if (params.adagrad) {
+    entities_.EnableAdaGrad();
+    relations_.EnableAdaGrad();
+  }
+  Rng rng(params.seed);
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(params.dim));
+  entities_.InitNormal(rng, stddev);
+  relations_.InitNormal(rng, stddev);
+}
+
+double ComplEx::Score(EntityId h, RelationId r, EntityId t) const {
+  const auto hv = entities_.Row(h);
+  const auto rv = relations_.Row(r);
+  const auto tv = entities_.Row(t);
+  const size_t d = static_cast<size_t>(params_.dim);
+  double sum = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double hr = hv[j], hi = hv[d + j];
+    const double rr = rv[j], ri = rv[d + j];
+    const double tr = tv[j], ti = tv[d + j];
+    // Re((h r) conj(t)).
+    sum += (hr * rr - hi * ri) * tr + (hr * ri + hi * rr) * ti;
+  }
+  return sum;
+}
+
+void ComplEx::ApplyGradient(const Triple& triple, float d_loss_d_score,
+                            float lr) {
+  const auto hv = entities_.Row(triple.head);
+  const auto rv = relations_.Row(triple.relation);
+  const auto tv = entities_.Row(triple.tail);
+  const size_t d = static_cast<size_t>(params_.dim);
+  const float decay = static_cast<float>(params_.l2_reg);
+  const float g = d_loss_d_score;
+  for (size_t j = 0; j < d; ++j) {
+    const float hr = hv[j], hi = hv[d + j];
+    const float rr = rv[j], ri = rv[d + j];
+    const float tr = tv[j], ti = tv[d + j];
+    // score_j = (hr rr - hi ri) tr + (hr ri + hi rr) ti.
+    const float ghr = g * (rr * tr + ri * ti) + decay * hr;
+    const float ghi = g * (rr * ti - ri * tr) + decay * hi;
+    const float grr = g * (hr * tr + hi * ti) + decay * rr;
+    const float gri = g * (hr * ti - hi * tr) + decay * ri;
+    const float gtr = g * (hr * rr - hi * ri) + decay * tr;
+    const float gti = g * (hr * ri + hi * rr) + decay * ti;
+    const int32_t jj = static_cast<int32_t>(j);
+    const int32_t dj = static_cast<int32_t>(d + j);
+    entities_.Update(triple.head, jj, ghr, lr);
+    entities_.Update(triple.head, dj, ghi, lr);
+    relations_.Update(triple.relation, jj, grr, lr);
+    relations_.Update(triple.relation, dj, gri, lr);
+    entities_.Update(triple.tail, jj, gtr, lr);
+    entities_.Update(triple.tail, dj, gti, lr);
+  }
+}
+
+void ComplEx::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const auto hv = entities_.Row(h);
+  const auto rv = relations_.Row(r);
+  const size_t d = static_cast<size_t>(params_.dim);
+  // q = h * r (complex product); score(e) = q_re . e_re + q_im . e_im.
+  std::vector<float> q(2 * d);
+  for (size_t j = 0; j < d; ++j) {
+    q[j] = hv[j] * rv[j] - hv[d + j] * rv[d + j];
+    q[d + j] = hv[j] * rv[d + j] + hv[d + j] * rv[j];
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    out[static_cast<size_t>(e)] = static_cast<float>(Dot(q, entities_.Row(e)));
+  }
+}
+
+void ComplEx::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const auto tv = entities_.Row(t);
+  const auto rv = relations_.Row(r);
+  const size_t d = static_cast<size_t>(params_.dim);
+  // As a function of h: score = h_re . q_re + h_im . q_im with
+  // q_re = r_re t_re + r_im t_im, q_im = r_re t_im - r_im t_re.
+  std::vector<float> q(2 * d);
+  for (size_t j = 0; j < d; ++j) {
+    q[j] = rv[j] * tv[j] + rv[d + j] * tv[d + j];
+    q[d + j] = rv[j] * tv[d + j] - rv[d + j] * tv[j];
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    out[static_cast<size_t>(e)] = static_cast<float>(Dot(q, entities_.Row(e)));
+  }
+}
+
+void ComplEx::Serialize(BinaryWriter& writer) const {
+  entities_.Serialize(writer);
+  relations_.Serialize(writer);
+}
+
+Status ComplEx::Deserialize(BinaryReader& reader) {
+  KGC_RETURN_IF_ERROR(entities_.Deserialize(reader));
+  KGC_RETURN_IF_ERROR(relations_.Deserialize(reader));
+  return Status::Ok();
+}
+
+}  // namespace kgc

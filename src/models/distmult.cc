@@ -1,0 +1,92 @@
+#include "models/distmult.h"
+
+#include <cmath>
+
+namespace kgc {
+
+DistMult::DistMult(int32_t num_entities, int32_t num_relations,
+                   const ModelHyperParams& params)
+    : KgeModel(ModelType::kDistMult, num_entities, num_relations, params),
+      entities_(num_entities, params.dim),
+      relations_(num_relations, params.dim) {
+  if (params.adagrad) {
+    entities_.EnableAdaGrad();
+    relations_.EnableAdaGrad();
+  }
+  Rng rng(params.seed);
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(params.dim));
+  entities_.InitNormal(rng, stddev);
+  relations_.InitNormal(rng, stddev);
+}
+
+double DistMult::Score(EntityId h, RelationId r, EntityId t) const {
+  const auto hv = entities_.Row(h);
+  const auto rv = relations_.Row(r);
+  const auto tv = entities_.Row(t);
+  double sum = 0.0;
+  for (int32_t j = 0; j < params_.dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    sum += static_cast<double>(hv[k]) * rv[k] * tv[k];
+  }
+  return sum;
+}
+
+void DistMult::ApplyGradient(const Triple& triple, float d_loss_d_score,
+                             float lr) {
+  const auto hv = entities_.Row(triple.head);
+  const auto rv = relations_.Row(triple.relation);
+  const auto tv = entities_.Row(triple.tail);
+  const float decay = static_cast<float>(params_.l2_reg);
+  for (int32_t j = 0; j < params_.dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    const float gh = d_loss_d_score * rv[k] * tv[k] + decay * hv[k];
+    const float gr = d_loss_d_score * hv[k] * tv[k] + decay * rv[k];
+    const float gt = d_loss_d_score * hv[k] * rv[k] + decay * tv[k];
+    entities_.Update(triple.head, j, gh, lr);
+    relations_.Update(triple.relation, j, gr, lr);
+    entities_.Update(triple.tail, j, gt, lr);
+  }
+}
+
+void DistMult::ScoreTails(EntityId h, RelationId r,
+                          std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const auto hv = entities_.Row(h);
+  const auto rv = relations_.Row(r);
+  std::vector<float> q(static_cast<size_t>(params_.dim));
+  for (int32_t j = 0; j < params_.dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    q[k] = hv[k] * rv[k];
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    out[static_cast<size_t>(e)] = static_cast<float>(Dot(q, entities_.Row(e)));
+  }
+}
+
+void DistMult::ScoreHeads(RelationId r, EntityId t,
+                          std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const auto tv = entities_.Row(t);
+  const auto rv = relations_.Row(r);
+  std::vector<float> q(static_cast<size_t>(params_.dim));
+  for (int32_t j = 0; j < params_.dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    q[k] = tv[k] * rv[k];
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    out[static_cast<size_t>(e)] = static_cast<float>(Dot(q, entities_.Row(e)));
+  }
+}
+
+void DistMult::Serialize(BinaryWriter& writer) const {
+  entities_.Serialize(writer);
+  relations_.Serialize(writer);
+}
+
+Status DistMult::Deserialize(BinaryReader& reader) {
+  KGC_RETURN_IF_ERROR(entities_.Deserialize(reader));
+  KGC_RETURN_IF_ERROR(relations_.Deserialize(reader));
+  return Status::Ok();
+}
+
+}  // namespace kgc

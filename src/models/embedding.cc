@@ -1,0 +1,57 @@
+#include "models/embedding.h"
+
+namespace kgc {
+
+void EmbeddingTable::InitUniform(Rng& rng, double bound) {
+  for (float& value : data_) {
+    value = static_cast<float>(rng.UniformDouble(-bound, bound));
+  }
+}
+
+void EmbeddingTable::InitNormal(Rng& rng, double stddev) {
+  for (float& value : data_) {
+    value = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+}
+
+void EmbeddingTable::NormalizeRowsL2() {
+  for (int64_t i = 0; i < rows_; ++i) NormalizeRowL2(i);
+}
+
+void EmbeddingTable::NormalizeRowL2(int64_t i) {
+  std::span<float> row = Row(i);
+  const double norm = NormL2(row);
+  if (norm < 1e-12) return;
+  const float inv = static_cast<float>(1.0 / norm);
+  for (float& value : row) value *= inv;
+}
+
+void EmbeddingTable::EnableAdaGrad() {
+  if (adagrad_.empty()) adagrad_.assign(data_.size(), 1.0f);
+}
+
+void EmbeddingTable::Serialize(BinaryWriter& writer) const {
+  writer.WriteI64(rows_);
+  writer.WriteI64(dim_);
+  writer.WriteFloatVector(data_);
+}
+
+Status EmbeddingTable::Deserialize(BinaryReader& reader) {
+  auto rows = reader.ReadI64();
+  if (!rows.ok()) return rows.status();
+  auto dim = reader.ReadI64();
+  if (!dim.ok()) return dim.status();
+  auto data = reader.ReadFloatVector();
+  if (!data.ok()) return data.status();
+  if (*rows < 0 || *dim <= 0 ||
+      data->size() != static_cast<size_t>(*rows * *dim)) {
+    return Status::IoError("embedding table shape mismatch");
+  }
+  rows_ = *rows;
+  dim_ = *dim;
+  data_ = std::move(*data);
+  adagrad_.clear();
+  return Status::Ok();
+}
+
+}  // namespace kgc

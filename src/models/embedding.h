@@ -1,0 +1,111 @@
+// Dense embedding storage with built-in SGD / AdaGrad updates.
+
+#ifndef KGC_MODELS_EMBEDDING_H_
+#define KGC_MODELS_EMBEDDING_H_
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace kgc {
+
+/// A rows x dim table of float parameters. Supports plain SGD and AdaGrad
+/// updates; AdaGrad accumulators are allocated lazily on first use.
+class EmbeddingTable {
+ public:
+  EmbeddingTable() = default;
+  EmbeddingTable(int64_t rows, int64_t dim)
+      : rows_(rows), dim_(dim),
+        data_(static_cast<size_t>(rows * dim), 0.0f) {
+    KGC_CHECK_GE(rows, 0);
+    KGC_CHECK_GT(dim, 0);
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t dim() const { return dim_; }
+
+  std::span<float> Row(int64_t i) {
+    KGC_DCHECK(i >= 0 && i < rows_);
+    return {data_.data() + i * dim_, static_cast<size_t>(dim_)};
+  }
+  std::span<const float> Row(int64_t i) const {
+    KGC_DCHECK(i >= 0 && i < rows_);
+    return {data_.data() + i * dim_, static_cast<size_t>(dim_)};
+  }
+
+  /// Uniform initialization in [-bound, bound]; the conventional bound is
+  /// 6/sqrt(dim) (Bordes et al. 2013).
+  void InitUniform(Rng& rng, double bound);
+
+  /// Gaussian initialization with the given stddev.
+  void InitNormal(Rng& rng, double stddev);
+
+  /// L2-normalizes every row (used for entity embeddings in Trans* models).
+  void NormalizeRowsL2();
+
+  /// L2-normalizes one row in place; no-op on a zero row.
+  void NormalizeRowL2(int64_t i);
+
+  /// Enables AdaGrad with a unit prior: updates scale by
+  /// 1/sqrt(1 + accumulated g^2). The prior removes AdaGrad's initial jolt
+  /// (the first step would otherwise be ~lr regardless of gradient size,
+  /// which destabilizes dense layers), making early training behave like
+  /// plain SGD and later training self-stabilize.
+  void EnableAdaGrad();
+  bool adagrad_enabled() const { return !adagrad_.empty(); }
+
+  /// Applies one gradient element: param[i][j] -= lr * g (SGD), or the
+  /// AdaGrad-scaled equivalent. Gradients are clipped to [-5, 5] as a cheap
+  /// divergence guard (matters for the deep ConvE stack).
+  void Update(int64_t i, int64_t j, float g, float lr) {
+    g = std::clamp(g, -5.0f, 5.0f);
+    const size_t idx = static_cast<size_t>(i * dim_ + j);
+    if (!adagrad_.empty()) {
+      adagrad_[idx] += g * g;
+      data_[idx] -= lr * g / std::sqrt(adagrad_[idx] + 1e-8f);
+    } else {
+      data_[idx] -= lr * g;
+    }
+  }
+
+  /// Applies a dense gradient to one row.
+  void UpdateRow(int64_t i, std::span<const float> grad, float lr) {
+    KGC_DCHECK(static_cast<int64_t>(grad.size()) == dim_);
+    for (int64_t j = 0; j < dim_; ++j) Update(i, j, grad[static_cast<size_t>(j)], lr);
+  }
+
+  /// Raw parameter access (serialization, tests).
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& mutable_data() { return data_; }
+
+  void Serialize(BinaryWriter& writer) const;
+  Status Deserialize(BinaryReader& reader);
+
+ private:
+  int64_t rows_ = 0;
+  int64_t dim_ = 0;
+  std::vector<float> data_;
+  std::vector<float> adagrad_;
+};
+
+/// Dot product of two equal-length spans.
+inline double Dot(std::span<const float> a, std::span<const float> b) {
+  KGC_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += static_cast<double>(a[i]) * b[i];
+  return sum;
+}
+
+/// L2 norm of a span.
+inline double NormL2(std::span<const float> a) {
+  return std::sqrt(Dot(a, a));
+}
+
+}  // namespace kgc
+
+#endif  // KGC_MODELS_EMBEDDING_H_

@@ -1,0 +1,110 @@
+#include "models/model_store.h"
+
+#include "util/file_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgc {
+namespace {
+
+constexpr uint32_t kMagic = 0x4b47434dU;  // "KGCM"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+ModelStore::ModelStore(std::string dir) : dir_(std::move(dir)) {
+  const Status status = MakeDirectories(dir_);
+  usable_ = status.ok();
+  if (!usable_) {
+    LogWarning("model cache disabled: %s", status.ToString().c_str());
+  }
+}
+
+std::string ModelStore::MakeKey(const std::string& dataset_name,
+                                ModelType type,
+                                const ModelHyperParams& params, int epochs,
+                                uint64_t train_seed) {
+  std::string dataset = dataset_name;
+  for (char& c : dataset) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  return StrFormat("%s__%s_d%d_d2%d_lr%g_m%g_l%d_r%g_a%d_e%d_s%llu_t%llu",
+                   dataset.c_str(), ModelTypeName(type), params.dim,
+                   params.dim2, params.learning_rate, params.margin,
+                   static_cast<int>(params.loss), params.l2_reg,
+                   params.adagrad ? 1 : 0, epochs,
+                   static_cast<unsigned long long>(params.seed),
+                   static_cast<unsigned long long>(train_seed));
+}
+
+std::string ModelStore::PathFor(const std::string& key) const {
+  return dir_ + "/" + key + ".kgcm";
+}
+
+StatusOr<std::unique_ptr<KgeModel>> ModelStore::Load(
+    const std::string& key) const {
+  if (!usable_) return Status::NotFound("store unusable");
+  auto reader = BinaryReader::FromFile(PathFor(key));
+  if (!reader.ok()) return reader.status();
+
+  auto magic = reader->ReadU32();
+  if (!magic.ok() || *magic != kMagic) {
+    return Status::IoError("bad magic in model file: " + key);
+  }
+  auto version = reader->ReadU32();
+  if (!version.ok() || *version != kVersion) {
+    return Status::IoError("unsupported model file version: " + key);
+  }
+  auto type_raw = reader->ReadI32();
+  if (!type_raw.ok()) return type_raw.status();
+  auto num_entities = reader->ReadI32();
+  if (!num_entities.ok()) return num_entities.status();
+  auto num_relations = reader->ReadI32();
+  if (!num_relations.ok()) return num_relations.status();
+
+  ModelHyperParams params;
+  auto dim = reader->ReadI32();
+  if (!dim.ok()) return dim.status();
+  auto dim2 = reader->ReadI32();
+  if (!dim2.ok()) return dim2.status();
+  auto lr = reader->ReadDouble();
+  if (!lr.ok()) return lr.status();
+  auto margin = reader->ReadDouble();
+  if (!margin.ok()) return margin.status();
+  auto loss = reader->ReadI32();
+  if (!loss.ok()) return loss.status();
+  params.dim = *dim;
+  params.dim2 = *dim2;
+  params.learning_rate = *lr;
+  params.margin = *margin;
+  params.loss = static_cast<LossKind>(*loss);
+
+  if (*type_raw < 0 || *type_raw > static_cast<int32_t>(ModelType::kConvE)) {
+    return Status::IoError("bad model type in file: " + key);
+  }
+  std::unique_ptr<KgeModel> model = CreateModel(
+      static_cast<ModelType>(*type_raw), *num_entities, *num_relations,
+      params);
+  KGC_RETURN_IF_ERROR(model->Deserialize(*reader));
+  return model;
+}
+
+Status ModelStore::Save(const std::string& key, const KgeModel& model) const {
+  if (!usable_) return Status::FailedPrecondition("store unusable");
+  BinaryWriter writer;
+  writer.WriteU32(kMagic);
+  writer.WriteU32(kVersion);
+  writer.WriteI32(static_cast<int32_t>(model.type()));
+  writer.WriteI32(model.num_entities());
+  writer.WriteI32(model.num_relations());
+  const ModelHyperParams& params = model.params();
+  writer.WriteI32(params.dim);
+  writer.WriteI32(params.dim2);
+  writer.WriteDouble(params.learning_rate);
+  writer.WriteDouble(params.margin);
+  writer.WriteI32(static_cast<int32_t>(params.loss));
+  model.Serialize(writer);
+  return writer.Flush(PathFor(key));
+}
+
+}  // namespace kgc

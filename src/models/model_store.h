@@ -1,0 +1,45 @@
+// Disk cache for trained models.
+//
+// Bench binaries share one cache directory so each (dataset, model, config)
+// pair is trained exactly once across the whole harness. Files carry a magic
+// header, format version and full shape information; mismatches surface as
+// Status errors and the caller retrains.
+
+#ifndef KGC_MODELS_MODEL_STORE_H_
+#define KGC_MODELS_MODEL_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "models/model.h"
+
+namespace kgc {
+
+class ModelStore {
+ public:
+  /// Creates the cache directory if needed. Falls back to a no-op store
+  /// (all loads miss) if the directory cannot be created.
+  explicit ModelStore(std::string dir);
+
+  /// Builds the canonical cache key for a (dataset, model, training) config.
+  static std::string MakeKey(const std::string& dataset_name, ModelType type,
+                             const ModelHyperParams& params, int epochs,
+                             uint64_t train_seed);
+
+  /// Loads a cached model; kNotFound if absent or incompatible.
+  StatusOr<std::unique_ptr<KgeModel>> Load(const std::string& key) const;
+
+  Status Save(const std::string& key, const KgeModel& model) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string PathFor(const std::string& key) const;
+
+  std::string dir_;
+  bool usable_ = false;
+};
+
+}  // namespace kgc
+
+#endif  // KGC_MODELS_MODEL_STORE_H_

@@ -1,0 +1,127 @@
+#include "models/rescal.h"
+
+#include <cmath>
+
+namespace kgc {
+
+Rescal::Rescal(int32_t num_entities, int32_t num_relations,
+               const ModelHyperParams& params)
+    : KgeModel(ModelType::kRescal, num_entities, num_relations, params),
+      entities_(num_entities, params.dim),
+      matrices_(num_relations, params.dim * params.dim) {
+  if (params.adagrad) {
+    entities_.EnableAdaGrad();
+    matrices_.EnableAdaGrad();
+  }
+  Rng rng(params.seed);
+  entities_.InitNormal(rng, 1.0 / std::sqrt(static_cast<double>(params.dim)));
+  matrices_.InitNormal(rng, 1.0 / static_cast<double>(params.dim));
+}
+
+double Rescal::Score(EntityId h, RelationId r, EntityId t) const {
+  const auto hv = entities_.Row(h);
+  const auto tv = entities_.Row(t);
+  const auto w = matrices_.Row(r);
+  const int32_t dim = params_.dim;
+  double sum = 0.0;
+  for (int32_t i = 0; i < dim; ++i) {
+    double row = 0.0;
+    const size_t base = static_cast<size_t>(i * dim);
+    for (int32_t j = 0; j < dim; ++j) {
+      row += static_cast<double>(w[base + static_cast<size_t>(j)]) *
+             tv[static_cast<size_t>(j)];
+    }
+    sum += static_cast<double>(hv[static_cast<size_t>(i)]) * row;
+  }
+  return sum;
+}
+
+void Rescal::ApplyGradient(const Triple& triple, float d_loss_d_score,
+                           float lr) {
+  const int32_t dim = params_.dim;
+  const auto hv = entities_.Row(triple.head);
+  const auto tv = entities_.Row(triple.tail);
+  const auto w = matrices_.Row(triple.relation);
+
+  // Cache W t and W^T h before mutating anything.
+  std::vector<float> wt(static_cast<size_t>(dim), 0.0f);
+  std::vector<float> wth(static_cast<size_t>(dim), 0.0f);
+  for (int32_t i = 0; i < dim; ++i) {
+    const size_t base = static_cast<size_t>(i * dim);
+    for (int32_t j = 0; j < dim; ++j) {
+      const float wij = w[base + static_cast<size_t>(j)];
+      wt[static_cast<size_t>(i)] += wij * tv[static_cast<size_t>(j)];
+      wth[static_cast<size_t>(j)] += wij * hv[static_cast<size_t>(i)];
+    }
+  }
+
+  const float decay = static_cast<float>(params_.l2_reg);
+  for (int32_t i = 0; i < dim; ++i) {
+    const size_t k = static_cast<size_t>(i);
+    entities_.Update(triple.head, i,
+                     d_loss_d_score * wt[k] + decay * hv[k], lr);
+    entities_.Update(triple.tail, i,
+                     d_loss_d_score * wth[k] + decay * tv[k], lr);
+  }
+  for (int32_t i = 0; i < dim; ++i) {
+    for (int32_t j = 0; j < dim; ++j) {
+      const float gw = d_loss_d_score * hv[static_cast<size_t>(i)] *
+                           tv[static_cast<size_t>(j)] +
+                       decay * w[static_cast<size_t>(i * dim + j)];
+      matrices_.Update(triple.relation, i * dim + j, gw, lr);
+    }
+  }
+}
+
+void Rescal::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const int32_t dim = params_.dim;
+  const auto hv = entities_.Row(h);
+  const auto w = matrices_.Row(r);
+  // q = h^T W, then score(e) = q . e.
+  std::vector<float> q(static_cast<size_t>(dim), 0.0f);
+  for (int32_t i = 0; i < dim; ++i) {
+    const size_t base = static_cast<size_t>(i * dim);
+    const float hi = hv[static_cast<size_t>(i)];
+    for (int32_t j = 0; j < dim; ++j) {
+      q[static_cast<size_t>(j)] += hi * w[base + static_cast<size_t>(j)];
+    }
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    out[static_cast<size_t>(e)] = static_cast<float>(Dot(q, entities_.Row(e)));
+  }
+}
+
+void Rescal::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const int32_t dim = params_.dim;
+  const auto tv = entities_.Row(t);
+  const auto w = matrices_.Row(r);
+  // q = W t, then score(e) = e . q.
+  std::vector<float> q(static_cast<size_t>(dim), 0.0f);
+  for (int32_t i = 0; i < dim; ++i) {
+    const size_t base = static_cast<size_t>(i * dim);
+    double sum = 0.0;
+    for (int32_t j = 0; j < dim; ++j) {
+      sum += static_cast<double>(w[base + static_cast<size_t>(j)]) *
+             tv[static_cast<size_t>(j)];
+    }
+    q[static_cast<size_t>(i)] = static_cast<float>(sum);
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    out[static_cast<size_t>(e)] = static_cast<float>(Dot(entities_.Row(e), q));
+  }
+}
+
+void Rescal::Serialize(BinaryWriter& writer) const {
+  entities_.Serialize(writer);
+  matrices_.Serialize(writer);
+}
+
+Status Rescal::Deserialize(BinaryReader& reader) {
+  KGC_RETURN_IF_ERROR(entities_.Deserialize(reader));
+  KGC_RETURN_IF_ERROR(matrices_.Deserialize(reader));
+  return Status::Ok();
+}
+
+}  // namespace kgc

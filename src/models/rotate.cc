@@ -1,0 +1,132 @@
+#include "models/rotate.h"
+
+#include <cmath>
+
+namespace kgc {
+
+RotatE::RotatE(int32_t num_entities, int32_t num_relations,
+               const ModelHyperParams& params)
+    : KgeModel(ModelType::kRotatE, num_entities, num_relations, params),
+      entities_(num_entities, 2 * params.dim),
+      phases_(num_relations, params.dim) {
+  Rng rng(params.seed);
+  entities_.InitUniform(rng, 0.5);
+  // Phases uniform over the circle.
+  auto& data = phases_.mutable_data();
+  for (float& value : data) {
+    value = static_cast<float>(rng.UniformDouble(-M_PI, M_PI));
+  }
+}
+
+double RotatE::Score(EntityId h, RelationId r, EntityId t) const {
+  const auto hv = entities_.Row(h);
+  const auto tv = entities_.Row(t);
+  const auto theta = phases_.Row(r);
+  const size_t d = static_cast<size_t>(params_.dim);
+  double sum = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double c = std::cos(theta[j]);
+    const double s = std::sin(theta[j]);
+    const double dx = hv[j] * c - hv[d + j] * s - tv[j];
+    const double dy = hv[j] * s + hv[d + j] * c - tv[d + j];
+    sum += std::sqrt(dx * dx + dy * dy);
+  }
+  return -sum;
+}
+
+void RotatE::ApplyGradient(const Triple& triple, float d_loss_d_score,
+                           float lr) {
+  const auto hv = entities_.Row(triple.head);
+  const auto tv = entities_.Row(triple.tail);
+  const auto theta = phases_.Row(triple.relation);
+  const size_t d = static_cast<size_t>(params_.dim);
+  const float g = d_loss_d_score;
+  for (size_t j = 0; j < d; ++j) {
+    const double c = std::cos(theta[j]);
+    const double s = std::sin(theta[j]);
+    const double qx = hv[j] * c - hv[d + j] * s;  // (h o r)_re
+    const double qy = hv[j] * s + hv[d + j] * c;  // (h o r)_im
+    const double dx = qx - tv[j];
+    const double dy = qy - tv[d + j];
+    const double m = std::sqrt(dx * dx + dy * dy);
+    if (m < 1e-12) continue;
+    // score_j = -m, so dLoss/ddx = g * (-dx/m).
+    const double gdx = -g * dx / m;
+    const double gdy = -g * dy / m;
+    // ddx/dh_re = c, ddx/dh_im = -s; ddy/dh_re = s, ddy/dh_im = c.
+    const float gh_re = static_cast<float>(gdx * c + gdy * s);
+    const float gh_im = static_cast<float>(-gdx * s + gdy * c);
+    const float gt_re = static_cast<float>(-gdx);
+    const float gt_im = static_cast<float>(-gdy);
+    // ddx/dtheta = -qy ; ddy/dtheta = qx.
+    const float gtheta = static_cast<float>(gdx * -qy + gdy * qx);
+    const int32_t jj = static_cast<int32_t>(j);
+    entities_.Update(triple.head, jj, gh_re, lr);
+    entities_.Update(triple.head, static_cast<int32_t>(d + j), gh_im, lr);
+    entities_.Update(triple.tail, jj, gt_re, lr);
+    entities_.Update(triple.tail, static_cast<int32_t>(d + j), gt_im, lr);
+    phases_.Update(triple.relation, jj, gtheta, lr);
+  }
+}
+
+void RotatE::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const auto hv = entities_.Row(h);
+  const auto theta = phases_.Row(r);
+  const size_t d = static_cast<size_t>(params_.dim);
+  std::vector<float> q(2 * d);
+  for (size_t j = 0; j < d; ++j) {
+    const float c = std::cos(theta[j]);
+    const float s = std::sin(theta[j]);
+    q[j] = hv[j] * c - hv[d + j] * s;
+    q[d + j] = hv[j] * s + hv[d + j] * c;
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    const auto ev = entities_.Row(e);
+    double sum = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double dx = q[j] - ev[j];
+      const double dy = q[d + j] - ev[d + j];
+      sum += std::sqrt(dx * dx + dy * dy);
+    }
+    out[static_cast<size_t>(e)] = static_cast<float>(-sum);
+  }
+}
+
+void RotatE::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const auto tv = entities_.Row(t);
+  const auto theta = phases_.Row(r);
+  const size_t d = static_cast<size_t>(params_.dim);
+  // |h o r - t| = |h - t o r^{-1}| since |r_j| = 1: rotate t backwards.
+  std::vector<float> q(2 * d);
+  for (size_t j = 0; j < d; ++j) {
+    const float c = std::cos(theta[j]);
+    const float s = std::sin(theta[j]);
+    q[j] = tv[j] * c + tv[d + j] * s;
+    q[d + j] = -tv[j] * s + tv[d + j] * c;
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    const auto ev = entities_.Row(e);
+    double sum = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double dx = ev[j] - q[j];
+      const double dy = ev[d + j] - q[d + j];
+      sum += std::sqrt(dx * dx + dy * dy);
+    }
+    out[static_cast<size_t>(e)] = static_cast<float>(-sum);
+  }
+}
+
+void RotatE::Serialize(BinaryWriter& writer) const {
+  entities_.Serialize(writer);
+  phases_.Serialize(writer);
+}
+
+Status RotatE::Deserialize(BinaryReader& reader) {
+  KGC_RETURN_IF_ERROR(entities_.Deserialize(reader));
+  KGC_RETURN_IF_ERROR(phases_.Deserialize(reader));
+  return Status::Ok();
+}
+
+}  // namespace kgc

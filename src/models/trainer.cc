@@ -1,0 +1,165 @@
+#include "models/trainer.h"
+
+#include <cmath>
+
+#include "kg/relation_stats.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace kgc {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+double Softplus(double x) {
+  // Numerically stable log(1 + exp(x)).
+  return x > 0 ? x + std::log1p(std::exp(-x)) : std::log1p(std::exp(x));
+}
+
+// Samples a corruption of `positive` not present in `train`.
+Triple SampleNegative(const Triple& positive, const TripleStore& train,
+                      double p_corrupt_head, Rng& rng) {
+  const int32_t num_entities = train.num_entities();
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Triple corrupted = positive;
+    const EntityId replacement =
+        static_cast<EntityId>(rng.Uniform(static_cast<uint64_t>(num_entities)));
+    if (rng.Bernoulli(p_corrupt_head)) {
+      corrupted.head = replacement;
+    } else {
+      corrupted.tail = replacement;
+    }
+    if (corrupted != positive && !train.Contains(corrupted)) return corrupted;
+  }
+  // Statistically unreachable on non-degenerate graphs; fall back to an
+  // unchecked corruption.
+  Triple corrupted = positive;
+  corrupted.tail = static_cast<EntityId>(
+      rng.Uniform(static_cast<uint64_t>(num_entities)));
+  return corrupted;
+}
+
+}  // namespace
+
+TrainStats TrainModel(KgeModel& model, const Dataset& dataset,
+                      const TrainOptions& options) {
+  Stopwatch watch;
+  const TripleStore& train = dataset.train_store();
+  const TripleList& triples = dataset.train();
+  KGC_CHECK(!triples.empty());
+
+  // Per-relation head-corruption probability tph / (tph + hpt).
+  std::vector<double> p_head(static_cast<size_t>(dataset.num_relations()),
+                             0.5);
+  if (options.bernoulli) {
+    for (RelationId r = 0; r < dataset.num_relations(); ++r) {
+      const RelationStats stats = ComputeRelationStats(train, r);
+      const double denom = stats.tails_per_head + stats.heads_per_tail;
+      if (denom > 0) {
+        p_head[static_cast<size_t>(r)] = stats.tails_per_head / denom;
+      }
+    }
+  }
+
+  Rng rng(options.seed);
+  const float lr = static_cast<float>(model.params().learning_rate);
+  const bool margin_loss =
+      model.params().loss == LossKind::kMarginRanking;
+  const double margin = model.params().margin;
+
+  std::vector<size_t> order(triples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  TrainStats stats;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    model.OnEpochBegin(epoch);
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    size_t examples = 0;
+    for (size_t idx : order) {
+      const Triple& positive = triples[idx];
+      const double p = p_head[static_cast<size_t>(positive.relation)];
+      if (margin_loss) {
+        for (int n = 0; n < options.negatives; ++n) {
+          const Triple negative = SampleNegative(positive, train, p, rng);
+          const double s_pos = model.Score(positive.head, positive.relation,
+                                           positive.tail);
+          const double s_neg = model.Score(negative.head, negative.relation,
+                                           negative.tail);
+          const double violation = margin - s_pos + s_neg;
+          ++examples;
+          if (violation > 0) {
+            epoch_loss += violation;
+            model.ApplyGradient(positive, -1.0f, lr);
+            model.ApplyGradient(negative, 1.0f, lr);
+          }
+        }
+      } else {
+        const double s_pos =
+            model.Score(positive.head, positive.relation, positive.tail);
+        epoch_loss += Softplus(-s_pos);
+        ++examples;
+        model.ApplyGradient(positive, static_cast<float>(-Sigmoid(-s_pos)),
+                            lr);
+        for (int n = 0; n < options.negatives; ++n) {
+          const Triple negative = SampleNegative(positive, train, p, rng);
+          const double s_neg = model.Score(negative.head, negative.relation,
+                                           negative.tail);
+          epoch_loss += Softplus(s_neg);
+          ++examples;
+          model.ApplyGradient(negative, static_cast<float>(Sigmoid(s_neg)),
+                              lr);
+        }
+      }
+    }
+    stats.final_loss = examples > 0 ? epoch_loss / static_cast<double>(examples)
+                                    : 0.0;
+    stats.epochs_run = epoch + 1;
+    if (options.verbose && (epoch % 5 == 0 || epoch + 1 == options.epochs)) {
+      LogInfo("%s epoch %d/%d loss %.4f (%.1fs)", model.name(), epoch + 1,
+              options.epochs, stats.final_loss, watch.ElapsedSeconds());
+    }
+  }
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+TrainOptions DefaultTrainOptions(ModelType type) {
+  TrainOptions options;
+  switch (type) {
+    case ModelType::kTransE:
+    case ModelType::kTransH:
+    case ModelType::kTransD:
+      options.epochs = 60;
+      options.negatives = 1;
+      break;
+    case ModelType::kTransR:
+      options.epochs = 40;
+      options.negatives = 1;
+      break;
+    case ModelType::kRotatE:
+      options.epochs = 50;
+      options.negatives = 2;
+      break;
+    case ModelType::kRescal:
+      options.epochs = 40;
+      options.negatives = 4;
+      break;
+    case ModelType::kDistMult:
+    case ModelType::kComplEx:
+      options.epochs = 50;
+      options.negatives = 4;
+      break;
+    case ModelType::kTuckER:
+      options.epochs = 20;
+      options.negatives = 2;
+      break;
+    case ModelType::kConvE:
+      options.epochs = 12;
+      options.negatives = 2;
+      break;
+  }
+  return options;
+}
+
+}  // namespace kgc

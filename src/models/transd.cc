@@ -1,0 +1,173 @@
+#include "models/transd.h"
+
+#include <cmath>
+
+namespace kgc {
+
+TransD::TransD(int32_t num_entities, int32_t num_relations,
+               const ModelHyperParams& params)
+    : KgeModel(ModelType::kTransD, num_entities, num_relations, params),
+      entities_(num_entities, params.dim),
+      entity_proj_(num_entities, params.dim),
+      relations_(num_relations, params.dim),
+      relation_proj_(num_relations, params.dim) {
+  Rng rng(params.seed);
+  const double bound = 6.0 / std::sqrt(static_cast<double>(params.dim));
+  entities_.InitUniform(rng, bound);
+  relations_.InitUniform(rng, bound);
+  entities_.NormalizeRowsL2();
+  relations_.NormalizeRowsL2();
+  // Projection vectors start near zero: M_rh ~ I, i.e. the TransE solution.
+  entity_proj_.InitUniform(rng, 0.1);
+  relation_proj_.InitUniform(rng, 0.1);
+}
+
+double TransD::Score(EntityId h, RelationId r, EntityId t) const {
+  const auto hv = entities_.Row(h);
+  const auto tv = entities_.Row(t);
+  const auto hp = entity_proj_.Row(h);
+  const auto tp = entity_proj_.Row(t);
+  const auto rv = relations_.Row(r);
+  const auto rp = relation_proj_.Row(r);
+  const double ph = Dot(hp, hv);
+  const double pt = Dot(tp, tv);
+  double sum = 0.0;
+  for (int32_t j = 0; j < params_.dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    const double diff =
+        (hv[k] + ph * rp[k]) + rv[k] - (tv[k] + pt * rp[k]);
+    sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
+  }
+  return params_.l1_distance ? -sum : -std::sqrt(sum);
+}
+
+void TransD::ApplyGradient(const Triple& triple, float d_loss_d_score,
+                           float lr) {
+  const int32_t dim = params_.dim;
+  const auto hv = entities_.Row(triple.head);
+  const auto tv = entities_.Row(triple.tail);
+  const auto hp = entity_proj_.Row(triple.head);
+  const auto tp = entity_proj_.Row(triple.tail);
+  const auto rv = relations_.Row(triple.relation);
+  const auto rp = relation_proj_.Row(triple.relation);
+  const double ph = Dot(hp, hv);
+  const double pt = Dot(tp, tv);
+
+  std::vector<float> diff(static_cast<size_t>(dim));
+  double norm = 0.0;
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    diff[k] = static_cast<float>((hv[k] + ph * rp[k]) + rv[k] -
+                                 (tv[k] + pt * rp[k]));
+    norm += static_cast<double>(diff[k]) * diff[k];
+  }
+  norm = std::sqrt(norm);
+  if (!params_.l1_distance && norm < 1e-12) return;
+
+  std::vector<float> g(static_cast<size_t>(dim));
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    const double d_score_d_diff =
+        params_.l1_distance
+            ? -(diff[k] > 0 ? 1.0 : (diff[k] < 0 ? -1.0 : 0.0))
+            : -diff[k] / norm;
+    g[k] = d_loss_d_score * static_cast<float>(d_score_d_diff);
+  }
+
+  const double rg = Dot(rp, g);  // (r_p . g)
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    // dLoss/dh = g + (r_p.g) h_p ; dLoss/dh_p = (r_p.g) h.
+    entities_.Update(triple.head, j,
+                     g[k] + static_cast<float>(rg) * hp[k], lr);
+    entity_proj_.Update(triple.head, j, static_cast<float>(rg) * hv[k], lr);
+    // dLoss/dt = -(g + (r_p.g) t_p) ; dLoss/dt_p = -(r_p.g) t.
+    entities_.Update(triple.tail, j,
+                     -(g[k] + static_cast<float>(rg) * tp[k]), lr);
+    entity_proj_.Update(triple.tail, j, -static_cast<float>(rg) * tv[k], lr);
+    // dLoss/dr = g ; dLoss/dr_p = ((h_p.h) - (t_p.t)) g.
+    relations_.Update(triple.relation, j, g[k], lr);
+    relation_proj_.Update(triple.relation, j,
+                          static_cast<float>(ph - pt) * g[k], lr);
+  }
+  entities_.NormalizeRowL2(triple.head);
+  entities_.NormalizeRowL2(triple.tail);
+}
+
+void TransD::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const int32_t dim = params_.dim;
+  const auto hv = entities_.Row(h);
+  const auto hp = entity_proj_.Row(h);
+  const auto rv = relations_.Row(r);
+  const auto rp = relation_proj_.Row(r);
+  const double ph = Dot(hp, hv);
+  std::vector<float> q(static_cast<size_t>(dim));
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    q[k] = static_cast<float>(hv[k] + ph * rp[k] + rv[k]);
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    const auto ev = entities_.Row(e);
+    const auto ep = entity_proj_.Row(e);
+    const double pe = Dot(ep, ev);
+    double sum = 0.0;
+    for (int32_t j = 0; j < dim; ++j) {
+      const size_t k = static_cast<size_t>(j);
+      const double diff = q[k] - (ev[k] + pe * rp[k]);
+      sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
+    }
+    out[static_cast<size_t>(e)] =
+        static_cast<float>(params_.l1_distance ? -sum : -std::sqrt(sum));
+  }
+}
+
+void TransD::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const int32_t dim = params_.dim;
+  const auto tv = entities_.Row(t);
+  const auto tp = entity_proj_.Row(t);
+  const auto rv = relations_.Row(r);
+  const auto rp = relation_proj_.Row(r);
+  const double pt = Dot(tp, tv);
+  std::vector<float> q(static_cast<size_t>(dim));
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    q[k] = static_cast<float>(tv[k] + pt * rp[k] - rv[k]);
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    const auto ev = entities_.Row(e);
+    const auto ep = entity_proj_.Row(e);
+    const double pe = Dot(ep, ev);
+    double sum = 0.0;
+    for (int32_t j = 0; j < dim; ++j) {
+      const size_t k = static_cast<size_t>(j);
+      const double diff = (ev[k] + pe * rp[k]) - q[k];
+      sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
+    }
+    out[static_cast<size_t>(e)] =
+        static_cast<float>(params_.l1_distance ? -sum : -std::sqrt(sum));
+  }
+}
+
+void TransD::OnEpochBegin(int epoch) {
+  (void)epoch;
+  entities_.NormalizeRowsL2();
+}
+
+void TransD::Serialize(BinaryWriter& writer) const {
+  entities_.Serialize(writer);
+  entity_proj_.Serialize(writer);
+  relations_.Serialize(writer);
+  relation_proj_.Serialize(writer);
+}
+
+Status TransD::Deserialize(BinaryReader& reader) {
+  KGC_RETURN_IF_ERROR(entities_.Deserialize(reader));
+  KGC_RETURN_IF_ERROR(entity_proj_.Deserialize(reader));
+  KGC_RETURN_IF_ERROR(relations_.Deserialize(reader));
+  KGC_RETURN_IF_ERROR(relation_proj_.Deserialize(reader));
+  return Status::Ok();
+}
+
+}  // namespace kgc

@@ -1,0 +1,138 @@
+#include "models/transe.h"
+
+#include <cmath>
+
+namespace kgc {
+namespace {
+
+// Distance between q and t under L1 / L2.
+double Distance(std::span<const float> q, std::span<const float> t, bool l1) {
+  double sum = 0.0;
+  if (l1) {
+    for (size_t j = 0; j < q.size(); ++j) sum += std::fabs(q[j] - t[j]);
+    return sum;
+  }
+  for (size_t j = 0; j < q.size(); ++j) {
+    const double d = q[j] - t[j];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+TransE::TransE(int32_t num_entities, int32_t num_relations,
+               const ModelHyperParams& params)
+    : KgeModel(ModelType::kTransE, num_entities, num_relations, params),
+      entities_(num_entities, params.dim),
+      relations_(num_relations, params.dim) {
+  Rng rng(params.seed);
+  const double bound = 6.0 / std::sqrt(static_cast<double>(params.dim));
+  entities_.InitUniform(rng, bound);
+  relations_.InitUniform(rng, bound);
+  relations_.NormalizeRowsL2();
+  entities_.NormalizeRowsL2();
+}
+
+double TransE::Score(EntityId h, RelationId r, EntityId t) const {
+  const auto hv = entities_.Row(h);
+  const auto rv = relations_.Row(r);
+  const auto tv = entities_.Row(t);
+  double sum = 0.0;
+  if (params_.l1_distance) {
+    for (int32_t j = 0; j < params_.dim; ++j) {
+      const size_t k = static_cast<size_t>(j);
+      sum += std::fabs(hv[k] + rv[k] - tv[k]);
+    }
+  } else {
+    for (int32_t j = 0; j < params_.dim; ++j) {
+      const size_t k = static_cast<size_t>(j);
+      const double d = hv[k] + rv[k] - tv[k];
+      sum += d * d;
+    }
+    sum = std::sqrt(sum);
+  }
+  return -sum;
+}
+
+void TransE::ApplyGradient(const Triple& triple, float d_loss_d_score,
+                           float lr) {
+  const auto hv = entities_.Row(triple.head);
+  const auto rv = relations_.Row(triple.relation);
+  const auto tv = entities_.Row(triple.tail);
+
+  // score = -dist(h + r - t). For L1, dScore/d diff_j = -sign(diff_j);
+  // for L2, -diff_j / ||diff||.
+  const int32_t dim = params_.dim;
+  double norm = 0.0;
+  if (!params_.l1_distance) {
+    for (int32_t j = 0; j < dim; ++j) {
+      const size_t k = static_cast<size_t>(j);
+      const double d = hv[k] + rv[k] - tv[k];
+      norm += d * d;
+    }
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) return;
+  }
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    const double diff = hv[k] + rv[k] - tv[k];
+    const double d_score_d_diff =
+        params_.l1_distance ? -(diff > 0 ? 1.0 : (diff < 0 ? -1.0 : 0.0))
+                            : -diff / norm;
+    const float g = d_loss_d_score * static_cast<float>(d_score_d_diff);
+    entities_.Update(triple.head, j, g, lr);
+    relations_.Update(triple.relation, j, g, lr);
+    entities_.Update(triple.tail, j, -g, lr);
+  }
+  entities_.NormalizeRowL2(triple.head);
+  entities_.NormalizeRowL2(triple.tail);
+}
+
+void TransE::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const auto hv = entities_.Row(h);
+  const auto rv = relations_.Row(r);
+  std::vector<float> q(static_cast<size_t>(params_.dim));
+  for (int32_t j = 0; j < params_.dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    q[k] = hv[k] + rv[k];
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    out[static_cast<size_t>(e)] = static_cast<float>(
+        -Distance(q, entities_.Row(e), params_.l1_distance));
+  }
+}
+
+void TransE::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const auto rv = relations_.Row(r);
+  const auto tv = entities_.Row(t);
+  std::vector<float> q(static_cast<size_t>(params_.dim));
+  for (int32_t j = 0; j < params_.dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    q[k] = tv[k] - rv[k];  // score(e) = -dist(e - (t - r))
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    out[static_cast<size_t>(e)] = static_cast<float>(
+        -Distance(entities_.Row(e), q, params_.l1_distance));
+  }
+}
+
+void TransE::OnEpochBegin(int epoch) {
+  (void)epoch;
+  entities_.NormalizeRowsL2();
+}
+
+void TransE::Serialize(BinaryWriter& writer) const {
+  entities_.Serialize(writer);
+  relations_.Serialize(writer);
+}
+
+Status TransE::Deserialize(BinaryReader& reader) {
+  KGC_RETURN_IF_ERROR(entities_.Deserialize(reader));
+  KGC_RETURN_IF_ERROR(relations_.Deserialize(reader));
+  return Status::Ok();
+}
+
+}  // namespace kgc

@@ -1,0 +1,164 @@
+#include "models/transh.h"
+
+#include <cmath>
+
+namespace kgc {
+
+TransH::TransH(int32_t num_entities, int32_t num_relations,
+               const ModelHyperParams& params)
+    : KgeModel(ModelType::kTransH, num_entities, num_relations, params),
+      entities_(num_entities, params.dim),
+      translations_(num_relations, params.dim),
+      normals_(num_relations, params.dim) {
+  Rng rng(params.seed);
+  const double bound = 6.0 / std::sqrt(static_cast<double>(params.dim));
+  entities_.InitUniform(rng, bound);
+  translations_.InitUniform(rng, bound);
+  normals_.InitUniform(rng, bound);
+  entities_.NormalizeRowsL2();
+  translations_.NormalizeRowsL2();
+  normals_.NormalizeRowsL2();
+}
+
+void TransH::Project(std::span<const float> e, std::span<const float> w,
+                     std::span<float> out) const {
+  const double we = Dot(w, e);
+  for (size_t j = 0; j < e.size(); ++j) {
+    out[j] = e[j] - static_cast<float>(we) * w[j];
+  }
+}
+
+double TransH::Score(EntityId h, RelationId r, EntityId t) const {
+  const auto hv = entities_.Row(h);
+  const auto tv = entities_.Row(t);
+  const auto dv = translations_.Row(r);
+  const auto wv = normals_.Row(r);
+  const double wh = Dot(wv, hv);
+  const double wt = Dot(wv, tv);
+  double sum = 0.0;
+  for (int32_t j = 0; j < params_.dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    const double diff = (hv[k] - wh * wv[k]) + dv[k] - (tv[k] - wt * wv[k]);
+    sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
+  }
+  return params_.l1_distance ? -sum : -std::sqrt(sum);
+}
+
+void TransH::ApplyGradient(const Triple& triple, float d_loss_d_score,
+                           float lr) {
+  const int32_t dim = params_.dim;
+  const auto hv = entities_.Row(triple.head);
+  const auto tv = entities_.Row(triple.tail);
+  const auto dv = translations_.Row(triple.relation);
+  const auto wv = normals_.Row(triple.relation);
+  const double wh = Dot(wv, hv);
+  const double wt = Dot(wv, tv);
+
+  // diff = h - (w.h)w + d - t + (w.t)w ; score = -dist(diff).
+  std::vector<float> diff(static_cast<size_t>(dim));
+  double norm = 0.0;
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    diff[k] = static_cast<float>((hv[k] - wh * wv[k]) + dv[k] -
+                                 (tv[k] - wt * wv[k]));
+    norm += static_cast<double>(diff[k]) * diff[k];
+  }
+  norm = std::sqrt(norm);
+  if (!params_.l1_distance && norm < 1e-12) return;
+
+  // g[j] = dLoss/d diff_j.
+  std::vector<float> g(static_cast<size_t>(dim));
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    const double d_score_d_diff =
+        params_.l1_distance
+            ? -(diff[k] > 0 ? 1.0 : (diff[k] < 0 ? -1.0 : 0.0))
+            : -diff[k] / norm;
+    g[k] = d_loss_d_score * static_cast<float>(d_score_d_diff);
+  }
+
+  const double wg = Dot(wv, g);
+  // u = t - h enters the w-gradient: diff(w) = (w.(t-h)) w + const.
+  // dLoss/dw_k = (t-h)_k (w.g) + (w.(t-h)) g_k.
+  const double wu = wt - wh;
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    // dLoss/dh = g - (w.g) w; dLoss/dt = -(g - (w.g) w); dLoss/dd = g.
+    const float gh = g[k] - static_cast<float>(wg) * wv[k];
+    entities_.Update(triple.head, j, gh, lr);
+    entities_.Update(triple.tail, j, -gh, lr);
+    translations_.Update(triple.relation, j, g[k], lr);
+    const float gw = static_cast<float>((tv[k] - hv[k]) * wg + wu * g[k]);
+    normals_.Update(triple.relation, j, gw, lr);
+  }
+  entities_.NormalizeRowL2(triple.head);
+  entities_.NormalizeRowL2(triple.tail);
+  normals_.NormalizeRowL2(triple.relation);
+}
+
+void TransH::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const auto wv = normals_.Row(r);
+  const auto dv = translations_.Row(r);
+  std::vector<float> q(static_cast<size_t>(params_.dim));
+  Project(entities_.Row(h), wv, q);
+  for (int32_t j = 0; j < params_.dim; ++j) {
+    q[static_cast<size_t>(j)] += dv[static_cast<size_t>(j)];
+  }
+  std::vector<float> tp(static_cast<size_t>(params_.dim));
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    Project(entities_.Row(e), wv, tp);
+    double sum = 0.0;
+    for (int32_t j = 0; j < params_.dim; ++j) {
+      const size_t k = static_cast<size_t>(j);
+      const double diff = q[k] - tp[k];
+      sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
+    }
+    out[static_cast<size_t>(e)] =
+        static_cast<float>(params_.l1_distance ? -sum : -std::sqrt(sum));
+  }
+}
+
+void TransH::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const auto wv = normals_.Row(r);
+  const auto dv = translations_.Row(r);
+  std::vector<float> q(static_cast<size_t>(params_.dim));
+  Project(entities_.Row(t), wv, q);
+  for (int32_t j = 0; j < params_.dim; ++j) {
+    q[static_cast<size_t>(j)] -= dv[static_cast<size_t>(j)];
+  }
+  std::vector<float> hp(static_cast<size_t>(params_.dim));
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    Project(entities_.Row(e), wv, hp);
+    double sum = 0.0;
+    for (int32_t j = 0; j < params_.dim; ++j) {
+      const size_t k = static_cast<size_t>(j);
+      const double diff = hp[k] - q[k];
+      sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
+    }
+    out[static_cast<size_t>(e)] =
+        static_cast<float>(params_.l1_distance ? -sum : -std::sqrt(sum));
+  }
+}
+
+void TransH::OnEpochBegin(int epoch) {
+  (void)epoch;
+  entities_.NormalizeRowsL2();
+  normals_.NormalizeRowsL2();
+}
+
+void TransH::Serialize(BinaryWriter& writer) const {
+  entities_.Serialize(writer);
+  translations_.Serialize(writer);
+  normals_.Serialize(writer);
+}
+
+Status TransH::Deserialize(BinaryReader& reader) {
+  KGC_RETURN_IF_ERROR(entities_.Deserialize(reader));
+  KGC_RETURN_IF_ERROR(translations_.Deserialize(reader));
+  KGC_RETURN_IF_ERROR(normals_.Deserialize(reader));
+  return Status::Ok();
+}
+
+}  // namespace kgc

@@ -1,0 +1,207 @@
+#include "models/transr.h"
+
+#include <cmath>
+
+namespace kgc {
+
+TransR::TransR(int32_t num_entities, int32_t num_relations,
+               const ModelHyperParams& params)
+    : KgeModel(ModelType::kTransR, num_entities, num_relations, params),
+      entities_(num_entities, params.dim),
+      relations_(num_relations, params.dim),
+      matrices_(num_relations, params.dim * params.dim) {
+  Rng rng(params.seed);
+  const double bound = 6.0 / std::sqrt(static_cast<double>(params.dim));
+  entities_.InitUniform(rng, bound);
+  relations_.InitUniform(rng, bound);
+  entities_.NormalizeRowsL2();
+  relations_.NormalizeRowsL2();
+  // M_r starts near identity (the TransE solution), as in the original paper.
+  for (int32_t r = 0; r < num_relations; ++r) {
+    auto m = matrices_.Row(r);
+    for (int32_t i = 0; i < params.dim; ++i) {
+      for (int32_t j = 0; j < params.dim; ++j) {
+        const double jitter = rng.UniformDouble(-0.05, 0.05);
+        m[static_cast<size_t>(i * params.dim + j)] =
+            static_cast<float>((i == j ? 1.0 : 0.0) + jitter);
+      }
+    }
+  }
+}
+
+void TransR::ProjectEntity(RelationId r, EntityId e,
+                           std::span<float> out) const {
+  const auto m = matrices_.Row(r);
+  const auto ev = entities_.Row(e);
+  const int32_t dim = params_.dim;
+  for (int32_t i = 0; i < dim; ++i) {
+    double sum = 0.0;
+    const size_t row = static_cast<size_t>(i * dim);
+    for (int32_t j = 0; j < dim; ++j) {
+      sum += static_cast<double>(m[row + static_cast<size_t>(j)]) *
+             ev[static_cast<size_t>(j)];
+    }
+    out[static_cast<size_t>(i)] = static_cast<float>(sum);
+  }
+}
+
+double TransR::Score(EntityId h, RelationId r, EntityId t) const {
+  const int32_t dim = params_.dim;
+  std::vector<float> hp(static_cast<size_t>(dim));
+  std::vector<float> tp(static_cast<size_t>(dim));
+  ProjectEntity(r, h, hp);
+  ProjectEntity(r, t, tp);
+  const auto rv = relations_.Row(r);
+  double sum = 0.0;
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    const double diff = hp[k] + rv[k] - tp[k];
+    sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
+  }
+  return params_.l1_distance ? -sum : -std::sqrt(sum);
+}
+
+void TransR::ApplyGradient(const Triple& triple, float d_loss_d_score,
+                           float lr) {
+  const int32_t dim = params_.dim;
+  std::vector<float> hp(static_cast<size_t>(dim));
+  std::vector<float> tp(static_cast<size_t>(dim));
+  ProjectEntity(triple.relation, triple.head, hp);
+  ProjectEntity(triple.relation, triple.tail, tp);
+  const auto rv = relations_.Row(triple.relation);
+  const auto hv = entities_.Row(triple.head);
+  const auto tv = entities_.Row(triple.tail);
+
+  std::vector<float> diff(static_cast<size_t>(dim));
+  double norm = 0.0;
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    diff[k] = hp[k] + rv[k] - tp[k];
+    norm += static_cast<double>(diff[k]) * diff[k];
+  }
+  norm = std::sqrt(norm);
+  if (!params_.l1_distance && norm < 1e-12) return;
+
+  std::vector<float> g(static_cast<size_t>(dim));
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    const double d_score_d_diff =
+        params_.l1_distance
+            ? -(diff[k] > 0 ? 1.0 : (diff[k] < 0 ? -1.0 : 0.0))
+            : -diff[k] / norm;
+    g[k] = d_loss_d_score * static_cast<float>(d_score_d_diff);
+  }
+
+  // dLoss/dr = g; dLoss/dh = M^T g; dLoss/dt = -M^T g;
+  // dLoss/dM[i][j] = g_i (h_j - t_j).
+  const auto m = matrices_.Row(triple.relation);
+  std::vector<float> mt_g(static_cast<size_t>(dim), 0.0f);
+  for (int32_t i = 0; i < dim; ++i) {
+    const size_t row = static_cast<size_t>(i * dim);
+    for (int32_t j = 0; j < dim; ++j) {
+      mt_g[static_cast<size_t>(j)] +=
+          m[row + static_cast<size_t>(j)] * g[static_cast<size_t>(i)];
+    }
+  }
+  for (int32_t j = 0; j < dim; ++j) {
+    relations_.Update(triple.relation, j, g[static_cast<size_t>(j)], lr);
+    entities_.Update(triple.head, j, mt_g[static_cast<size_t>(j)], lr);
+    entities_.Update(triple.tail, j, -mt_g[static_cast<size_t>(j)], lr);
+  }
+  for (int32_t i = 0; i < dim; ++i) {
+    for (int32_t j = 0; j < dim; ++j) {
+      const float gm = g[static_cast<size_t>(i)] *
+                       (hv[static_cast<size_t>(j)] - tv[static_cast<size_t>(j)]);
+      matrices_.Update(triple.relation, i * dim + j, gm, lr);
+    }
+  }
+  entities_.NormalizeRowL2(triple.head);
+  entities_.NormalizeRowL2(triple.tail);
+  ++version_;
+}
+
+const std::vector<float>& TransR::ProjectedEntities(RelationId r) const {
+  if (cache_.relation != r || cache_.version != version_) {
+    cache_.relation = r;
+    cache_.version = version_;
+    cache_.projected.resize(static_cast<size_t>(num_entities_) *
+                            static_cast<size_t>(params_.dim));
+    for (EntityId e = 0; e < num_entities_; ++e) {
+      std::span<float> out(cache_.projected.data() +
+                               static_cast<size_t>(e) *
+                                   static_cast<size_t>(params_.dim),
+                           static_cast<size_t>(params_.dim));
+      ProjectEntity(r, e, out);
+    }
+  }
+  return cache_.projected;
+}
+
+void TransR::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const int32_t dim = params_.dim;
+  const std::vector<float>& projected = ProjectedEntities(r);
+  const auto rv = relations_.Row(r);
+  std::vector<float> q(static_cast<size_t>(dim));
+  const float* hp = projected.data() +
+                    static_cast<size_t>(h) * static_cast<size_t>(dim);
+  for (int32_t j = 0; j < dim; ++j) {
+    q[static_cast<size_t>(j)] = hp[j] + rv[static_cast<size_t>(j)];
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    const float* tp = projected.data() +
+                      static_cast<size_t>(e) * static_cast<size_t>(dim);
+    double sum = 0.0;
+    for (int32_t j = 0; j < dim; ++j) {
+      const double diff = q[static_cast<size_t>(j)] - tp[j];
+      sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
+    }
+    out[static_cast<size_t>(e)] =
+        static_cast<float>(params_.l1_distance ? -sum : -std::sqrt(sum));
+  }
+}
+
+void TransR::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  const int32_t dim = params_.dim;
+  const std::vector<float>& projected = ProjectedEntities(r);
+  const auto rv = relations_.Row(r);
+  std::vector<float> q(static_cast<size_t>(dim));
+  const float* tp = projected.data() +
+                    static_cast<size_t>(t) * static_cast<size_t>(dim);
+  for (int32_t j = 0; j < dim; ++j) {
+    q[static_cast<size_t>(j)] = tp[j] - rv[static_cast<size_t>(j)];
+  }
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    const float* hp = projected.data() +
+                      static_cast<size_t>(e) * static_cast<size_t>(dim);
+    double sum = 0.0;
+    for (int32_t j = 0; j < dim; ++j) {
+      const double diff = hp[j] - q[static_cast<size_t>(j)];
+      sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
+    }
+    out[static_cast<size_t>(e)] =
+        static_cast<float>(params_.l1_distance ? -sum : -std::sqrt(sum));
+  }
+}
+
+void TransR::OnEpochBegin(int epoch) {
+  (void)epoch;
+  entities_.NormalizeRowsL2();
+}
+
+void TransR::Serialize(BinaryWriter& writer) const {
+  entities_.Serialize(writer);
+  relations_.Serialize(writer);
+  matrices_.Serialize(writer);
+}
+
+Status TransR::Deserialize(BinaryReader& reader) {
+  KGC_RETURN_IF_ERROR(entities_.Deserialize(reader));
+  KGC_RETURN_IF_ERROR(relations_.Deserialize(reader));
+  KGC_RETURN_IF_ERROR(matrices_.Deserialize(reader));
+  ++version_;
+  return Status::Ok();
+}
+
+}  // namespace kgc

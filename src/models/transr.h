@@ -1,0 +1,54 @@
+// TransR (Lin et al., AAAI 2015).
+//
+// Entities live in R^d, relations in R^k; each relation owns a projection
+// matrix M_r in R^{k x d}: score(h, r, t) = -||M_r h + r - M_r t||.
+// This build uses k = d to keep parameter counts comparable.
+
+#ifndef KGC_MODELS_TRANSR_H_
+#define KGC_MODELS_TRANSR_H_
+
+#include <vector>
+
+#include "models/model.h"
+
+namespace kgc {
+
+class TransR final : public KgeModel {
+ public:
+  TransR(int32_t num_entities, int32_t num_relations,
+         const ModelHyperParams& params);
+
+  double Score(EntityId h, RelationId r, EntityId t) const override;
+  void ApplyGradient(const Triple& triple, float d_loss_d_score,
+                     float lr) override;
+  void ScoreTails(EntityId h, RelationId r, std::span<float> out) const override;
+  void ScoreHeads(RelationId r, EntityId t, std::span<float> out) const override;
+  void OnEpochBegin(int epoch) override;
+
+  void Serialize(BinaryWriter& writer) const override;
+  Status Deserialize(BinaryReader& reader) override;
+
+ private:
+  // out = M_r e.
+  void ProjectEntity(RelationId r, EntityId e, std::span<float> out) const;
+
+  // Evaluation-time cache of all projected entities for one relation; the
+  // ranker visits triples grouped by relation, so hits dominate. Invalidated
+  // by any parameter update (version counter).
+  struct ProjectionCache {
+    RelationId relation = -1;
+    uint64_t version = 0;
+    std::vector<float> projected;  // num_entities x dim
+  };
+  const std::vector<float>& ProjectedEntities(RelationId r) const;
+
+  EmbeddingTable entities_;
+  EmbeddingTable relations_;
+  EmbeddingTable matrices_;  // one d*d row-major matrix per relation
+  uint64_t version_ = 1;
+  mutable ProjectionCache cache_;
+};
+
+}  // namespace kgc
+
+#endif  // KGC_MODELS_TRANSR_H_

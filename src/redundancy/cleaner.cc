@@ -1,0 +1,182 @@
+#include "redundancy/cleaner.h"
+
+#include <unordered_set>
+
+namespace kgc {
+namespace {
+
+// Of each redundant pair keeps the relation with more training triples
+// (ties keep the smaller id). Returns the set of relations to drop.
+std::unordered_set<RelationId> PickDrops(
+    const TripleStore& train,
+    const std::vector<RelationPairOverlap>& pairs) {
+  std::unordered_set<RelationId> drops;
+  for (const RelationPairOverlap& pair : pairs) {
+    if (pair.r1 == pair.r2) continue;
+    // If one side was already dropped by an earlier pair, the other side is
+    // kept -- transitively chained duplicates collapse onto one survivor.
+    if (drops.contains(pair.r1) || drops.contains(pair.r2)) continue;
+    const size_t size1 = train.RelationSize(pair.r1);
+    const size_t size2 = train.RelationSize(pair.r2);
+    drops.insert(size1 >= size2 ? pair.r2 : pair.r1);
+  }
+  return drops;
+}
+
+TripleList FilterRelations(const TripleList& triples,
+                           const std::unordered_set<RelationId>& drops,
+                           size_t* removed) {
+  TripleList kept;
+  kept.reserve(triples.size());
+  for (const Triple& t : triples) {
+    if (drops.contains(t.relation)) {
+      ++*removed;
+    } else {
+      kept.push_back(t);
+    }
+  }
+  return kept;
+}
+
+// Removes triples whose entity pair is linked (either direction) in `train`.
+TripleList FilterLinked(const TripleList& triples, const TripleStore& train,
+                        size_t* removed) {
+  TripleList kept;
+  kept.reserve(triples.size());
+  for (const Triple& t : triples) {
+    if (train.AnyRelationLinks(t.head, t.tail) ||
+        train.AnyRelationLinks(t.tail, t.head)) {
+      ++*removed;
+    } else {
+      kept.push_back(t);
+    }
+  }
+  return kept;
+}
+
+void RecordDrops(const std::unordered_set<RelationId>& drops,
+                 CleaningReport* report) {
+  if (report == nullptr) return;
+  report->dropped_relations.assign(drops.begin(), drops.end());
+}
+
+}  // namespace
+
+Dataset MakeFb237Like(const Dataset& original,
+                      const RedundancyCatalog& catalog, std::string name,
+                      CleaningReport* report) {
+  const TripleStore& train = original.train_store();
+  // Duplicate, reverse and reverse-duplicate pairs are all collapsed.
+  std::vector<RelationPairOverlap> pairs = catalog.duplicate_pairs;
+  pairs.insert(pairs.end(), catalog.reverse_pairs.begin(),
+               catalog.reverse_pairs.end());
+  pairs.insert(pairs.end(), catalog.reverse_duplicate_pairs.begin(),
+               catalog.reverse_duplicate_pairs.end());
+  const std::unordered_set<RelationId> drops = PickDrops(train, pairs);
+  RecordDrops(drops, report);
+
+  CleaningReport local;
+  CleaningReport* r = report != nullptr ? report : &local;
+  TripleList new_train = FilterRelations(original.train(), drops,
+                                         &r->train_removed);
+  TripleList new_valid = FilterRelations(original.valid(), drops,
+                                         &r->valid_removed);
+  TripleList new_test = FilterRelations(original.test(), drops,
+                                        &r->test_removed);
+
+  // Re-index training after relation drops, then remove valid/test triples
+  // whose entity pair is directly linked in training.
+  TripleStore cleaned_train(new_train, original.num_entities(),
+                            original.num_relations());
+  new_valid = FilterLinked(new_valid, cleaned_train, &r->valid_removed);
+  new_test = FilterLinked(new_test, cleaned_train, &r->test_removed);
+
+  return Dataset(std::move(name), original.vocab(), std::move(new_train),
+                 std::move(new_valid), std::move(new_test));
+}
+
+Dataset MakeWn18rrLike(const Dataset& original,
+                       const RedundancyCatalog& catalog, std::string name,
+                       CleaningReport* report) {
+  const TripleStore& train = original.train_store();
+  const std::unordered_set<RelationId> drops =
+      PickDrops(train, catalog.reverse_pairs);
+  RecordDrops(drops, report);
+
+  CleaningReport local;
+  CleaningReport* r = report != nullptr ? report : &local;
+  TripleList new_train = FilterRelations(original.train(), drops,
+                                         &r->train_removed);
+  TripleList new_valid = FilterRelations(original.valid(), drops,
+                                         &r->valid_removed);
+  TripleList new_test = FilterRelations(original.test(), drops,
+                                        &r->test_removed);
+  return Dataset(std::move(name), original.vocab(), std::move(new_train),
+                 std::move(new_valid), std::move(new_test));
+}
+
+Dataset MakeYagoDrLike(const Dataset& original,
+                       const RedundancyCatalog& catalog, std::string name,
+                       CleaningReport* report) {
+  const TripleStore& train = original.train_store();
+  const std::unordered_set<RelationId> drops =
+      PickDrops(train, catalog.duplicate_pairs);
+  RecordDrops(drops, report);
+
+  CleaningReport local;
+  CleaningReport* r = report != nullptr ? report : &local;
+  TripleList new_train = FilterRelations(original.train(), drops,
+                                         &r->train_removed);
+  TripleList new_valid = FilterRelations(original.valid(), drops,
+                                         &r->valid_removed);
+  TripleList new_test = FilterRelations(original.test(), drops,
+                                        &r->test_removed);
+
+  std::unordered_set<RelationId> symmetric(
+      catalog.symmetric_relations.begin(), catalog.symmetric_relations.end());
+
+  // In training, keep only one direction of each symmetric pair.
+  {
+    std::unordered_set<Triple, TripleHash> kept_set;
+    TripleList deduped;
+    deduped.reserve(new_train.size());
+    for (const Triple& t : new_train) {
+      if (symmetric.contains(t.relation)) {
+        const Triple reversed{t.tail, t.relation, t.head};
+        if (kept_set.contains(reversed)) {
+          ++r->train_removed;
+          continue;
+        }
+        kept_set.insert(t);
+      }
+      deduped.push_back(t);
+    }
+    new_train = std::move(deduped);
+  }
+
+  // Remove valid/test symmetric triples whose entity pair is linked in the
+  // (deduplicated) training set.
+  TripleStore cleaned_train(new_train, original.num_entities(),
+                            original.num_relations());
+  auto filter_symmetric = [&](TripleList& split, size_t* removed) {
+    TripleList kept;
+    kept.reserve(split.size());
+    for (const Triple& t : split) {
+      if (symmetric.contains(t.relation) &&
+          (cleaned_train.AnyRelationLinks(t.head, t.tail) ||
+           cleaned_train.AnyRelationLinks(t.tail, t.head))) {
+        ++*removed;
+      } else {
+        kept.push_back(t);
+      }
+    }
+    split = std::move(kept);
+  };
+  filter_symmetric(new_valid, &r->valid_removed);
+  filter_symmetric(new_test, &r->test_removed);
+
+  return Dataset(std::move(name), original.vocab(), std::move(new_train),
+                 std::move(new_valid), std::move(new_test));
+}
+
+}  // namespace kgc

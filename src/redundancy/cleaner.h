@@ -1,0 +1,53 @@
+// Dataset cleaning: constructs the de-leaked counterparts of a benchmark,
+// following the published procedures (paper §5.1):
+//
+//   FB15k-237  : drop one relation from every duplicate / reverse-duplicate
+//                (incl. semantic reverse) pair, then remove valid/test
+//                triples whose entity pair is directly linked in training
+//                through any relation (Toutanova & Chen 2015).
+//   WN18RR     : keep one relation from each reverse pair; symmetric
+//                relations are retained (their residual leakage is one of
+//                the paper's observations).
+//   YAGO3-10-DR: drop the duplicate relation (playsFor), de-duplicate the
+//                symmetric relations' training pairs, and remove valid/test
+//                symmetric triples whose entity pair is linked in training.
+
+#ifndef KGC_REDUNDANCY_CLEANER_H_
+#define KGC_REDUNDANCY_CLEANER_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/dataset.h"
+#include "redundancy/leakage.h"
+
+namespace kgc {
+
+/// Report of what a cleaning pass removed.
+struct CleaningReport {
+  std::vector<RelationId> dropped_relations;
+  size_t train_removed = 0;
+  size_t valid_removed = 0;
+  size_t test_removed = 0;
+};
+
+/// FB15k -> FB15k-237 style cleaning. The catalog is typically obtained from
+/// RedundancyCatalog::Detect on the training store. Of every redundant pair
+/// the relation with fewer training triples is dropped.
+Dataset MakeFb237Like(const Dataset& original, const RedundancyCatalog& catalog,
+                      std::string name, CleaningReport* report = nullptr);
+
+/// WN18 -> WN18RR style cleaning: only reverse pairs between *distinct*
+/// relations are collapsed; symmetric relations survive untouched.
+Dataset MakeWn18rrLike(const Dataset& original,
+                       const RedundancyCatalog& catalog, std::string name,
+                       CleaningReport* report = nullptr);
+
+/// YAGO3-10 -> YAGO3-10-DR style cleaning (paper §5.1(8)).
+Dataset MakeYagoDrLike(const Dataset& original,
+                       const RedundancyCatalog& catalog, std::string name,
+                       CleaningReport* report = nullptr);
+
+}  // namespace kgc
+
+#endif  // KGC_REDUNDANCY_CLEANER_H_

@@ -1,0 +1,128 @@
+#include "redundancy/detectors.h"
+
+namespace kgc {
+namespace {
+
+// Iterates over the smaller set for intersection counting.
+size_t IntersectionCount(const PairSet& a, const PairSet& b, bool reverse_b) {
+  const PairSet& small = a.size() <= b.size() ? a : b;
+  const PairSet& large = a.size() <= b.size() ? b : a;
+  // When probing with reversal, the probe key must be flipped regardless of
+  // which set we iterate (reversal is an involution, so |A ∩ B⁻¹| can be
+  // counted by flipping the iterated element either way).
+  size_t count = 0;
+  for (uint64_t key : small) {
+    uint64_t probe = key;
+    if (reverse_b) {
+      const auto [h, t] = UnpackPair(key);
+      probe = PackPair(t, h);
+    }
+    if (large.contains(probe)) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t PairIntersectionSize(const PairSet& a, const PairSet& b) {
+  return IntersectionCount(a, b, /*reverse_b=*/false);
+}
+
+size_t PairReverseIntersectionSize(const PairSet& a, const PairSet& b) {
+  return IntersectionCount(a, b, /*reverse_b=*/true);
+}
+
+namespace {
+
+std::vector<RelationPairOverlap> FindOverlappingPairs(
+    const TripleStore& store, const DetectorOptions& options,
+    bool reversed) {
+  std::vector<RelationPairOverlap> result;
+  const int32_t num_relations = store.num_relations();
+  // Candidate pruning: a pair can only pass both thresholds if the relations
+  // share at least one subject-object pair; index pairs by one member entity
+  // would be overkill at our scale, so we do the quadratic sweep with an
+  // early size-ratio cut: if |r1| * θ1 > |r2| the overlap |T∩| ≤ |r2| cannot
+  // reach θ1·|r1|.
+  for (RelationId r1 = 0; r1 < num_relations; ++r1) {
+    const PairSet& pairs1 = store.Pairs(r1);
+    if (pairs1.size() < options.min_relation_size) continue;
+    for (RelationId r2 = r1 + 1; r2 < num_relations; ++r2) {
+      const PairSet& pairs2 = store.Pairs(r2);
+      if (pairs2.size() < options.min_relation_size) continue;
+      const double size1 = static_cast<double>(pairs1.size());
+      const double size2 = static_cast<double>(pairs2.size());
+      if (size2 < options.theta1 * size1 || size1 < options.theta2 * size2) {
+        continue;
+      }
+      const size_t overlap = IntersectionCount(pairs1, pairs2, reversed);
+      RelationPairOverlap stat;
+      stat.r1 = r1;
+      stat.r2 = r2;
+      stat.coverage_r1 = static_cast<double>(overlap) / size1;
+      stat.coverage_r2 = static_cast<double>(overlap) / size2;
+      if (stat.coverage_r1 > options.theta1 &&
+          stat.coverage_r2 > options.theta2) {
+        result.push_back(stat);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<RelationPairOverlap> FindDuplicateRelations(
+    const TripleStore& store, const DetectorOptions& options) {
+  return FindOverlappingPairs(store, options, /*reversed=*/false);
+}
+
+std::vector<RelationPairOverlap> FindReverseDuplicateRelations(
+    const TripleStore& store, const DetectorOptions& options) {
+  return FindOverlappingPairs(store, options, /*reversed=*/true);
+}
+
+std::vector<RelationPairOverlap> FindSymmetricRelations(
+    const TripleStore& store, const DetectorOptions& options) {
+  std::vector<RelationPairOverlap> result;
+  for (RelationId r = 0; r < store.num_relations(); ++r) {
+    const PairSet& pairs = store.Pairs(r);
+    if (pairs.size() < options.min_relation_size) continue;
+    const size_t overlap = PairReverseIntersectionSize(pairs, pairs);
+    const double coverage =
+        static_cast<double>(overlap) / static_cast<double>(pairs.size());
+    if (coverage > options.theta1) {
+      RelationPairOverlap stat;
+      stat.r1 = r;
+      stat.r2 = r;
+      stat.coverage_r1 = coverage;
+      stat.coverage_r2 = coverage;
+      result.push_back(stat);
+    }
+  }
+  return result;
+}
+
+std::vector<CartesianEvidence> FindCartesianRelations(
+    const TripleStore& store, const DetectorOptions& options) {
+  std::vector<CartesianEvidence> result;
+  for (RelationId r = 0; r < store.num_relations(); ++r) {
+    const size_t size = store.RelationSize(r);
+    if (size < options.min_relation_size) continue;
+    CartesianEvidence evidence;
+    evidence.relation = r;
+    evidence.num_triples = size;
+    evidence.num_subjects = store.Subjects(r).size();
+    evidence.num_objects = store.Objects(r).size();
+    evidence.density =
+        static_cast<double>(size) /
+        (static_cast<double>(evidence.num_subjects) *
+         static_cast<double>(evidence.num_objects));
+    if (evidence.density > options.cartesian_density) {
+      result.push_back(evidence);
+    }
+  }
+  return result;
+}
+
+}  // namespace kgc

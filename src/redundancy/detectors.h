@@ -1,0 +1,80 @@
+// Data-driven detectors for the relation pathologies the paper studies.
+//
+// All detectors operate purely on observable triple statistics (never on
+// generator metadata), exactly as §4.2.2 and §4.3 of the paper prescribe:
+//
+//   duplicate relations       : |T_r1 ∩ T_r2|   / |r1| > θ1 and  ... / |r2| > θ2
+//   reverse-duplicate (incl.
+//   semantic reverses)        : |T_r1 ∩ T_r2⁻¹| / |r1| > θ1 and  ... / |r2| > θ2
+//   symmetric relations       : |T_r  ∩ T_r⁻¹|  / |r|  > θ
+//   Cartesian product         : |r| / (|S_r| · |O_r|) > δ
+
+#ifndef KGC_REDUNDANCY_DETECTORS_H_
+#define KGC_REDUNDANCY_DETECTORS_H_
+
+#include <vector>
+
+#include "kg/triple_store.h"
+
+namespace kgc {
+
+/// Overlap evidence for a pair of relations (r1 < r2).
+struct RelationPairOverlap {
+  RelationId r1 = -1;
+  RelationId r2 = -1;
+  /// |T_r1 ∩ T_r2| / |r1| (or with T_r2⁻¹ for the reverse variant).
+  double coverage_r1 = 0.0;
+  /// |T_r1 ∩ T_r2| / |r2|.
+  double coverage_r2 = 0.0;
+};
+
+/// Cartesian-product evidence for one relation.
+struct CartesianEvidence {
+  RelationId relation = -1;
+  size_t num_triples = 0;
+  size_t num_subjects = 0;
+  size_t num_objects = 0;
+  /// |r| / (|S_r| x |O_r|).
+  double density = 0.0;
+};
+
+/// Detector thresholds (paper defaults: θ1 = θ2 = 0.8, δ = 0.8).
+struct DetectorOptions {
+  double theta1 = 0.8;
+  double theta2 = 0.8;
+  double cartesian_density = 0.8;
+  /// Relations smaller than this are skipped (the paper drops single-triple
+  /// relations before Cartesian detection).
+  size_t min_relation_size = 2;
+};
+
+/// |A ∩ B| for two packed pair sets.
+size_t PairIntersectionSize(const PairSet& a, const PairSet& b);
+
+/// |A ∩ B⁻¹| where B⁻¹ flips every pair of B.
+size_t PairReverseIntersectionSize(const PairSet& a, const PairSet& b);
+
+/// Finds (near-)duplicate relation pairs: subject-object pair sets overlap
+/// above both thresholds. Pairs are returned with r1 < r2.
+std::vector<RelationPairOverlap> FindDuplicateRelations(
+    const TripleStore& store, const DetectorOptions& options = {});
+
+/// Finds reverse-duplicate relation pairs: r1's pairs overlap r2's reversed
+/// pairs. Semantic reverse pairs (has_part/part_of) are the extreme case.
+/// Pairs are returned with r1 < r2; r1 == r2 cases are excluded (see
+/// FindSymmetricRelations).
+std::vector<RelationPairOverlap> FindReverseDuplicateRelations(
+    const TripleStore& store, const DetectorOptions& options = {});
+
+/// Finds self-reciprocal (symmetric) relations: a large fraction of a
+/// relation's pairs appear reversed within the same relation.
+std::vector<RelationPairOverlap> FindSymmetricRelations(
+    const TripleStore& store, const DetectorOptions& options = {});
+
+/// Finds Cartesian product relations by subject-object density (§4.3(2)).
+std::vector<CartesianEvidence> FindCartesianRelations(
+    const TripleStore& store, const DetectorOptions& options = {});
+
+}  // namespace kgc
+
+#endif  // KGC_REDUNDANCY_DETECTORS_H_

@@ -1,0 +1,177 @@
+#include "redundancy/leakage.h"
+
+#include <string>
+
+namespace kgc {
+
+RedundancyCatalog RedundancyCatalog::Detect(const TripleStore& store,
+                                            const DetectorOptions& options) {
+  RedundancyCatalog catalog;
+  catalog.duplicate_pairs = FindDuplicateRelations(store, options);
+  catalog.reverse_pairs = FindReverseDuplicateRelations(store, options);
+  for (const RelationPairOverlap& stat :
+       FindSymmetricRelations(store, options)) {
+    catalog.symmetric_relations.push_back(stat.r1);
+  }
+  return catalog;
+}
+
+std::vector<RelationId> RedundancyCatalog::ReversePartners(
+    RelationId r) const {
+  std::vector<RelationId> partners;
+  for (const RelationPairOverlap& pair : reverse_pairs) {
+    if (pair.r1 == r) partners.push_back(pair.r2);
+    if (pair.r2 == r) partners.push_back(pair.r1);
+  }
+  return partners;
+}
+
+std::vector<RelationId> RedundancyCatalog::DuplicatePartners(
+    RelationId r) const {
+  std::vector<RelationId> partners;
+  for (const RelationPairOverlap& pair : duplicate_pairs) {
+    if (pair.r1 == r) partners.push_back(pair.r2);
+    if (pair.r2 == r) partners.push_back(pair.r1);
+  }
+  return partners;
+}
+
+std::vector<RelationId> RedundancyCatalog::ReverseDuplicatePartners(
+    RelationId r) const {
+  std::vector<RelationId> partners;
+  for (const RelationPairOverlap& pair : reverse_duplicate_pairs) {
+    if (pair.r1 == r) partners.push_back(pair.r2);
+    if (pair.r2 == r) partners.push_back(pair.r1);
+  }
+  return partners;
+}
+
+bool RedundancyCatalog::IsSymmetric(RelationId r) const {
+  for (RelationId s : symmetric_relations) {
+    if (s == r) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// True if `store` contains a reverse counterpart of (h, r, t) under the
+// catalog: (t, r2, h) for some reverse partner r2, or (t, r, h) for a
+// symmetric relation.
+bool HasReverseIn(const TripleStore& store, const RedundancyCatalog& catalog,
+                  const Triple& triple, bool exclude_self) {
+  if (catalog.IsSymmetric(triple.relation)) {
+    if (store.Contains(triple.tail, triple.relation, triple.head)) {
+      // A self-loop (h == t) is its own reverse; never count it.
+      if (triple.head != triple.tail) return true;
+    }
+  }
+  for (RelationId r2 : catalog.ReversePartners(triple.relation)) {
+    if (store.Contains(triple.tail, r2, triple.head)) {
+      if (!exclude_self || r2 != triple.relation ||
+          triple.head != triple.tail) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// True if `store` contains a duplicate counterpart (h, r2, t) of the triple
+// for some duplicate partner r2.
+bool HasDuplicateIn(const TripleStore& store, const RedundancyCatalog& catalog,
+                    const Triple& triple) {
+  for (RelationId r2 : catalog.DuplicatePartners(triple.relation)) {
+    if (store.Contains(triple.head, r2, triple.tail)) return true;
+  }
+  return false;
+}
+
+// True if `store` contains a reverse-duplicate counterpart (t, r2, h) for a
+// reverse-duplicate partner r2.
+bool HasReverseDuplicateIn(const TripleStore& store,
+                           const RedundancyCatalog& catalog,
+                           const Triple& triple) {
+  for (RelationId r2 : catalog.ReverseDuplicatePartners(triple.relation)) {
+    if (store.Contains(triple.tail, r2, triple.head)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ReverseLeakageStats ComputeReverseLeakage(const Dataset& dataset,
+                                          const RedundancyCatalog& catalog) {
+  ReverseLeakageStats stats;
+  const TripleStore& train = dataset.train_store();
+
+  for (const Triple& t : dataset.train()) {
+    if (HasReverseIn(train, catalog, t, /*exclude_self=*/true)) {
+      ++stats.train_triples_in_reverse_pairs;
+    }
+  }
+  if (!dataset.train().empty()) {
+    stats.train_reverse_fraction =
+        static_cast<double>(stats.train_triples_in_reverse_pairs) /
+        static_cast<double>(dataset.train().size());
+  }
+
+  for (const Triple& t : dataset.test()) {
+    if (HasReverseIn(train, catalog, t, /*exclude_self=*/false)) {
+      ++stats.test_triples_with_reverse_in_train;
+    }
+  }
+  if (!dataset.test().empty()) {
+    stats.test_reverse_fraction =
+        static_cast<double>(stats.test_triples_with_reverse_in_train) /
+        static_cast<double>(dataset.test().size());
+  }
+  return stats;
+}
+
+RedundancyBitmap ComputeRedundancyBitmap(const Dataset& dataset,
+                                         const RedundancyCatalog& catalog) {
+  RedundancyBitmap bitmap;
+  const TripleStore& train = dataset.train_store();
+  const TripleStore& test = dataset.test_store();
+  bitmap.cases.reserve(dataset.test().size());
+
+  for (const Triple& t : dataset.test()) {
+    const bool reverse_train =
+        HasReverseIn(train, catalog, t, /*exclude_self=*/false);
+    const bool dup_train = HasDuplicateIn(train, catalog, t);
+    const bool revdup_train = HasReverseDuplicateIn(train, catalog, t);
+    // Within the test split the triple itself is present; the reverse check
+    // must not count the triple as its own counterpart.
+    const bool reverse_test =
+        HasReverseIn(test, catalog, t, /*exclude_self=*/true);
+    const bool dup_test = HasDuplicateIn(test, catalog, t);
+    const bool revdup_test = HasReverseDuplicateIn(test, catalog, t);
+
+    uint8_t code = 0;
+    if (reverse_train) code |= 0b1000;
+    if (dup_train || revdup_train) code |= 0b0100;
+    if (reverse_test) code |= 0b0010;
+    if (dup_test || revdup_test) code |= 0b0001;
+    bitmap.cases.push_back(code);
+    bitmap.histogram[code]++;
+
+    if (reverse_train) ++bitmap.reverse_in_train;
+    if (dup_train) ++bitmap.duplicate_in_train;
+    if (revdup_train) ++bitmap.reverse_duplicate_in_train;
+    if (reverse_test) ++bitmap.reverse_in_test;
+    if (dup_test) ++bitmap.duplicate_in_test;
+    if (revdup_test) ++bitmap.reverse_duplicate_in_test;
+  }
+  return bitmap;
+}
+
+std::string RedundancyCaseName(uint8_t case_index) {
+  std::string name(4, '0');
+  for (int bit = 0; bit < 4; ++bit) {
+    if (case_index & (1 << (3 - bit))) name[static_cast<size_t>(bit)] = '1';
+  }
+  return name;
+}
+
+}  // namespace kgc

@@ -1,0 +1,99 @@
+// Reverse-triple leakage statistics (paper §4.2.1) and the per-test-triple
+// redundancy bitmap (paper Figure 4).
+
+#ifndef KGC_REDUNDANCY_LEAKAGE_H_
+#define KGC_REDUNDANCY_LEAKAGE_H_
+
+#include <array>
+#include <vector>
+
+#include "kg/dataset.h"
+#include "redundancy/detectors.h"
+
+namespace kgc {
+
+/// The set of relation-level redundancy facts used to classify triples.
+/// Can be built from detectors (data-driven) or from generator metadata
+/// (oracle, mirroring Freebase's reverse_property).
+struct RedundancyCatalog {
+  /// Semantic reverse relation pairs (Freebase reverse_property analogue);
+  /// order irrelevant. The purely data-driven detector cannot distinguish
+  /// these from reverse duplicates, so Detect() puts every reversed-overlap
+  /// pair here and leaves reverse_duplicate_pairs empty; oracle catalogs
+  /// split the two (paper §4.2.2 treats them as distinct categories).
+  std::vector<RelationPairOverlap> reverse_pairs;
+  /// Duplicate relation pairs.
+  std::vector<RelationPairOverlap> duplicate_pairs;
+  /// Reverse-duplicate relation pairs (high reversed overlap without being
+  /// semantic reverses).
+  std::vector<RelationPairOverlap> reverse_duplicate_pairs;
+  /// Self-reciprocal relations.
+  std::vector<RelationId> symmetric_relations;
+
+  /// Builds a catalog by running all detectors on `store`.
+  static RedundancyCatalog Detect(const TripleStore& store,
+                                  const DetectorOptions& options = {});
+
+  /// Relations related to `r` by a semantic reverse pairing.
+  std::vector<RelationId> ReversePartners(RelationId r) const;
+  /// Relations related to `r` by a duplicate pairing.
+  std::vector<RelationId> DuplicatePartners(RelationId r) const;
+  /// Relations related to `r` by a reverse-duplicate pairing.
+  std::vector<RelationId> ReverseDuplicatePartners(RelationId r) const;
+  bool IsSymmetric(RelationId r) const;
+};
+
+/// §4.2.1 headline statistics.
+struct ReverseLeakageStats {
+  /// Triples in the training set whose reverse (under the catalog) is also
+  /// in the training set, and the fraction of the training set they form.
+  size_t train_triples_in_reverse_pairs = 0;
+  double train_reverse_fraction = 0.0;
+  /// Test triples whose reverse exists in the training set.
+  size_t test_triples_with_reverse_in_train = 0;
+  double test_reverse_fraction = 0.0;
+};
+
+/// Computes reverse-pair leakage between/within splits.
+ReverseLeakageStats ComputeReverseLeakage(const Dataset& dataset,
+                                          const RedundancyCatalog& catalog);
+
+/// Figure-4 bitmap. Bit order follows the paper's notation "wxyz":
+///   bit 3 (w): reverse triple in the training set
+///   bit 2 (x): duplicate or reverse-duplicate triple in the training set
+///   bit 1 (y): reverse triple in the test set
+///   bit 0 (z): duplicate or reverse-duplicate triple in the test set
+/// e.g. 0b1000 = "1000": only a reverse triple in training.
+struct RedundancyBitmap {
+  /// Case index (0..15) per test triple, aligned with dataset.test().
+  std::vector<uint8_t> cases;
+  /// Histogram over the 16 cases.
+  std::array<size_t, 16> histogram = {};
+
+  /// Count of test triples with a reverse / duplicate / reverse-duplicate
+  /// triple in the training set (paper: 41,529 / 2,701 / 1,847 for FB15k).
+  size_t reverse_in_train = 0;
+  size_t duplicate_in_train = 0;
+  size_t reverse_duplicate_in_train = 0;
+  /// Same, within the test set itself (paper: 4,992 / 328 / 249).
+  size_t reverse_in_test = 0;
+  size_t duplicate_in_test = 0;
+  size_t reverse_duplicate_in_test = 0;
+};
+
+/// Classifies every test triple of `dataset` (paper Figure 4).
+RedundancyBitmap ComputeRedundancyBitmap(const Dataset& dataset,
+                                         const RedundancyCatalog& catalog);
+
+/// Renders a case index as the paper's 4-character code, e.g. "1100".
+std::string RedundancyCaseName(uint8_t case_index);
+
+/// True if the test triple at `index` has any redundant counterpart in the
+/// training set (bits 3 or 2).
+inline bool HasTrainRedundancy(uint8_t case_index) {
+  return (case_index & 0b1100) != 0;
+}
+
+}  // namespace kgc
+
+#endif  // KGC_REDUNDANCY_LEAKAGE_H_

@@ -1,0 +1,300 @@
+#include "rules/amie.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace kgc {
+
+std::string Rule::ToString(const Vocab& vocab) const {
+  switch (kind) {
+    case RuleBodyKind::kSame:
+      return StrFormat("%s(x,y) => %s(x,y)  [supp=%zu conf=%.2f pca=%.2f]",
+                       vocab.RelationName(body1).c_str(),
+                       vocab.RelationName(head).c_str(), support,
+                       std_confidence, pca_confidence);
+    case RuleBodyKind::kInverse:
+      return StrFormat("%s(y,x) => %s(x,y)  [supp=%zu conf=%.2f pca=%.2f]",
+                       vocab.RelationName(body1).c_str(),
+                       vocab.RelationName(head).c_str(), support,
+                       std_confidence, pca_confidence);
+    case RuleBodyKind::kPath:
+      return StrFormat(
+          "%s(x,z) ^ %s(z,y) => %s(x,y)  [supp=%zu conf=%.2f pca=%.2f]",
+          vocab.RelationName(body1).c_str(),
+          vocab.RelationName(body2).c_str(),
+          vocab.RelationName(head).c_str(), support, std_confidence,
+          pca_confidence);
+  }
+  return "<invalid rule>";
+}
+
+namespace {
+
+// Relations holding between each linked (h, t) pair.
+using PairRelationIndex =
+    std::unordered_map<uint64_t, std::vector<RelationId>>;
+
+PairRelationIndex BuildPairRelationIndex(const TripleStore& train) {
+  PairRelationIndex index;
+  index.reserve(train.size());
+  for (const Triple& t : train.triples()) {
+    index[PackPair(t.head, t.tail)].push_back(t.relation);
+  }
+  return index;
+}
+
+// Finalizes confidence fields and applies thresholds; returns true if the
+// rule survives.
+bool FinalizeRule(const TripleStore& train, const AmieOptions& options,
+                  size_t pca_body, Rule& rule) {
+  const size_t head_size = train.RelationSize(rule.head);
+  if (rule.support < options.min_support || rule.body_size == 0 ||
+      head_size == 0) {
+    return false;
+  }
+  rule.std_confidence =
+      static_cast<double>(rule.support) / static_cast<double>(rule.body_size);
+  rule.pca_confidence =
+      pca_body > 0 ? static_cast<double>(rule.support) /
+                         static_cast<double>(pca_body)
+                   : 0.0;
+  rule.head_coverage =
+      static_cast<double>(rule.support) / static_cast<double>(head_size);
+  if (rule.head_coverage < options.min_head_coverage) return false;
+  const double confidence = options.use_pca_confidence ? rule.pca_confidence
+                                                       : rule.std_confidence;
+  return confidence >= options.min_confidence;
+}
+
+}  // namespace
+
+std::vector<Rule> MineRules(const TripleStore& train,
+                            const AmieOptions& options) {
+  std::vector<Rule> rules;
+  const int32_t num_relations = train.num_relations();
+  const PairRelationIndex pair_index = BuildPairRelationIndex(train);
+
+  // --- Unary rules: r1(x,y) => rh(x,y) and r1(y,x) => rh(x,y). ------------
+  // For each body relation count, via the pair index, how many of its pairs
+  // (or reversed pairs) carry each other relation.
+  for (RelationId body = 0; body < num_relations; ++body) {
+    const PairSet& body_pairs = train.Pairs(body);
+    if (body_pairs.size() < options.min_support) continue;
+    std::unordered_map<RelationId, size_t> same_support;
+    std::unordered_map<RelationId, size_t> inverse_support;
+    for (uint64_t key : body_pairs) {
+      auto it = pair_index.find(key);
+      if (it != pair_index.end()) {
+        for (RelationId rh : it->second) same_support[rh] += 1;
+      }
+      const auto [x, y] = UnpackPair(key);
+      auto rit = pair_index.find(PackPair(y, x));
+      if (rit != pair_index.end()) {
+        for (RelationId rh : rit->second) inverse_support[rh] += 1;
+      }
+    }
+
+    auto emit = [&](RuleBodyKind kind, RelationId head, size_t support) {
+      if (kind == RuleBodyKind::kSame && head == body) return;  // tautology
+      Rule rule;
+      rule.kind = kind;
+      rule.body1 = body;
+      rule.head = head;
+      rule.support = support;
+      rule.body_size = body_pairs.size();
+      // PCA denominator: body pairs whose x has some head-relation fact.
+      size_t pca_body = 0;
+      const EntitySet& head_subjects = train.Subjects(head);
+      for (uint64_t key : body_pairs) {
+        const auto [bx, by] = UnpackPair(key);
+        const EntityId x = kind == RuleBodyKind::kSame ? bx : by;
+        if (head_subjects.contains(x)) ++pca_body;
+      }
+      if (FinalizeRule(train, options, pca_body, rule)) {
+        rules.push_back(rule);
+      }
+    };
+    for (const auto& [head, support] : same_support) {
+      emit(RuleBodyKind::kSame, head, support);
+    }
+    for (const auto& [head, support] : inverse_support) {
+      emit(RuleBodyKind::kInverse, head, support);
+    }
+  }
+
+  // --- Path rules: r1(x,z) ^ r2(z,y) => rh(x,y). --------------------------
+  // Enumerate 2-hop body pairs through each mediator entity; bodies are
+  // keyed by (r1, r2).
+  struct PathBody {
+    PairSet pairs;
+    std::unordered_map<RelationId, size_t> support;
+  };
+  std::unordered_map<uint64_t, PathBody> bodies;
+  size_t total_pairs = 0;
+
+  // Per-entity adjacency. in_edges[z] = (r1, x) with (x, r1, z);
+  // out_edges[z] = (r2, y) with (z, r2, y).
+  std::vector<std::vector<std::pair<RelationId, EntityId>>> in_edges(
+      static_cast<size_t>(train.num_entities()));
+  std::vector<std::vector<std::pair<RelationId, EntityId>>> out_edges(
+      static_cast<size_t>(train.num_entities()));
+  for (const Triple& t : train.triples()) {
+    in_edges[static_cast<size_t>(t.tail)].push_back({t.relation, t.head});
+    out_edges[static_cast<size_t>(t.head)].push_back({t.relation, t.tail});
+  }
+  constexpr size_t kMaxCombosPerEntity = 20'000;
+  for (EntityId z = 0; z < train.num_entities(); ++z) {
+    const auto& in = in_edges[static_cast<size_t>(z)];
+    const auto& out = out_edges[static_cast<size_t>(z)];
+    if (in.empty() || out.empty()) continue;
+    if (in.size() * out.size() > kMaxCombosPerEntity) continue;  // hub cap
+    if (total_pairs > options.max_path_pairs) break;
+    for (const auto& [r1, x] : in) {
+      for (const auto& [r2, y] : out) {
+        PathBody& body =
+            bodies[(static_cast<uint64_t>(static_cast<uint32_t>(r1)) << 32) |
+                   static_cast<uint32_t>(r2)];
+        if (!body.pairs.insert(PackPair(x, y)).second) continue;
+        ++total_pairs;
+        auto it = pair_index.find(PackPair(x, y));
+        if (it != pair_index.end()) {
+          for (RelationId rh : it->second) body.support[rh] += 1;
+        }
+      }
+    }
+  }
+  for (const auto& [key, body] : bodies) {
+    const RelationId r1 = static_cast<RelationId>(key >> 32);
+    const RelationId r2 = static_cast<RelationId>(key & 0xffffffffULL);
+    for (const auto& [head, support] : body.support) {
+      if (support < options.min_support) continue;
+      Rule rule;
+      rule.kind = RuleBodyKind::kPath;
+      rule.body1 = r1;
+      rule.body2 = r2;
+      rule.head = head;
+      rule.support = support;
+      rule.body_size = body.pairs.size();
+      size_t pca_body = 0;
+      const EntitySet& head_subjects = train.Subjects(head);
+      for (uint64_t pair_key : body.pairs) {
+        const auto [x, y] = UnpackPair(pair_key);
+        (void)y;
+        if (head_subjects.contains(x)) ++pca_body;
+      }
+      if (FinalizeRule(train, options, pca_body, rule)) {
+        rules.push_back(rule);
+      }
+    }
+  }
+
+  std::sort(rules.begin(), rules.end(), [&](const Rule& a, const Rule& b) {
+    const double ca = options.use_pca_confidence ? a.pca_confidence
+                                                 : a.std_confidence;
+    const double cb = options.use_pca_confidence ? b.pca_confidence
+                                                 : b.std_confidence;
+    if (ca != cb) return ca > cb;
+    return a.support > b.support;
+  });
+  return rules;
+}
+
+RulePredictor::RulePredictor(std::vector<Rule> rules,
+                             const TripleStore& train,
+                             const AmieOptions& options)
+    : rules_(std::move(rules)),
+      train_(train),
+      options_(options),
+      by_head_(static_cast<size_t>(train.num_relations())) {
+  for (const Rule& rule : rules_) {
+    KGC_CHECK_GE(rule.head, 0);
+    KGC_CHECK_LT(rule.head, train.num_relations());
+    by_head_[static_cast<size_t>(rule.head)].push_back(&rule);
+  }
+  for (auto& bucket : by_head_) {
+    std::sort(bucket.begin(), bucket.end(),
+              [this](const Rule* a, const Rule* b) {
+                return Confidence(*a) > Confidence(*b);
+              });
+  }
+}
+
+const std::vector<const Rule*>& RulePredictor::RulesForHead(
+    RelationId r) const {
+  static const std::vector<const Rule*>* empty =
+      new std::vector<const Rule*>();
+  if (r < 0 || static_cast<size_t>(r) >= by_head_.size()) return *empty;
+  return by_head_[static_cast<size_t>(r)];
+}
+
+void RulePredictor::ScoreTails(EntityId h, RelationId r,
+                               std::span<float> out) const {
+  std::fill(out.begin(), out.end(), 0.0f);
+  std::vector<float> best(out.size(), 0.0f);
+  std::vector<int> count(out.size(), 0);
+  auto credit = [&](EntityId y, double confidence) {
+    const size_t k = static_cast<size_t>(y);
+    best[k] = std::max(best[k], static_cast<float>(confidence));
+    count[k] = std::min(count[k] + 1, 1000);
+  };
+  for (const Rule* rule : RulesForHead(r)) {
+    const double confidence = Confidence(*rule);
+    switch (rule->kind) {
+      case RuleBodyKind::kSame:
+        for (EntityId y : train_.Tails(h, rule->body1)) credit(y, confidence);
+        break;
+      case RuleBodyKind::kInverse:
+        for (EntityId y : train_.Heads(rule->body1, h)) credit(y, confidence);
+        break;
+      case RuleBodyKind::kPath:
+        for (EntityId z : train_.Tails(h, rule->body1)) {
+          for (EntityId y : train_.Tails(z, rule->body2)) {
+            credit(y, confidence);
+          }
+        }
+        break;
+    }
+  }
+  for (size_t k = 0; k < out.size(); ++k) {
+    // Max confidence, ties broken by the number of generating rules.
+    out[k] = best[k] + static_cast<float>(count[k]) * 1e-6f;
+  }
+}
+
+void RulePredictor::ScoreHeads(RelationId r, EntityId t,
+                               std::span<float> out) const {
+  std::fill(out.begin(), out.end(), 0.0f);
+  std::vector<float> best(out.size(), 0.0f);
+  std::vector<int> count(out.size(), 0);
+  auto credit = [&](EntityId x, double confidence) {
+    const size_t k = static_cast<size_t>(x);
+    best[k] = std::max(best[k], static_cast<float>(confidence));
+    count[k] = std::min(count[k] + 1, 1000);
+  };
+  for (const Rule* rule : RulesForHead(r)) {
+    const double confidence = Confidence(*rule);
+    switch (rule->kind) {
+      case RuleBodyKind::kSame:
+        for (EntityId x : train_.Heads(rule->body1, t)) credit(x, confidence);
+        break;
+      case RuleBodyKind::kInverse:
+        for (EntityId x : train_.Tails(t, rule->body1)) credit(x, confidence);
+        break;
+      case RuleBodyKind::kPath:
+        for (EntityId z : train_.Heads(rule->body2, t)) {
+          for (EntityId x : train_.Heads(rule->body1, z)) {
+            credit(x, confidence);
+          }
+        }
+        break;
+    }
+  }
+  for (size_t k = 0; k < out.size(); ++k) {
+    out[k] = best[k] + static_cast<float>(count[k]) * 1e-6f;
+  }
+}
+
+}  // namespace kgc

@@ -1,0 +1,50 @@
+// Horn rule representation for observed-feature link prediction.
+
+#ifndef KGC_RULES_RULE_H_
+#define KGC_RULES_RULE_H_
+
+#include <string>
+
+#include "kg/triple.h"
+#include "kg/vocab.h"
+
+namespace kgc {
+
+/// Body shape of a mined rule. Variables follow AMIE's convention with head
+/// atom head_relation(x, y).
+enum class RuleBodyKind {
+  /// r1(x, y) => head(x, y)  -- duplicate / subsumption rule.
+  kSame = 0,
+  /// r1(y, x) => head(x, y)  -- inverse rule.
+  kInverse = 1,
+  /// r1(x, z) ^ r2(z, y) => head(x, y)  -- composition (path) rule.
+  kPath = 2,
+};
+
+/// A closed Horn rule with up to two body atoms.
+struct Rule {
+  RuleBodyKind kind = RuleBodyKind::kSame;
+  RelationId body1 = -1;
+  /// Second body atom; only for kPath.
+  RelationId body2 = -1;
+  RelationId head = -1;
+
+  /// Number of body instantiations that satisfy the head.
+  size_t support = 0;
+  /// Number of body instantiations (distinct (x, y) pairs).
+  size_t body_size = 0;
+  /// support / body_size.
+  double std_confidence = 0.0;
+  /// PCA confidence: the denominator only counts body pairs (x, y) whose x
+  /// has at least one head-relation fact (partial-completeness assumption).
+  double pca_confidence = 0.0;
+  /// support / |head relation|.
+  double head_coverage = 0.0;
+
+  /// Renders the rule using `vocab` relation names, AMIE-style.
+  std::string ToString(const Vocab& vocab) const;
+};
+
+}  // namespace kgc
+
+#endif  // KGC_RULES_RULE_H_

@@ -1,0 +1,49 @@
+// Lightweight CHECK macros for invariant enforcement.
+//
+// The library is built without exceptions; unrecoverable programming errors
+// abort the process with a message pointing at the failing condition.
+// Recoverable conditions (bad input files, malformed configs) go through
+// util::Status instead.
+
+#ifndef KGC_UTIL_CHECK_H_
+#define KGC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kgc {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace kgc
+
+#define KGC_CHECK(expr)                                             \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::kgc::internal_check::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                               \
+  } while (0)
+
+#define KGC_CHECK_EQ(a, b) KGC_CHECK((a) == (b))
+#define KGC_CHECK_NE(a, b) KGC_CHECK((a) != (b))
+#define KGC_CHECK_LT(a, b) KGC_CHECK((a) < (b))
+#define KGC_CHECK_LE(a, b) KGC_CHECK((a) <= (b))
+#define KGC_CHECK_GT(a, b) KGC_CHECK((a) > (b))
+#define KGC_CHECK_GE(a, b) KGC_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define KGC_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define KGC_DCHECK(expr) KGC_CHECK(expr)
+#endif
+
+#endif  // KGC_UTIL_CHECK_H_

@@ -1,0 +1,71 @@
+#include "util/file_util.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/string_util.h"
+
+namespace kgc {
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(file);
+    return Status::IoError("cannot stat: " + path);
+  }
+  std::string content(static_cast<size_t>(size), '\0');
+  const size_t read =
+      content.empty() ? 0 : std::fread(content.data(), 1, content.size(), file);
+  std::fclose(file);
+  if (read != content.size()) {
+    return Status::IoError("short read: " + path);
+  }
+  return content;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open for write: " + path);
+  }
+  const size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), file);
+  const int close_result = std::fclose(file);
+  if (written != content.size() || close_result != 0) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> ReadLines(const std::string& path) {
+  auto content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  std::vector<std::string> lines = Split(*content, '\n');
+  // A trailing newline produces one empty final field; drop it.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+Status MakeDirectories(const std::string& path) {
+  std::error_code error;
+  std::filesystem::create_directories(path, error);
+  if (error) {
+    return Status::IoError("mkdir failed: " + path + ": " + error.message());
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat info {};
+  return ::stat(path.c_str(), &info) == 0 && S_ISREG(info.st_mode);
+}
+
+}  // namespace kgc

@@ -1,0 +1,30 @@
+// Filesystem helpers (text I/O, directory creation).
+
+#ifndef KGC_UTIL_FILE_UTIL_H_
+#define KGC_UTIL_FILE_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgc {
+
+/// Reads a whole text file.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a whole text file (truncating).
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+/// Reads a text file into lines (without trailing newline characters).
+StatusOr<std::vector<std::string>> ReadLines(const std::string& path);
+
+/// Creates a directory (and parents) if missing.
+Status MakeDirectories(const std::string& path);
+
+/// True if a regular file exists at `path`.
+bool FileExists(const std::string& path);
+
+}  // namespace kgc
+
+#endif  // KGC_UTIL_FILE_UTIL_H_

@@ -1,0 +1,38 @@
+#include "util/logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace kgc {
+namespace {
+
+LogLevel g_log_level = LogLevel::kInfo;
+
+void Emit(LogLevel level, const char* tag, const char* format, va_list args) {
+  if (level < g_log_level) return;
+  std::fprintf(stderr, "[%s] ", tag);
+  std::vfprintf(stderr, format, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() { return g_log_level; }
+
+#define KGC_DEFINE_LOG_FN(Name, level, tag)         \
+  void Name(const char* format, ...) {              \
+    va_list args;                                   \
+    va_start(args, format);                         \
+    Emit(level, tag, format, args);                 \
+    va_end(args);                                   \
+  }
+
+KGC_DEFINE_LOG_FN(LogDebug, LogLevel::kDebug, "DEBUG")
+KGC_DEFINE_LOG_FN(LogInfo, LogLevel::kInfo, "INFO")
+KGC_DEFINE_LOG_FN(LogWarning, LogLevel::kWarning, "WARN")
+KGC_DEFINE_LOG_FN(LogError, LogLevel::kError, "ERROR")
+
+#undef KGC_DEFINE_LOG_FN
+
+}  // namespace kgc

@@ -1,0 +1,31 @@
+// Minimal leveled logging to stderr.
+//
+// Usage:
+//   KGC_LOG(INFO) << won't compile -- this is printf-style, not streams:
+//   LogInfo("trained %s in %.1fs", name.c_str(), seconds);
+//
+// Verbosity is controlled globally; benches lower it to keep table output
+// clean while examples keep INFO on.
+
+#ifndef KGC_UTIL_LOGGING_H_
+#define KGC_UTIL_LOGGING_H_
+
+#include <string>
+
+namespace kgc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style log emitters.
+void LogDebug(const char* format, ...) __attribute__((format(printf, 1, 2)));
+void LogInfo(const char* format, ...) __attribute__((format(printf, 1, 2)));
+void LogWarning(const char* format, ...) __attribute__((format(printf, 1, 2)));
+void LogError(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace kgc
+
+#endif  // KGC_UTIL_LOGGING_H_

@@ -1,0 +1,150 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (data generation, negative
+// sampling, initialization, shuffling) draws from an explicitly seeded Rng so
+// that experiments are bit-reproducible across runs and machines.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded via SplitMix64.
+
+#ifndef KGC_UTIL_RNG_H_
+#define KGC_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace kgc {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    KGC_DCHECK(bound > 0);
+    // Debiased multiply-shift (Lemire).
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    KGC_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; the pair's second
+  /// half is cached).
+  double Normal() {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    while (u1 <= 1e-300) u1 = UniformDouble();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cached_normal_ = radius * std::sin(angle);
+    has_cached_normal_ = true;
+    return radius * std::cos(angle);
+  }
+
+  /// Normal with mean/stddev.
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = Uniform(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k) {
+    KGC_CHECK_LE(k, n);
+    // Floyd's algorithm would need a set; for our sizes a partial
+    // Fisher-Yates over an index vector is simpler and fast enough.
+    std::vector<size_t> indices(n);
+    for (size_t i = 0; i < n; ++i) indices[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j = i + Uniform(n - i);
+      std::swap(indices[i], indices[j]);
+    }
+    indices.resize(k);
+    return indices;
+  }
+
+  /// Derives an independent child generator; used to give each component its
+  /// own stream from one experiment seed.
+  Rng Fork(uint64_t stream_id) {
+    uint64_t sm = Next() ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+    return Rng(SplitMix64(sm));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace kgc
+
+#endif  // KGC_UTIL_RNG_H_

@@ -1,0 +1,157 @@
+#include "util/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace kgc {
+
+void BinaryWriter::Append(const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+}
+
+void BinaryWriter::WriteU32(uint32_t value) { Append(&value, sizeof(value)); }
+void BinaryWriter::WriteU64(uint64_t value) { Append(&value, sizeof(value)); }
+void BinaryWriter::WriteDouble(double value) { Append(&value, sizeof(value)); }
+void BinaryWriter::WriteFloat(float value) { Append(&value, sizeof(value)); }
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  Append(value.data(), value.size());
+}
+
+void BinaryWriter::WriteDoubleVector(const std::vector<double>& values) {
+  WriteU64(values.size());
+  Append(values.data(), values.size() * sizeof(double));
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& values) {
+  WriteU64(values.size());
+  Append(values.data(), values.size() * sizeof(float));
+}
+
+Status BinaryWriter::Flush(const std::string& path) const {
+  const std::string temp_path = path + ".tmp";
+  std::FILE* file = std::fopen(temp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open for write: " + temp_path);
+  }
+  const size_t written = buffer_.empty()
+                             ? 0
+                             : std::fwrite(buffer_.data(), 1, buffer_.size(),
+                                           file);
+  const int close_result = std::fclose(file);
+  if (written != buffer_.size() || close_result != 0) {
+    std::remove(temp_path.c_str());
+    return Status::IoError("short write: " + temp_path);
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    return Status::IoError("rename failed: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(file);
+    return Status::IoError("cannot stat: " + path);
+  }
+  std::vector<uint8_t> buffer(static_cast<size_t>(size));
+  const size_t read =
+      buffer.empty() ? 0 : std::fread(buffer.data(), 1, buffer.size(), file);
+  std::fclose(file);
+  if (read != buffer.size()) {
+    return Status::IoError("short read: " + path);
+  }
+  return BinaryReader(std::move(buffer));
+}
+
+Status BinaryReader::ReadBytes(void* out, size_t size) {
+  if (position_ + size > buffer_.size()) {
+    return Status::IoError(
+        StrFormat("truncated buffer: need %zu bytes at offset %zu of %zu",
+                  size, position_, buffer_.size()));
+  }
+  std::memcpy(out, buffer_.data() + position_, size);
+  position_ += size;
+  return Status::Ok();
+}
+
+StatusOr<uint32_t> BinaryReader::ReadU32() {
+  uint32_t value = 0;
+  KGC_RETURN_IF_ERROR(ReadBytes(&value, sizeof(value)));
+  return value;
+}
+
+StatusOr<uint64_t> BinaryReader::ReadU64() {
+  uint64_t value = 0;
+  KGC_RETURN_IF_ERROR(ReadBytes(&value, sizeof(value)));
+  return value;
+}
+
+StatusOr<int32_t> BinaryReader::ReadI32() {
+  auto value = ReadU32();
+  if (!value.ok()) return value.status();
+  return static_cast<int32_t>(*value);
+}
+
+StatusOr<int64_t> BinaryReader::ReadI64() {
+  auto value = ReadU64();
+  if (!value.ok()) return value.status();
+  return static_cast<int64_t>(*value);
+}
+
+StatusOr<double> BinaryReader::ReadDouble() {
+  double value = 0;
+  KGC_RETURN_IF_ERROR(ReadBytes(&value, sizeof(value)));
+  return value;
+}
+
+StatusOr<float> BinaryReader::ReadFloat() {
+  float value = 0;
+  KGC_RETURN_IF_ERROR(ReadBytes(&value, sizeof(value)));
+  return value;
+}
+
+StatusOr<std::string> BinaryReader::ReadString() {
+  auto size = ReadU64();
+  if (!size.ok()) return size.status();
+  std::string value(static_cast<size_t>(*size), '\0');
+  KGC_RETURN_IF_ERROR(ReadBytes(value.data(), value.size()));
+  return value;
+}
+
+StatusOr<std::vector<double>> BinaryReader::ReadDoubleVector() {
+  auto size = ReadU64();
+  if (!size.ok()) return size.status();
+  if (*size > (buffer_.size() - position_) / sizeof(double)) {
+    return Status::IoError("vector length exceeds buffer");
+  }
+  std::vector<double> values(static_cast<size_t>(*size));
+  KGC_RETURN_IF_ERROR(
+      ReadBytes(values.data(), values.size() * sizeof(double)));
+  return values;
+}
+
+StatusOr<std::vector<float>> BinaryReader::ReadFloatVector() {
+  auto size = ReadU64();
+  if (!size.ok()) return size.status();
+  if (*size > (buffer_.size() - position_) / sizeof(float)) {
+    return Status::IoError("vector length exceeds buffer");
+  }
+  std::vector<float> values(static_cast<size_t>(*size));
+  KGC_RETURN_IF_ERROR(ReadBytes(values.data(), values.size() * sizeof(float)));
+  return values;
+}
+
+}  // namespace kgc

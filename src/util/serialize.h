@@ -1,0 +1,72 @@
+// Binary serialization for model checkpoints and dataset caches.
+//
+// Little-endian, fixed-width primitives with a magic header and version tag.
+// Readers validate bounds; corrupted files surface as Status errors, never
+// undefined behaviour.
+
+#ifndef KGC_UTIL_SERIALIZE_H_
+#define KGC_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgc {
+
+/// Accumulates primitives into an in-memory byte buffer.
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI32(int32_t value) { WriteU32(static_cast<uint32_t>(value)); }
+  void WriteI64(int64_t value) { WriteU64(static_cast<uint64_t>(value)); }
+  void WriteDouble(double value);
+  void WriteFloat(float value);
+  void WriteString(const std::string& value);
+  void WriteDoubleVector(const std::vector<double>& values);
+  void WriteFloatVector(const std::vector<float>& values);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+
+  /// Writes the buffer to `path` atomically (write temp + rename).
+  Status Flush(const std::string& path) const;
+
+ private:
+  void Append(const void* data, size_t size);
+
+  std::vector<uint8_t> buffer_;
+};
+
+/// Reads primitives back from a byte buffer with bounds checking.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<uint8_t> buffer)
+      : buffer_(std::move(buffer)) {}
+
+  /// Loads the full content of `path`.
+  static StatusOr<BinaryReader> FromFile(const std::string& path);
+
+  StatusOr<uint32_t> ReadU32();
+  StatusOr<uint64_t> ReadU64();
+  StatusOr<int32_t> ReadI32();
+  StatusOr<int64_t> ReadI64();
+  StatusOr<double> ReadDouble();
+  StatusOr<float> ReadFloat();
+  StatusOr<std::string> ReadString();
+  StatusOr<std::vector<double>> ReadDoubleVector();
+  StatusOr<std::vector<float>> ReadFloatVector();
+
+  bool AtEnd() const { return position_ == buffer_.size(); }
+
+ private:
+  Status ReadBytes(void* out, size_t size);
+
+  std::vector<uint8_t> buffer_;
+  size_t position_ = 0;
+};
+
+}  // namespace kgc
+
+#endif  // KGC_UTIL_SERIALIZE_H_

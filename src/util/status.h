@@ -1,0 +1,118 @@
+// Status / StatusOr: exception-free error propagation.
+//
+// Library code never throws. Functions that can fail for data-dependent
+// reasons (I/O, parsing, invalid user configuration) return Status or
+// StatusOr<T>. Programming errors use KGC_CHECK.
+
+#ifndef KGC_UTIL_STATUS_H_
+#define KGC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace kgc {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result carrying a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Access to the value when the
+/// status is not OK is a checked fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status)                            // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    KGC_CHECK(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    KGC_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    KGC_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    KGC_CHECK(ok());
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace kgc
+
+/// Propagates a non-OK Status to the caller.
+#define KGC_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::kgc::Status kgc_status_tmp_ = (expr);  \
+    if (!kgc_status_tmp_.ok()) {             \
+      return kgc_status_tmp_;                \
+    }                                        \
+  } while (0)
+
+#endif  // KGC_UTIL_STATUS_H_

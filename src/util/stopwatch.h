@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for coarse experiment timing.
+
+#ifndef KGC_UTIL_STOPWATCH_H_
+#define KGC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace kgc {
+
+/// Measures elapsed wall time from construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kgc
+
+#endif  // KGC_UTIL_STOPWATCH_H_

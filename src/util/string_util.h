@@ -1,0 +1,40 @@
+// Small string helpers shared across the library.
+
+#ifndef KGC_UTIL_STRING_UTIL_H_
+#define KGC_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgc {
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Splits on any whitespace run, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits);
+
+/// Formats a fraction as a percentage with one decimal, e.g. "70.3%".
+std::string FormatPercent(double fraction, int digits = 1);
+
+}  // namespace kgc
+
+#endif  // KGC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,88 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace kgc {
+namespace {
+
+std::string RepeatChar(char c, size_t n) { return std::string(n, c); }
+
+std::string RenderSeparator(const std::vector<size_t>& widths) {
+  std::string line = "+";
+  for (size_t width : widths) {
+    line += RepeatChar('-', width + 2);
+    line += "+";
+  }
+  line += "\n";
+  return line;
+}
+
+std::string RenderRow(const std::vector<std::string>& cells,
+                      const std::vector<size_t>& widths) {
+  std::string line = "|";
+  for (size_t i = 0; i < widths.size(); ++i) {
+    const std::string& cell = i < cells.size() ? cells[i] : std::string();
+    line += " ";
+    line += cell;
+    line += RepeatChar(' ', widths[i] - cell.size());
+    line += " |";
+  }
+  line += "\n";
+  return line;
+}
+
+}  // namespace
+
+void AsciiTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), /*is_separator=*/false});
+}
+
+void AsciiTable::AddSeparator() {
+  rows_.push_back(Row{{}, /*is_separator=*/true});
+}
+
+std::string AsciiTable::ToString() const {
+  size_t num_columns = header_.size();
+  for (const Row& row : rows_) {
+    num_columns = std::max(num_columns, row.cells.size());
+  }
+  std::vector<size_t> widths(num_columns, 0);
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = std::max(widths[i], header_[i].size());
+  }
+  for (const Row& row : rows_) {
+    for (size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  std::string out;
+  if (!title_.empty()) {
+    out += title_;
+    out += "\n";
+  }
+  const std::string separator = RenderSeparator(widths);
+  out += separator;
+  if (!header_.empty()) {
+    out += RenderRow(header_, widths);
+    out += separator;
+  }
+  for (const Row& row : rows_) {
+    out += row.is_separator ? separator : RenderRow(row.cells, widths);
+  }
+  out += separator;
+  return out;
+}
+
+void AsciiTable::Print() const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace kgc

@@ -1,0 +1,56 @@
+// ASCII table rendering for experiment reports.
+//
+// The bench harness reproduces the paper's tables; AsciiTable renders aligned
+// monospace tables with an optional title, e.g.
+//
+//   Table 5: Link prediction results on FB15k and FB15k-237
+//   +--------+------+----------+ ...
+//   | Model  | FMR  | FHits@10 | ...
+//   +--------+------+----------+ ...
+
+#ifndef KGC_UTIL_TABLE_H_
+#define KGC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace kgc {
+
+/// Builds and renders a monospace table.
+class AsciiTable {
+ public:
+  AsciiTable() = default;
+  explicit AsciiTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Rows may have fewer cells than the header; missing
+  /// cells render empty.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator at the current position.
+  void AddSeparator();
+
+  /// Renders the table to a string (trailing newline included).
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace kgc
+
+#endif  // KGC_UTIL_TABLE_H_

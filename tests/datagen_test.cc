@@ -1,0 +1,250 @@
+// Tests for the synthetic knowledge-graph generator: requested structural
+// statistics must actually be planted in the output.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "redundancy/detectors.h"
+
+namespace kgc {
+namespace {
+
+GeneratorSpec OneFamilySpec(RelationFamilySpec family) {
+  GeneratorSpec spec;
+  spec.name = "single";
+  spec.num_domains = 4;
+  spec.domain_size = 60;
+  spec.cluster_size = 6;
+  spec.valid_fraction = 0.1;
+  spec.test_fraction = 0.1;
+  spec.families.push_back(std::move(family));
+  return spec;
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const SyntheticKg a = GenerateTiny(99);
+  const SyntheticKg b = GenerateTiny(99);
+  ASSERT_EQ(a.dataset.train().size(), b.dataset.train().size());
+  EXPECT_EQ(a.dataset.train(), b.dataset.train());
+  EXPECT_EQ(a.world, b.world);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const SyntheticKg a = GenerateTiny(1);
+  const SyntheticKg b = GenerateTiny(2);
+  EXPECT_NE(a.dataset.train(), b.dataset.train());
+}
+
+TEST(GeneratorTest, EntityDomainAndClusterAssignment) {
+  const SyntheticKg kg = GenerateTiny();
+  const GeneratorSpec spec = TinySpec();
+  ASSERT_EQ(kg.entity_domain.size(),
+            static_cast<size_t>(spec.num_entities()));
+  ASSERT_EQ(kg.entity_cluster.size(), kg.entity_domain.size());
+  // Domains are consecutive blocks; clusters nest within domains.
+  for (size_t e = 0; e < kg.entity_domain.size(); ++e) {
+    EXPECT_EQ(kg.entity_domain[e],
+              static_cast<int32_t>(e) / spec.domain_size);
+  }
+  for (size_t e = 1; e < kg.entity_cluster.size(); ++e) {
+    EXPECT_GE(kg.entity_cluster[e], kg.entity_cluster[e - 1]);
+  }
+}
+
+TEST(GeneratorTest, DatasetIsSubsetOfWorld) {
+  const SyntheticKg kg = GenerateTiny();
+  std::unordered_set<Triple, TripleHash> world(kg.world.begin(),
+                                               kg.world.end());
+  for (const TripleList* split :
+       {&kg.dataset.train(), &kg.dataset.valid(), &kg.dataset.test()}) {
+    for (const Triple& t : *split) {
+      EXPECT_TRUE(world.contains(t));
+    }
+  }
+}
+
+TEST(GeneratorTest, SplitFractionsRespected) {
+  const SyntheticKg kg = GenerateSynthFb15k();
+  const double total = static_cast<double>(kg.dataset.train().size() +
+                                           kg.dataset.valid().size() +
+                                           kg.dataset.test().size());
+  EXPECT_NEAR(kg.dataset.valid().size() / total, 0.084, 0.002);
+  EXPECT_NEAR(kg.dataset.test().size() / total, 0.100, 0.002);
+}
+
+TEST(GeneratorTest, ReverseFamilyPlantsMirroredWorldFacts) {
+  RelationFamilySpec family;
+  family.archetype = RelationArchetype::kReverseBase;
+  family.name = "rev";
+  family.genuine.subject_domain = 0;
+  family.genuine.object_domain = 1;
+  family.genuine.mean_out_degree = 2.0;
+  family.dataset_keep_rate = 1.0;
+  const SyntheticKg kg = GenerateKg(OneFamilySpec(family), 5);
+
+  ASSERT_EQ(kg.reverse_property.size(), 1u);
+  const auto [r1, r2] = kg.reverse_property[0];
+  std::unordered_set<Triple, TripleHash> world(kg.world.begin(),
+                                               kg.world.end());
+  size_t base_count = 0;
+  for (const Triple& t : kg.world) {
+    if (t.relation != r1) continue;
+    ++base_count;
+    EXPECT_TRUE(world.contains(Triple{t.tail, r2, t.head}));
+  }
+  EXPECT_GT(base_count, 20u);
+  // Metadata tags both halves.
+  EXPECT_EQ(kg.relation_meta[0].archetype, RelationArchetype::kReverseBase);
+  EXPECT_EQ(kg.relation_meta[1].archetype, RelationArchetype::kReverseOf);
+  EXPECT_EQ(kg.relation_meta[0].base, kg.relation_meta[1].id);
+}
+
+TEST(GeneratorTest, SymmetricFamilyPlantsBothDirections) {
+  RelationFamilySpec family;
+  family.archetype = RelationArchetype::kSymmetric;
+  family.name = "sym";
+  family.genuine.subject_domain = 0;
+  family.genuine.mean_out_degree = 2.0;
+  family.dataset_keep_rate = 1.0;
+  const SyntheticKg kg = GenerateKg(OneFamilySpec(family), 6);
+
+  std::unordered_set<Triple, TripleHash> world(kg.world.begin(),
+                                               kg.world.end());
+  for (const Triple& t : kg.world) {
+    EXPECT_TRUE(world.contains(Triple{t.tail, t.relation, t.head}));
+    EXPECT_NE(t.head, t.tail);
+  }
+  EXPECT_GT(kg.world.size(), 20u);
+}
+
+TEST(GeneratorTest, DuplicateFamilyOverlapsAsRequested) {
+  RelationFamilySpec family;
+  family.archetype = RelationArchetype::kDuplicateOf;
+  family.name = "dup";
+  family.genuine.subject_domain = 0;
+  family.genuine.object_domain = 1;
+  family.genuine.mean_out_degree = 3.0;
+  family.genuine.subject_participation = 1.0;
+  family.duplicate_overlap = 0.9;
+  family.duplicate_extra = 0.05;
+  family.dataset_keep_rate = 1.0;
+  const SyntheticKg kg = GenerateKg(OneFamilySpec(family), 7);
+
+  const TripleStore store(kg.world, kg.dataset.num_entities(),
+                          kg.dataset.num_relations());
+  const size_t overlap = PairIntersectionSize(store.Pairs(0), store.Pairs(1));
+  const double coverage_base =
+      static_cast<double>(overlap) / static_cast<double>(store.Pairs(0).size());
+  EXPECT_NEAR(coverage_base, 0.9, 0.08);
+}
+
+TEST(GeneratorTest, ReverseDuplicateFamilyReversesPairs) {
+  RelationFamilySpec family;
+  family.archetype = RelationArchetype::kReverseDuplicateOf;
+  family.name = "rdup";
+  family.genuine.subject_domain = 0;
+  family.genuine.object_domain = 1;
+  family.genuine.mean_out_degree = 3.0;
+  family.genuine.subject_participation = 1.0;
+  family.duplicate_overlap = 0.9;
+  family.dataset_keep_rate = 1.0;
+  const SyntheticKg kg = GenerateKg(OneFamilySpec(family), 8);
+
+  const TripleStore store(kg.world, kg.dataset.num_entities(),
+                          kg.dataset.num_relations());
+  const size_t reversed_overlap =
+      PairReverseIntersectionSize(store.Pairs(0), store.Pairs(1));
+  const double coverage = static_cast<double>(reversed_overlap) /
+                          static_cast<double>(store.Pairs(0).size());
+  EXPECT_NEAR(coverage, 0.9, 0.08);
+  // Plain (non-reversed) overlap should be near zero across domains.
+  EXPECT_LT(PairIntersectionSize(store.Pairs(0), store.Pairs(1)), 5u);
+}
+
+TEST(GeneratorTest, CartesianFamilyIsDenseProduct) {
+  RelationFamilySpec family;
+  family.archetype = RelationArchetype::kCartesian;
+  family.name = "cart";
+  family.genuine.subject_domain = 0;
+  family.genuine.object_domain = 1;
+  family.cartesian_subjects = 12;
+  family.cartesian_objects = 8;
+  family.dataset_keep_rate = 0.9;
+  const SyntheticKg kg = GenerateKg(OneFamilySpec(family), 9);
+
+  // The world holds the full product.
+  EXPECT_EQ(kg.world.size(), 12u * 8u);
+  const TripleStore world_store(kg.world, kg.dataset.num_entities(), 1);
+  EXPECT_EQ(world_store.Subjects(0).size(), 12u);
+  EXPECT_EQ(world_store.Objects(0).size(), 8u);
+  // The dataset holds roughly keep_rate of it.
+  const size_t dataset_size = kg.dataset.train().size() +
+                              kg.dataset.valid().size() +
+                              kg.dataset.test().size();
+  EXPECT_NEAR(static_cast<double>(dataset_size), 0.9 * 96, 12.0);
+}
+
+TEST(GeneratorTest, FunctionalRelationIsManyToOne) {
+  RelationFamilySpec family;
+  family.archetype = RelationArchetype::kGenuine;
+  family.name = "func";
+  family.genuine.subject_domain = 0;
+  family.genuine.object_domain = 1;
+  family.genuine.functional = true;
+  family.genuine.noise = 0.0;
+  family.genuine.subject_participation = 1.0;
+  family.dataset_keep_rate = 1.0;
+  const SyntheticKg kg = GenerateKg(OneFamilySpec(family), 10);
+
+  const TripleStore store(kg.world, kg.dataset.num_entities(), 1);
+  // Every subject has exactly one tail.
+  for (EntityId h : store.Subjects(0)) {
+    EXPECT_EQ(store.Tails(h, 0).size(), 1u);
+  }
+  // Distinct objects are at most one per subject cluster (10 clusters).
+  EXPECT_LE(store.Objects(0).size(), 10u);
+}
+
+// --- Presets mirror the Table-1 shape. ---------------------------------
+
+TEST(PresetsTest, Fb15kShape) {
+  const GeneratorSpec spec = SynthFb15kSpec();
+  EXPECT_EQ(spec.num_entities(), 2000);
+  const SyntheticKg kg = GenerateSynthFb15k();
+  EXPECT_EQ(kg.dataset.num_relations(), 152);
+  EXPECT_EQ(kg.reverse_property.size(), 52u);
+  EXPECT_GT(kg.dataset.train().size(), 20000u);
+  // Concatenated provenance exists (CVT simulation).
+  size_t concatenated = 0;
+  for (const RelationMeta& meta : kg.relation_meta) {
+    if (meta.concatenated) ++concatenated;
+  }
+  EXPECT_GT(concatenated, 50u);
+}
+
+TEST(PresetsTest, Wn18Shape) {
+  const SyntheticKg kg = GenerateSynthWn18();
+  EXPECT_EQ(kg.dataset.num_relations(), 18);
+  EXPECT_EQ(kg.reverse_property.size(), 7u);
+  size_t symmetric = 0;
+  for (const RelationMeta& meta : kg.relation_meta) {
+    if (meta.archetype == RelationArchetype::kSymmetric) ++symmetric;
+  }
+  EXPECT_EQ(symmetric, 3u);
+}
+
+TEST(PresetsTest, Yago3Shape) {
+  const SyntheticKg kg = GenerateSynthYago3();
+  EXPECT_EQ(kg.dataset.num_relations(), 37);
+  // The two near-duplicate relations dominate the triple count.
+  const TripleStore& train = kg.dataset.train_store();
+  const size_t big_two = train.RelationSize(0) + train.RelationSize(1);
+  EXPECT_GT(static_cast<double>(big_two) / static_cast<double>(train.size()),
+            0.4);
+}
+
+}  // namespace
+}  // namespace kgc

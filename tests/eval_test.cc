@@ -1,0 +1,251 @@
+// Tests for ranking, metrics, category break-downs and model comparisons.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/category.h"
+#include "eval/comparison.h"
+#include "eval/metrics.h"
+#include "eval/ranker.h"
+#include "util/rng.h"
+
+namespace kgc {
+namespace {
+
+// A deterministic predictor with a fixed score table: score(h, r, t) =
+// table[t] for tails and table[h] for heads (relation-independent).
+class StubPredictor final : public LinkPredictor {
+ public:
+  explicit StubPredictor(std::vector<float> scores)
+      : scores_(std::move(scores)) {}
+  const char* name() const override { return "Stub"; }
+  int32_t num_entities() const override {
+    return static_cast<int32_t>(scores_.size());
+  }
+  void ScoreTails(EntityId, RelationId, std::span<float> out) const override {
+    std::copy(scores_.begin(), scores_.end(), out.begin());
+  }
+  void ScoreHeads(RelationId, EntityId, std::span<float> out) const override {
+    std::copy(scores_.begin(), scores_.end(), out.begin());
+  }
+
+ private:
+  std::vector<float> scores_;
+};
+
+Dataset SmallDataset() {
+  Vocab vocab;
+  for (int i = 0; i < 5; ++i) vocab.InternEntity("e" + std::to_string(i));
+  vocab.InternRelation("r");
+  // train: (0,r,1), (0,r,2); test: (0,r,3).
+  return Dataset("small", vocab, {{0, 0, 1}, {0, 0, 2}}, {}, {{0, 0, 3}});
+}
+
+TEST(RankerTest, RawAndFilteredRanks) {
+  // Entity scores: e0=0.1 e1=0.9 e2=0.8 e3=0.5 e4=0.2.
+  // Tail query (0, r, ?): true tail e3 ranks 3rd raw (behind e1, e2).
+  // Filtered: e1 and e2 are known tails of (0, r) from train, so both are
+  // removed -> filtered rank 1.
+  const StubPredictor predictor({0.1f, 0.9f, 0.8f, 0.5f, 0.2f});
+  const Dataset dataset = SmallDataset();
+  const auto ranks = RankTriples(predictor, dataset, dataset.test());
+  ASSERT_EQ(ranks.size(), 1u);
+  EXPECT_DOUBLE_EQ(ranks[0].tail_raw, 3.0);
+  EXPECT_DOUBLE_EQ(ranks[0].tail_filtered, 1.0);
+  // Head query (?, r, 3): true head e0 scores 0.1, everything else higher
+  // except nothing -> raw rank 5. No known heads to filter except e0 itself.
+  EXPECT_DOUBLE_EQ(ranks[0].head_raw, 5.0);
+  EXPECT_DOUBLE_EQ(ranks[0].head_filtered, 5.0);
+}
+
+TEST(RankerTest, TieAveraging) {
+  // All scores equal: the true entity ties with the other 4 ->
+  // rank = 0 + 4/2 + 1 = 3.
+  const StubPredictor predictor({0.5f, 0.5f, 0.5f, 0.5f, 0.5f});
+  const Dataset dataset = SmallDataset();
+  const auto ranks = RankTriples(predictor, dataset, dataset.test());
+  EXPECT_DOUBLE_EQ(ranks[0].head_raw, 3.0);
+  // Filtered tail: ties e1, e2 are known-correct and removed from the tie
+  // pool: rank = 0 + 2/2 + 1 = 2.
+  EXPECT_DOUBLE_EQ(ranks[0].tail_filtered, 2.0);
+}
+
+TEST(RankerTest, CustomFilterStore) {
+  // Using a world store that also knows (0, r, 4) filters e4 as well.
+  const StubPredictor predictor({0.1f, 0.9f, 0.8f, 0.5f, 0.6f});
+  const Dataset dataset = SmallDataset();
+  TripleStore world({{0, 0, 1}, {0, 0, 2}, {0, 0, 4}, {0, 0, 3}}, 5, 1);
+  RankerOptions options;
+  options.filter = &world;
+  const auto ranks =
+      RankTriples(predictor, dataset, dataset.test(), options);
+  // Raw: e1, e2, e4 above e3 -> rank 4. Filtered: all three removed -> 1.
+  EXPECT_DOUBLE_EQ(ranks[0].tail_raw, 4.0);
+  EXPECT_DOUBLE_EQ(ranks[0].tail_filtered, 1.0);
+}
+
+TEST(MetricsTest, AccumulatorComputesAllMeasures) {
+  MetricsAccumulator acc;
+  acc.Add(1.0, 1.0);
+  acc.Add(10.0, 5.0);
+  acc.Add(100.0, 20.0);
+  const LinkPredictionMetrics m = acc.Finalize();
+  EXPECT_DOUBLE_EQ(m.mr, (1 + 10 + 100) / 3.0);
+  EXPECT_DOUBLE_EQ(m.fmr, (1 + 5 + 20) / 3.0);
+  EXPECT_NEAR(m.mrr, (1.0 + 0.1 + 0.01) / 3.0, 1e-12);
+  EXPECT_NEAR(m.fmrr, (1.0 + 0.2 + 0.05) / 3.0, 1e-12);
+  EXPECT_NEAR(m.hits1, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.hits10, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.fhits10, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.fhits1, 1.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, FilteredNeverWorseThanRaw) {
+  // Filtered rank <= raw rank by construction; metrics must reflect that.
+  std::vector<TripleRanks> ranks(50);
+  Rng rng(3);
+  for (auto& r : ranks) {
+    r.head_raw = 1.0 + static_cast<double>(rng.Uniform(100));
+    r.head_filtered = 1.0 + (r.head_raw - 1.0) * rng.UniformDouble();
+    r.tail_raw = 1.0 + static_cast<double>(rng.Uniform(100));
+    r.tail_filtered = 1.0 + (r.tail_raw - 1.0) * rng.UniformDouble();
+  }
+  const LinkPredictionMetrics m = ComputeMetrics(ranks);
+  EXPECT_LE(m.fmr, m.mr);
+  EXPECT_GE(m.fmrr, m.mrr);
+  EXPECT_GE(m.fhits10, m.hits10);
+  EXPECT_GE(m.fhits1, m.hits1);
+}
+
+TEST(MetricsTest, ByRelationGroupsCorrectly) {
+  std::vector<TripleRanks> ranks(4);
+  ranks[0].triple = {0, 0, 1};
+  ranks[1].triple = {0, 0, 2};
+  ranks[2].triple = {0, 1, 1};
+  ranks[3].triple = {0, 1, 2};
+  for (auto& r : ranks) {
+    r.head_raw = r.head_filtered = 1;
+    r.tail_raw = r.tail_filtered = 1;
+  }
+  ranks[2].tail_filtered = 10;
+  const auto by_relation = ComputeMetricsByRelation(ranks);
+  ASSERT_EQ(by_relation.size(), 2u);
+  EXPECT_EQ(by_relation.at(0).num_triples, 2u);
+  EXPECT_GT(by_relation.at(0).fmrr, by_relation.at(1).fmrr);
+}
+
+TEST(MetricsTest, WhereFiltersSubset) {
+  std::vector<TripleRanks> ranks(3);
+  for (auto& r : ranks) {
+    r.head_raw = r.head_filtered = 2;
+    r.tail_raw = r.tail_filtered = 2;
+  }
+  ranks[1].head_filtered = ranks[1].tail_filtered = 1;
+  const LinkPredictionMetrics m =
+      ComputeMetricsWhere(ranks, {false, true, false});
+  EXPECT_DOUBLE_EQ(m.fmr, 1.0);
+  EXPECT_EQ(m.num_triples, 1u);
+}
+
+// --- Category break-downs -------------------------------------------------
+
+TEST(CategoryTest, CategorizeAndHeadTailHits) {
+  // r0: 1-to-n (head 0 -> 3 tails); r1: 1-to-1.
+  TripleStore train({{0, 0, 1}, {0, 0, 2}, {0, 0, 3}, {4, 1, 5}}, 6, 2);
+  const auto categories = CategorizeRelations(train);
+  EXPECT_EQ(categories[0], RelationCategory::kOneToMany);
+  EXPECT_EQ(categories[1], RelationCategory::kOneToOne);
+
+  std::vector<TripleRanks> ranks(2);
+  ranks[0].triple = {0, 0, 1};
+  ranks[0].head_filtered = 1;   // left hit
+  ranks[0].tail_filtered = 50;  // right miss
+  ranks[0].head_raw = ranks[0].tail_raw = 1;
+  ranks[1].triple = {4, 1, 5};
+  ranks[1].head_filtered = 11;  // left miss
+  ranks[1].tail_filtered = 2;   // right hit
+  ranks[1].head_raw = ranks[1].tail_raw = 1;
+
+  const CategoryHeadTailHits hits =
+      ComputeCategoryHeadTailHits(ranks, categories);
+  const size_t one_to_many =
+      static_cast<size_t>(RelationCategory::kOneToMany);
+  const size_t one_to_one = static_cast<size_t>(RelationCategory::kOneToOne);
+  EXPECT_DOUBLE_EQ(hits.left_fhits10[one_to_many], 1.0);
+  EXPECT_DOUBLE_EQ(hits.right_fhits10[one_to_many], 0.0);
+  EXPECT_DOUBLE_EQ(hits.left_fhits10[one_to_one], 0.0);
+  EXPECT_DOUBLE_EQ(hits.right_fhits10[one_to_one], 1.0);
+  EXPECT_EQ(hits.num_triples[one_to_many], 1u);
+  EXPECT_EQ(hits.num_relations[one_to_one], 1u);
+}
+
+// --- Comparisons -----------------------------------------------------------
+
+std::vector<TripleRanks> UniformRanks(size_t n, double rank,
+                                      RelationId relation = 0) {
+  std::vector<TripleRanks> ranks(n);
+  for (size_t i = 0; i < n; ++i) {
+    ranks[i].triple = {static_cast<EntityId>(i), relation,
+                       static_cast<EntityId>(i + 1)};
+    ranks[i].head_raw = ranks[i].head_filtered = rank;
+    ranks[i].tail_raw = ranks[i].tail_filtered = rank;
+  }
+  return ranks;
+}
+
+TEST(ComparisonTest, CountBestRelationsCreditsWinnerAndTies) {
+  const auto good = UniformRanks(4, 1.0);
+  const auto bad = UniformRanks(4, 20.0);
+  const auto counts =
+      CountBestRelations({{"good", &good}, {"bad", &bad}});
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].fmrr, 1);
+  EXPECT_EQ(counts[0].fhits1, 1);
+  EXPECT_EQ(counts[1].fmrr, 0);
+  // Ties credit everyone.
+  const auto tied = CountBestRelations({{"a", &good}, {"b", &good}});
+  EXPECT_EQ(tied[0].fmrr, 1);
+  EXPECT_EQ(tied[1].fmrr, 1);
+}
+
+TEST(ComparisonTest, WinShareHeatmapSumsToAtLeastHundred) {
+  const auto a = UniformRanks(10, 2.0, /*relation=*/0);
+  auto b = UniformRanks(10, 2.0, /*relation=*/0);
+  for (size_t i = 0; i < 5; ++i) b[i].head_filtered = 1.0;  // b wins 5
+  const WinShareHeatmap heatmap =
+      ComputePerRelationWinShare({{"a", &a}, {"b", &b}});
+  ASSERT_EQ(heatmap.relations.size(), 1u);
+  EXPECT_DOUBLE_EQ(heatmap.share[1][0], 100.0);  // b best-or-tied everywhere
+  EXPECT_DOUBLE_EQ(heatmap.share[0][0], 50.0);   // a tied on half
+}
+
+TEST(ComparisonTest, OutperformRedundancyShares) {
+  auto baseline = UniformRanks(4, 10.0);
+  auto challenger = UniformRanks(4, 10.0);
+  // Challenger wins on triples 0 (redundant) and 1 (clean).
+  challenger[0].head_filtered = challenger[0].tail_filtered = 1.0;
+  challenger[1].head_filtered = challenger[1].tail_filtered = 2.0;
+  const std::vector<bool> redundant = {true, false, false, false};
+  const OutperformRedundancyShare share =
+      ComputeOutperformRedundancy(challenger, baseline, redundant);
+  EXPECT_EQ(share.outperform_fmrr, 2u);
+  EXPECT_DOUBLE_EQ(share.fmrr, 50.0);
+  EXPECT_EQ(share.outperform_fhits1, 1u);  // only triple 0 reaches rank 1
+  EXPECT_DOUBLE_EQ(share.fhits1, 100.0);
+}
+
+TEST(ComparisonTest, BestByCategoryUsesRelationCategories) {
+  const auto a = UniformRanks(4, 1.0, /*relation=*/0);
+  const auto b = UniformRanks(4, 5.0, /*relation=*/0);
+  const std::vector<RelationCategory> categories = {
+      RelationCategory::kManyToMany};
+  const auto counts =
+      CountBestRelationsByCategory({{"a", &a}, {"b", &b}}, categories);
+  const size_t many = static_cast<size_t>(RelationCategory::kManyToMany);
+  EXPECT_EQ(counts[0][many], 1);
+  EXPECT_EQ(counts[1][many], 0);
+}
+
+}  // namespace
+}  // namespace kgc

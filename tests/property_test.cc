@@ -1,0 +1,189 @@
+// Parameterized property sweeps: invariants that must hold across seeds and
+// thresholds, exercised with TEST_P / INSTANTIATE_TEST_SUITE_P.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "eval/metrics.h"
+#include "redundancy/detectors.h"
+#include "redundancy/leakage.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace kgc {
+namespace {
+
+// --- Generator invariants across seeds. ---------------------------------
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, SplitsAreDisjointAndCoverAdmittedFacts) {
+  const SyntheticKg kg = GenerateTiny(GetParam());
+  std::unordered_set<Triple, TripleHash> seen;
+  size_t total = 0;
+  for (const TripleList* split :
+       {&kg.dataset.train(), &kg.dataset.valid(), &kg.dataset.test()}) {
+    for (const Triple& t : *split) {
+      seen.insert(t);
+      ++total;
+    }
+  }
+  // No triple is assigned to two splits (duplicates within the dataset were
+  // already deduplicated per relation by the generator).
+  EXPECT_EQ(seen.size(), total);
+}
+
+TEST_P(GeneratorSeedSweep, ReverseWorldClosureHolds) {
+  const SyntheticKg kg = GenerateTiny(GetParam());
+  std::unordered_set<Triple, TripleHash> world(kg.world.begin(),
+                                               kg.world.end());
+  for (const auto& [r1, r2] : kg.reverse_property) {
+    for (const Triple& t : kg.world) {
+      if (t.relation == r1) {
+        EXPECT_TRUE(world.contains(Triple{t.tail, r2, t.head}))
+            << "seed " << GetParam();
+      }
+    }
+  }
+}
+
+TEST_P(GeneratorSeedSweep, IdsAlwaysInRange) {
+  const SyntheticKg kg = GenerateTiny(GetParam());
+  for (const Triple& t : kg.world) {
+    EXPECT_GE(t.head, 0);
+    EXPECT_LT(t.head, kg.dataset.num_entities());
+    EXPECT_GE(t.tail, 0);
+    EXPECT_LT(t.tail, kg.dataset.num_entities());
+    EXPECT_GE(t.relation, 0);
+    EXPECT_LT(t.relation, kg.dataset.num_relations());
+  }
+}
+
+TEST_P(GeneratorSeedSweep, KeepRateIsHonoredApproximately) {
+  RelationFamilySpec family;
+  family.archetype = RelationArchetype::kGenuine;
+  family.name = "g";
+  family.genuine.subject_domain = 0;
+  family.genuine.object_domain = 1;
+  family.genuine.mean_out_degree = 3.0;
+  family.genuine.subject_participation = 1.0;
+  family.dataset_keep_rate = 0.7;
+  GeneratorSpec spec;
+  spec.name = "keep";
+  spec.num_domains = 2;
+  spec.domain_size = 150;
+  spec.cluster_size = 10;
+  spec.families.push_back(family);
+  const SyntheticKg kg = GenerateKg(spec, GetParam());
+  const double rate =
+      static_cast<double>(kg.dataset.train().size() +
+                          kg.dataset.valid().size() +
+                          kg.dataset.test().size()) /
+      static_cast<double>(kg.world.size());
+  EXPECT_NEAR(rate, 0.7, 0.08) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 987654321u));
+
+// --- Detector threshold sweep. -------------------------------------------
+
+class DetectorThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DetectorThresholdSweep, PlantedOverlapDetectedIffAboveThreshold) {
+  // Build a pair of relations with exactly 85% overlap (17 of 20 pairs).
+  TripleList triples;
+  for (EntityId i = 0; i < 20; ++i) {
+    triples.push_back({i, 0, static_cast<EntityId>(i + 20)});
+  }
+  for (EntityId i = 0; i < 17; ++i) {
+    triples.push_back({i, 1, static_cast<EntityId>(i + 20)});
+  }
+  for (EntityId i = 17; i < 20; ++i) {
+    triples.push_back({i, 1, static_cast<EntityId>(i + 23)});  // off-pairs
+  }
+  const TripleStore store(triples, 50, 2);
+
+  DetectorOptions options;
+  options.theta1 = GetParam();
+  options.theta2 = GetParam();
+  const auto duplicates = FindDuplicateRelations(store, options);
+  // Coverage is 17/20 = 0.85 both ways.
+  if (GetParam() < 0.85) {
+    ASSERT_EQ(duplicates.size(), 1u) << "theta " << GetParam();
+    EXPECT_DOUBLE_EQ(duplicates[0].coverage_r1, 0.85);
+  } else {
+    EXPECT_TRUE(duplicates.empty()) << "theta " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, DetectorThresholdSweep,
+                         ::testing::Values(0.5, 0.7, 0.8, 0.84, 0.85, 0.9));
+
+// --- Metric invariants on random rank vectors. ---------------------------
+
+class MetricsPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertySweep, BoundsAndMonotonicity) {
+  Rng rng(GetParam());
+  std::vector<TripleRanks> ranks(200);
+  for (auto& r : ranks) {
+    r.head_raw = 1.0 + static_cast<double>(rng.Uniform(500));
+    r.tail_raw = 1.0 + static_cast<double>(rng.Uniform(500));
+    r.head_filtered = 1.0 + (r.head_raw - 1.0) * rng.UniformDouble();
+    r.tail_filtered = 1.0 + (r.tail_raw - 1.0) * rng.UniformDouble();
+  }
+  const LinkPredictionMetrics m = ComputeMetrics(ranks);
+  EXPECT_GE(m.mrr, 0.0);
+  EXPECT_LE(m.mrr, 1.0);
+  EXPECT_LE(m.hits1, m.hits10);
+  EXPECT_LE(m.fhits1, m.fhits10);
+  EXPECT_GE(m.mr, 1.0);
+  EXPECT_LE(m.fmr, m.mr);
+  EXPECT_GE(m.fmrr, m.mrr);
+  // MRR >= 1/MR always (Jensen / AM-HM inequality).
+  EXPECT_GE(m.mrr, 1.0 / m.mr - 1e-12);
+}
+
+TEST_P(MetricsPropertySweep, PermutationInvariance) {
+  Rng rng(GetParam());
+  std::vector<TripleRanks> ranks(64);
+  for (auto& r : ranks) {
+    r.head_raw = r.head_filtered = 1.0 + static_cast<double>(rng.Uniform(99));
+    r.tail_raw = r.tail_filtered = 1.0 + static_cast<double>(rng.Uniform(99));
+  }
+  const LinkPredictionMetrics before = ComputeMetrics(ranks);
+  rng.Shuffle(ranks);
+  const LinkPredictionMetrics after = ComputeMetrics(ranks);
+  EXPECT_DOUBLE_EQ(before.mrr, after.mrr);
+  EXPECT_DOUBLE_EQ(before.mr, after.mr);
+  EXPECT_DOUBLE_EQ(before.hits10, after.hits10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertySweep,
+                         ::testing::Values(3u, 17u, 2026u));
+
+// --- Leakage consistency between bitmap and leakage stats. ---------------
+
+class LeakageConsistencySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LeakageConsistencySweep, BitmapAgreesWithLeakageCount) {
+  const SyntheticKg kg = GenerateTiny(GetParam());
+  const RedundancyCatalog catalog =
+      RedundancyCatalog::Detect(kg.dataset.all_store());
+  const ReverseLeakageStats leakage =
+      ComputeReverseLeakage(kg.dataset, catalog);
+  const RedundancyBitmap bitmap =
+      ComputeRedundancyBitmap(kg.dataset, catalog);
+  EXPECT_EQ(bitmap.reverse_in_train,
+            leakage.test_triples_with_reverse_in_train);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeakageConsistencySweep,
+                         ::testing::Values(5u, 55u, 555u));
+
+}  // namespace
+}  // namespace kgc

@@ -1,0 +1,56 @@
+// Tests for the training loop and negative sampling.
+
+#include <gtest/gtest.h>
+
+#include "datagen/presets.h"
+#include "models/trainer.h"
+
+namespace kgc {
+namespace {
+
+TEST(TrainerTest, LossDecreasesOnLearnableData) {
+  const SyntheticKg kg = GenerateTiny(5);
+  ModelHyperParams params = DefaultHyperParams(ModelType::kTransE);
+  params.dim = 16;
+  auto model = CreateModel(ModelType::kTransE, kg.dataset.num_entities(),
+                           kg.dataset.num_relations(), params);
+
+  TrainOptions options;
+  options.epochs = 1;
+  options.seed = 1;
+  const TrainStats first = TrainModel(*model, kg.dataset, options);
+  options.epochs = 30;
+  const TrainStats later = TrainModel(*model, kg.dataset, options);
+  EXPECT_LT(later.final_loss, first.final_loss);
+  EXPECT_EQ(later.epochs_run, 30);
+}
+
+TEST(TrainerTest, DeterministicGivenSeeds) {
+  const SyntheticKg kg = GenerateTiny(5);
+  ModelHyperParams params = DefaultHyperParams(ModelType::kDistMult);
+  params.dim = 8;
+  TrainOptions options;
+  options.epochs = 3;
+  options.seed = 9;
+
+  auto a = CreateModel(ModelType::kDistMult, kg.dataset.num_entities(),
+                       kg.dataset.num_relations(), params);
+  auto b = CreateModel(ModelType::kDistMult, kg.dataset.num_entities(),
+                       kg.dataset.num_relations(), params);
+  TrainModel(*a, kg.dataset, options);
+  TrainModel(*b, kg.dataset, options);
+  for (EntityId h = 0; h < 10; ++h) {
+    EXPECT_EQ(a->Score(h, 0, (h + 1) % 10), b->Score(h, 0, (h + 1) % 10));
+  }
+}
+
+TEST(TrainerTest, DefaultOptionsAreSane) {
+  for (ModelType type : PaperModelLineup()) {
+    const TrainOptions options = DefaultTrainOptions(type);
+    EXPECT_GT(options.epochs, 0) << ModelTypeName(type);
+    EXPECT_GT(options.negatives, 0) << ModelTypeName(type);
+  }
+}
+
+}  // namespace
+}  // namespace kgc

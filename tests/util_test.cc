@@ -1,0 +1,276 @@
+// Unit tests for src/util.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/file_util.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace kgc {
+namespace {
+
+// --- Status -----------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = Status::NotFound("missing.txt");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing.txt");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing.txt");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result(std::string("hello"));
+  const std::string value = std::move(result).value();
+  EXPECT_EQ(value, "hello");
+}
+
+// --- Rng --------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(7);
+  int counts[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.Uniform(10)]++;
+  for (int bucket : counts) {
+    EXPECT_NEAR(bucket, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int successes = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) successes += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(successes) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalHasRightMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  const std::vector<size_t> sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::vector<size_t> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (size_t idx : sample) EXPECT_LT(idx, 50u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork(0);
+  // Child should not replay the parent's stream.
+  Rng parent2(23);
+  EXPECT_NE(child.Next(), parent2.Next());
+}
+
+// --- string_util --------------------------------------------------------
+
+TEST(StringUtilTest, SplitBasic) {
+  const auto parts = Split("a\tb\tc", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  const auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foo", "foobar"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatPercent(0.703), "70.3%");
+}
+
+// --- AsciiTable ---------------------------------------------------------
+
+TEST(AsciiTableTest, RendersAlignedCells) {
+  AsciiTable table("Title");
+  table.SetHeader({"a", "bbbb"});
+  table.AddRow({"xx", "y"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| a  | bbbb |"), std::string::npos);
+  EXPECT_NE(out.find("| xx | y    |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, HandlesShortRows) {
+  AsciiTable table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_NE(table.ToString().find("| 1 |   |   |"), std::string::npos);
+}
+
+// --- serialize ----------------------------------------------------------
+
+TEST(SerializeTest, RoundTripPrimitives) {
+  BinaryWriter writer;
+  writer.WriteU32(7);
+  writer.WriteI64(-9);
+  writer.WriteDouble(2.5);
+  writer.WriteString("hello");
+  writer.WriteDoubleVector({1.0, 2.0});
+  writer.WriteFloatVector({3.0f});
+
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(*reader.ReadU32(), 7u);
+  EXPECT_EQ(*reader.ReadI64(), -9);
+  EXPECT_EQ(*reader.ReadDouble(), 2.5);
+  EXPECT_EQ(*reader.ReadString(), "hello");
+  EXPECT_EQ(reader.ReadDoubleVector()->size(), 2u);
+  EXPECT_EQ(reader.ReadFloatVector()->at(0), 3.0f);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, TruncatedBufferIsError) {
+  BinaryWriter writer;
+  writer.WriteU32(1);
+  BinaryReader reader(writer.buffer());
+  EXPECT_TRUE(reader.ReadU32().ok());
+  EXPECT_FALSE(reader.ReadU64().ok());
+}
+
+TEST(SerializeTest, OversizedVectorLengthIsError) {
+  BinaryWriter writer;
+  writer.WriteU64(1'000'000'000ULL);  // vector length with no payload
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(reader.ReadDoubleVector().ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kgc_serialize_test.bin")
+          .string();
+  BinaryWriter writer;
+  writer.WriteString("persisted");
+  ASSERT_TRUE(writer.Flush(path).ok());
+  auto reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(*reader->ReadString(), "persisted");
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  auto reader = BinaryReader::FromFile("/nonexistent/kgc.bin");
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+// --- file_util ----------------------------------------------------------
+
+TEST(FileUtilTest, WriteReadLines) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kgc_file_test.txt").string();
+  ASSERT_TRUE(WriteStringToFile(path, "a\nb\nc\n").ok());
+  EXPECT_TRUE(FileExists(path));
+  auto lines = ReadLines(path);
+  ASSERT_TRUE(lines.ok());
+  ASSERT_EQ(lines->size(), 3u);
+  EXPECT_EQ((*lines)[1], "b");
+  std::remove(path.c_str());
+  EXPECT_FALSE(FileExists(path));
+}
+
+}  // namespace
+}  // namespace kgc
