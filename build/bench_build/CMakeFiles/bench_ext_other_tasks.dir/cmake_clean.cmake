@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_other_tasks"
+  "../bench/bench_ext_other_tasks.pdb"
+  "CMakeFiles/bench_ext_other_tasks.dir/bench_ext_other_tasks.cc.o"
+  "CMakeFiles/bench_ext_other_tasks.dir/bench_ext_other_tasks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_other_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_fmrr_drop"
+  "../bench/bench_fig1_fmrr_drop.pdb"
+  "CMakeFiles/bench_fig1_fmrr_drop.dir/bench_fig1_fmrr_drop.cc.o"
+  "CMakeFiles/bench_fig1_fmrr_drop.dir/bench_fig1_fmrr_drop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_fmrr_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

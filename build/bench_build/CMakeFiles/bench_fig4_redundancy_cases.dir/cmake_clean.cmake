@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_redundancy_cases"
+  "../bench/bench_fig4_redundancy_cases.pdb"
+  "CMakeFiles/bench_fig4_redundancy_cases.dir/bench_fig4_redundancy_cases.cc.o"
+  "CMakeFiles/bench_fig4_redundancy_cases.dir/bench_fig4_redundancy_cases.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_redundancy_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

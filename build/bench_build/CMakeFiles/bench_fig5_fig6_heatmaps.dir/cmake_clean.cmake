@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_fig6_heatmaps"
+  "../bench/bench_fig5_fig6_heatmaps.pdb"
+  "CMakeFiles/bench_fig5_fig6_heatmaps.dir/bench_fig5_fig6_heatmaps.cc.o"
+  "CMakeFiles/bench_fig5_fig6_heatmaps.dir/bench_fig5_fig6_heatmaps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fig6_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_table12_yago_categories"
+  "../bench/bench_fig8_table12_yago_categories.pdb"
+  "CMakeFiles/bench_fig8_table12_yago_categories.dir/bench_fig8_table12_yago_categories.cc.o"
+  "CMakeFiles/bench_fig8_table12_yago_categories.dir/bench_fig8_table12_yago_categories.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_table12_yago_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_scoring"
+  "../bench/bench_micro_scoring.pdb"
+  "CMakeFiles/bench_micro_scoring.dir/bench_micro_scoring.cc.o"
+  "CMakeFiles/bench_micro_scoring.dir/bench_micro_scoring.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec421_reverse_leakage"
+  "../bench/bench_sec421_reverse_leakage.pdb"
+  "CMakeFiles/bench_sec421_reverse_leakage.dir/bench_sec421_reverse_leakage.cc.o"
+  "CMakeFiles/bench_sec421_reverse_leakage.dir/bench_sec421_reverse_leakage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec421_reverse_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

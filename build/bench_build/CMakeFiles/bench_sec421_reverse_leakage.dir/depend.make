@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec421_reverse_leakage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table11_yago"
+  "../bench/bench_table11_yago.pdb"
+  "CMakeFiles/bench_table11_yago.dir/bench_table11_yago.cc.o"
+  "CMakeFiles/bench_table11_yago.dir/bench_table11_yago.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_yago.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table13_fhits1_simple_model"
+  "../bench/bench_table13_fhits1_simple_model.pdb"
+  "CMakeFiles/bench_table13_fhits1_simple_model.dir/bench_table13_fhits1_simple_model.cc.o"
+  "CMakeFiles/bench_table13_fhits1_simple_model.dir/bench_table13_fhits1_simple_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_fhits1_simple_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

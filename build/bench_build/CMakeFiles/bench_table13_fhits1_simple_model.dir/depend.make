@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table13_fhits1_simple_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_cartesian_survivors"
+  "../bench/bench_table2_cartesian_survivors.pdb"
+  "CMakeFiles/bench_table2_cartesian_survivors.dir/bench_table2_cartesian_survivors.cc.o"
+  "CMakeFiles/bench_table2_cartesian_survivors.dir/bench_table2_cartesian_survivors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cartesian_survivors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

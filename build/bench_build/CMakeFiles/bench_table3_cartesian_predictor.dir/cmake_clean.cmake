@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_cartesian_predictor"
+  "../bench/bench_table3_cartesian_predictor.pdb"
+  "CMakeFiles/bench_table3_cartesian_predictor.dir/bench_table3_cartesian_predictor.cc.o"
+  "CMakeFiles/bench_table3_cartesian_predictor.dir/bench_table3_cartesian_predictor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_cartesian_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_fb15k"
+  "../bench/bench_table5_fb15k.pdb"
+  "CMakeFiles/bench_table5_fb15k.dir/bench_table5_fb15k.cc.o"
+  "CMakeFiles/bench_table5_fb15k.dir/bench_table5_fb15k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fb15k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_wn18"
+  "../bench/bench_table6_wn18.pdb"
+  "CMakeFiles/bench_table6_wn18.dir/bench_table6_wn18.cc.o"
+  "CMakeFiles/bench_table6_wn18.dir/bench_table6_wn18.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_wn18.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

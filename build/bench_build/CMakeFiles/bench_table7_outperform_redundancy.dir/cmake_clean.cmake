@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_outperform_redundancy"
+  "../bench/bench_table7_outperform_redundancy.pdb"
+  "CMakeFiles/bench_table7_outperform_redundancy.dir/bench_table7_outperform_redundancy.cc.o"
+  "CMakeFiles/bench_table7_outperform_redundancy.dir/bench_table7_outperform_redundancy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_outperform_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

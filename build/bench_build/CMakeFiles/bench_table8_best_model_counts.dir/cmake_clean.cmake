@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_best_model_counts"
+  "../bench/bench_table8_best_model_counts.pdb"
+  "CMakeFiles/bench_table8_best_model_counts.dir/bench_table8_best_model_counts.cc.o"
+  "CMakeFiles/bench_table8_best_model_counts.dir/bench_table8_best_model_counts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_best_model_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table9_table10_category_hits"
+  "../bench/bench_table9_table10_category_hits.pdb"
+  "CMakeFiles/bench_table9_table10_category_hits.dir/bench_table9_table10_category_hits.cc.o"
+  "CMakeFiles/bench_table9_table10_category_hits.dir/bench_table9_table10_category_hits.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_table10_category_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

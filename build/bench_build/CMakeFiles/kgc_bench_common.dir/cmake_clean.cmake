@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgc_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/kgc_bench_common.dir/bench_common.cc.o.d"
+  "libkgc_bench_common.a"
+  "libkgc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cartesian_analysis.dir/cartesian_analysis.cpp.o"
+  "CMakeFiles/cartesian_analysis.dir/cartesian_analysis.cpp.o.d"
+  "cartesian_analysis"
+  "cartesian_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cartesian_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_audit.dir/dataset_audit.cpp.o"
+  "CMakeFiles/dataset_audit.dir/dataset_audit.cpp.o.d"
+  "dataset_audit"
+  "dataset_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

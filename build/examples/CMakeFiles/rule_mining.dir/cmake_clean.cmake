@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_mining.dir/rule_mining.cpp.o"
+  "CMakeFiles/rule_mining.dir/rule_mining.cpp.o.d"
+  "rule_mining"
+  "rule_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

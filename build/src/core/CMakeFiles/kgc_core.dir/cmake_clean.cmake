@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgc_core.dir/audit.cc.o"
+  "CMakeFiles/kgc_core.dir/audit.cc.o.d"
+  "CMakeFiles/kgc_core.dir/experiment_context.cc.o"
+  "CMakeFiles/kgc_core.dir/experiment_context.cc.o.d"
+  "libkgc_core.a"
+  "libkgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgc_datagen.dir/generator.cc.o"
+  "CMakeFiles/kgc_datagen.dir/generator.cc.o.d"
+  "CMakeFiles/kgc_datagen.dir/presets.cc.o"
+  "CMakeFiles/kgc_datagen.dir/presets.cc.o.d"
+  "CMakeFiles/kgc_datagen.dir/synthetic_kg.cc.o"
+  "CMakeFiles/kgc_datagen.dir/synthetic_kg.cc.o.d"
+  "libkgc_datagen.a"
+  "libkgc_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgc_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

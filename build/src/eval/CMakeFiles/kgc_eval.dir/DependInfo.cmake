@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/category.cc" "src/eval/CMakeFiles/kgc_eval.dir/category.cc.o" "gcc" "src/eval/CMakeFiles/kgc_eval.dir/category.cc.o.d"
+  "/root/repo/src/eval/comparison.cc" "src/eval/CMakeFiles/kgc_eval.dir/comparison.cc.o" "gcc" "src/eval/CMakeFiles/kgc_eval.dir/comparison.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/kgc_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/kgc_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/ranker.cc" "src/eval/CMakeFiles/kgc_eval.dir/ranker.cc.o" "gcc" "src/eval/CMakeFiles/kgc_eval.dir/ranker.cc.o.d"
+  "/root/repo/src/eval/relation_prediction.cc" "src/eval/CMakeFiles/kgc_eval.dir/relation_prediction.cc.o" "gcc" "src/eval/CMakeFiles/kgc_eval.dir/relation_prediction.cc.o.d"
+  "/root/repo/src/eval/triple_classification.cc" "src/eval/CMakeFiles/kgc_eval.dir/triple_classification.cc.o" "gcc" "src/eval/CMakeFiles/kgc_eval.dir/triple_classification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/kgc_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/kgc_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgc_eval.dir/category.cc.o"
+  "CMakeFiles/kgc_eval.dir/category.cc.o.d"
+  "CMakeFiles/kgc_eval.dir/comparison.cc.o"
+  "CMakeFiles/kgc_eval.dir/comparison.cc.o.d"
+  "CMakeFiles/kgc_eval.dir/metrics.cc.o"
+  "CMakeFiles/kgc_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/kgc_eval.dir/ranker.cc.o"
+  "CMakeFiles/kgc_eval.dir/ranker.cc.o.d"
+  "CMakeFiles/kgc_eval.dir/relation_prediction.cc.o"
+  "CMakeFiles/kgc_eval.dir/relation_prediction.cc.o.d"
+  "CMakeFiles/kgc_eval.dir/triple_classification.cc.o"
+  "CMakeFiles/kgc_eval.dir/triple_classification.cc.o.d"
+  "libkgc_eval.a"
+  "libkgc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/dataset.cc" "src/kg/CMakeFiles/kgc_kg.dir/dataset.cc.o" "gcc" "src/kg/CMakeFiles/kgc_kg.dir/dataset.cc.o.d"
+  "/root/repo/src/kg/kg_io.cc" "src/kg/CMakeFiles/kgc_kg.dir/kg_io.cc.o" "gcc" "src/kg/CMakeFiles/kgc_kg.dir/kg_io.cc.o.d"
+  "/root/repo/src/kg/relation_stats.cc" "src/kg/CMakeFiles/kgc_kg.dir/relation_stats.cc.o" "gcc" "src/kg/CMakeFiles/kgc_kg.dir/relation_stats.cc.o.d"
+  "/root/repo/src/kg/triple_store.cc" "src/kg/CMakeFiles/kgc_kg.dir/triple_store.cc.o" "gcc" "src/kg/CMakeFiles/kgc_kg.dir/triple_store.cc.o.d"
+  "/root/repo/src/kg/vocab.cc" "src/kg/CMakeFiles/kgc_kg.dir/vocab.cc.o" "gcc" "src/kg/CMakeFiles/kgc_kg.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/kgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

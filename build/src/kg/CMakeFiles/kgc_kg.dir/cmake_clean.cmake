@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgc_kg.dir/dataset.cc.o"
+  "CMakeFiles/kgc_kg.dir/dataset.cc.o.d"
+  "CMakeFiles/kgc_kg.dir/kg_io.cc.o"
+  "CMakeFiles/kgc_kg.dir/kg_io.cc.o.d"
+  "CMakeFiles/kgc_kg.dir/relation_stats.cc.o"
+  "CMakeFiles/kgc_kg.dir/relation_stats.cc.o.d"
+  "CMakeFiles/kgc_kg.dir/triple_store.cc.o"
+  "CMakeFiles/kgc_kg.dir/triple_store.cc.o.d"
+  "CMakeFiles/kgc_kg.dir/vocab.cc.o"
+  "CMakeFiles/kgc_kg.dir/vocab.cc.o.d"
+  "libkgc_kg.a"
+  "libkgc_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgc_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/complex.cc" "src/models/CMakeFiles/kgc_models.dir/complex.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/complex.cc.o.d"
+  "/root/repo/src/models/conve.cc" "src/models/CMakeFiles/kgc_models.dir/conve.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/conve.cc.o.d"
+  "/root/repo/src/models/distmult.cc" "src/models/CMakeFiles/kgc_models.dir/distmult.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/distmult.cc.o.d"
+  "/root/repo/src/models/embedding.cc" "src/models/CMakeFiles/kgc_models.dir/embedding.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/embedding.cc.o.d"
+  "/root/repo/src/models/model.cc" "src/models/CMakeFiles/kgc_models.dir/model.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/model.cc.o.d"
+  "/root/repo/src/models/model_store.cc" "src/models/CMakeFiles/kgc_models.dir/model_store.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/model_store.cc.o.d"
+  "/root/repo/src/models/rescal.cc" "src/models/CMakeFiles/kgc_models.dir/rescal.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/rescal.cc.o.d"
+  "/root/repo/src/models/rotate.cc" "src/models/CMakeFiles/kgc_models.dir/rotate.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/rotate.cc.o.d"
+  "/root/repo/src/models/trainer.cc" "src/models/CMakeFiles/kgc_models.dir/trainer.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/trainer.cc.o.d"
+  "/root/repo/src/models/transd.cc" "src/models/CMakeFiles/kgc_models.dir/transd.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/transd.cc.o.d"
+  "/root/repo/src/models/transe.cc" "src/models/CMakeFiles/kgc_models.dir/transe.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/transe.cc.o.d"
+  "/root/repo/src/models/transh.cc" "src/models/CMakeFiles/kgc_models.dir/transh.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/transh.cc.o.d"
+  "/root/repo/src/models/transr.cc" "src/models/CMakeFiles/kgc_models.dir/transr.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/transr.cc.o.d"
+  "/root/repo/src/models/tucker.cc" "src/models/CMakeFiles/kgc_models.dir/tucker.cc.o" "gcc" "src/models/CMakeFiles/kgc_models.dir/tucker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kg/CMakeFiles/kgc_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

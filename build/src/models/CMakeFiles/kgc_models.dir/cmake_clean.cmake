@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgc_models.dir/complex.cc.o"
+  "CMakeFiles/kgc_models.dir/complex.cc.o.d"
+  "CMakeFiles/kgc_models.dir/conve.cc.o"
+  "CMakeFiles/kgc_models.dir/conve.cc.o.d"
+  "CMakeFiles/kgc_models.dir/distmult.cc.o"
+  "CMakeFiles/kgc_models.dir/distmult.cc.o.d"
+  "CMakeFiles/kgc_models.dir/embedding.cc.o"
+  "CMakeFiles/kgc_models.dir/embedding.cc.o.d"
+  "CMakeFiles/kgc_models.dir/model.cc.o"
+  "CMakeFiles/kgc_models.dir/model.cc.o.d"
+  "CMakeFiles/kgc_models.dir/model_store.cc.o"
+  "CMakeFiles/kgc_models.dir/model_store.cc.o.d"
+  "CMakeFiles/kgc_models.dir/rescal.cc.o"
+  "CMakeFiles/kgc_models.dir/rescal.cc.o.d"
+  "CMakeFiles/kgc_models.dir/rotate.cc.o"
+  "CMakeFiles/kgc_models.dir/rotate.cc.o.d"
+  "CMakeFiles/kgc_models.dir/trainer.cc.o"
+  "CMakeFiles/kgc_models.dir/trainer.cc.o.d"
+  "CMakeFiles/kgc_models.dir/transd.cc.o"
+  "CMakeFiles/kgc_models.dir/transd.cc.o.d"
+  "CMakeFiles/kgc_models.dir/transe.cc.o"
+  "CMakeFiles/kgc_models.dir/transe.cc.o.d"
+  "CMakeFiles/kgc_models.dir/transh.cc.o"
+  "CMakeFiles/kgc_models.dir/transh.cc.o.d"
+  "CMakeFiles/kgc_models.dir/transr.cc.o"
+  "CMakeFiles/kgc_models.dir/transr.cc.o.d"
+  "CMakeFiles/kgc_models.dir/tucker.cc.o"
+  "CMakeFiles/kgc_models.dir/tucker.cc.o.d"
+  "libkgc_models.a"
+  "libkgc_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgc_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

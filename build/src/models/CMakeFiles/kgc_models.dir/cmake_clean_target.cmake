@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkgc_models.a"
+)

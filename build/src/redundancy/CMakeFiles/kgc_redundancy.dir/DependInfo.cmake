@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/redundancy/cleaner.cc" "src/redundancy/CMakeFiles/kgc_redundancy.dir/cleaner.cc.o" "gcc" "src/redundancy/CMakeFiles/kgc_redundancy.dir/cleaner.cc.o.d"
+  "/root/repo/src/redundancy/detectors.cc" "src/redundancy/CMakeFiles/kgc_redundancy.dir/detectors.cc.o" "gcc" "src/redundancy/CMakeFiles/kgc_redundancy.dir/detectors.cc.o.d"
+  "/root/repo/src/redundancy/leakage.cc" "src/redundancy/CMakeFiles/kgc_redundancy.dir/leakage.cc.o" "gcc" "src/redundancy/CMakeFiles/kgc_redundancy.dir/leakage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kg/CMakeFiles/kgc_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

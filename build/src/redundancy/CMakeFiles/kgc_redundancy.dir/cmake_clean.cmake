@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgc_redundancy.dir/cleaner.cc.o"
+  "CMakeFiles/kgc_redundancy.dir/cleaner.cc.o.d"
+  "CMakeFiles/kgc_redundancy.dir/detectors.cc.o"
+  "CMakeFiles/kgc_redundancy.dir/detectors.cc.o.d"
+  "CMakeFiles/kgc_redundancy.dir/leakage.cc.o"
+  "CMakeFiles/kgc_redundancy.dir/leakage.cc.o.d"
+  "libkgc_redundancy.a"
+  "libkgc_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgc_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

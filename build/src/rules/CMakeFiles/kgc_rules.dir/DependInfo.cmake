@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/amie.cc" "src/rules/CMakeFiles/kgc_rules.dir/amie.cc.o" "gcc" "src/rules/CMakeFiles/kgc_rules.dir/amie.cc.o.d"
+  "/root/repo/src/rules/cartesian_predictor.cc" "src/rules/CMakeFiles/kgc_rules.dir/cartesian_predictor.cc.o" "gcc" "src/rules/CMakeFiles/kgc_rules.dir/cartesian_predictor.cc.o.d"
+  "/root/repo/src/rules/simple_rule_model.cc" "src/rules/CMakeFiles/kgc_rules.dir/simple_rule_model.cc.o" "gcc" "src/rules/CMakeFiles/kgc_rules.dir/simple_rule_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kg/CMakeFiles/kgc_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/redundancy/CMakeFiles/kgc_redundancy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

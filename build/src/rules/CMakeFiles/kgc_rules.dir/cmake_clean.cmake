@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgc_rules.dir/amie.cc.o"
+  "CMakeFiles/kgc_rules.dir/amie.cc.o.d"
+  "CMakeFiles/kgc_rules.dir/cartesian_predictor.cc.o"
+  "CMakeFiles/kgc_rules.dir/cartesian_predictor.cc.o.d"
+  "CMakeFiles/kgc_rules.dir/simple_rule_model.cc.o"
+  "CMakeFiles/kgc_rules.dir/simple_rule_model.cc.o.d"
+  "libkgc_rules.a"
+  "libkgc_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgc_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgc_util.dir/file_util.cc.o"
+  "CMakeFiles/kgc_util.dir/file_util.cc.o.d"
+  "CMakeFiles/kgc_util.dir/logging.cc.o"
+  "CMakeFiles/kgc_util.dir/logging.cc.o.d"
+  "CMakeFiles/kgc_util.dir/serialize.cc.o"
+  "CMakeFiles/kgc_util.dir/serialize.cc.o.d"
+  "CMakeFiles/kgc_util.dir/status.cc.o"
+  "CMakeFiles/kgc_util.dir/status.cc.o.d"
+  "CMakeFiles/kgc_util.dir/string_util.cc.o"
+  "CMakeFiles/kgc_util.dir/string_util.cc.o.d"
+  "CMakeFiles/kgc_util.dir/table.cc.o"
+  "CMakeFiles/kgc_util.dir/table.cc.o.d"
+  "libkgc_util.a"
+  "libkgc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy_test.dir/redundancy_test.cc.o"
+  "CMakeFiles/redundancy_test.dir/redundancy_test.cc.o.d"
+  "redundancy_test"
+  "redundancy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
