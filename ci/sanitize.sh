@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Builds the tier-1 test suite under ASan + UBSan and runs it.
+#
+# Usage:
+#   ci/sanitize.sh              # address + undefined (default)
+#   ci/sanitize.sh address      # ASan only
+#   ci/sanitize.sh undefined    # UBSan only
+#
+# Uses a dedicated build directory (build-sanitize) so it never pollutes
+# the regular `build/` tree. Exits non-zero on any build or test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZERS="${1:-address;undefined}"
+BUILD_DIR="build-sanitize"
+
+echo "== configuring with KGC_SANITIZE=${SANITIZERS} =="
+cmake -B "${BUILD_DIR}" -S . -DKGC_SANITIZE="${SANITIZERS}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== building =="
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+echo "== running tier-1 tests =="
+# halt_on_error keeps CI failures crisp; detect_leaks stays on by default
+# under ASan. UBSan is built with -fno-sanitize-recover so any finding
+# aborts the offending test.
+export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "== sanitize run passed =="

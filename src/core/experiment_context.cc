@@ -5,6 +5,7 @@
 
 #include "core/audit.h"
 
+#include "util/file_util.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -16,7 +17,16 @@ constexpr uint32_t kRanksMagic = 0x4b524e4bU;  // "KRNK"
 }  // namespace
 
 ExperimentContext::ExperimentContext(ExperimentOptions options)
-    : options_(std::move(options)), store_(options_.cache_dir) {}
+    : options_(std::move(options)), store_(options_.cache_dir) {
+  if (!store_.usable()) {
+    // Surface the degraded mode once, loudly: every model and rank table
+    // will be regenerated on every run until the cache dir is writable.
+    LogWarning(
+        "artifact cache '%s' is unusable; models and rank tables will be "
+        "retrained/recomputed from scratch each run",
+        options_.cache_dir.c_str());
+  }
+}
 
 BenchmarkSuite ExperimentContext::MakeSuite(int which) {
   BenchmarkSuite suite;
@@ -106,7 +116,19 @@ const KgeModel& ExperimentContext::GetModel(const Dataset& dataset,
           train_options.epochs);
   std::unique_ptr<KgeModel> model = CreateModel(
       type, dataset.num_entities(), dataset.num_relations(), params);
-  const TrainStats stats = TrainModel(*model, dataset, train_options);
+  TrainOptions run_options = train_options;
+  if (store_.usable()) {
+    // Checkpoint alongside the model cache, keyed identically, so a killed
+    // bench run resumes from the last completed epoch instead of starting
+    // over. Roughly ten snapshots per run keeps the overhead negligible.
+    run_options.checkpoint_path = store_.PathFor(key) + ".ckpt";
+    run_options.checkpoint_every = std::max(1, train_options.epochs / 10);
+  }
+  const TrainStats stats = TrainModel(*model, dataset, run_options);
+  if (stats.resumed_from_epoch > 0) {
+    LogInfo("resumed %s on %s from epoch %d", ModelTypeName(type),
+            dataset.name().c_str(), stats.resumed_from_epoch);
+  }
   LogInfo("trained %s on %s in %.1fs (final loss %.4f)", ModelTypeName(type),
           dataset.name().c_str(), stats.seconds, stats.final_loss);
   const Status save_status = store_.Save(key, *model);
@@ -122,6 +144,32 @@ std::string ExperimentContext::RankCachePath(
   return options_.cache_dir + "/" + model_key + ".ranks";
 }
 
+const std::vector<TripleRanks>* ExperimentContext::TryLoadRankCache(
+    const std::string& key, size_t expected_count) {
+  if (!store_.usable()) return nullptr;
+  const std::string path = RankCachePath(key);
+  auto cached = LoadRanks(path);
+  if (cached.ok() && cached->size() == expected_count) {
+    return &ranks_.emplace(key, std::move(*cached)).first->second;
+  }
+  if (!cached.ok() && cached.status().code() != StatusCode::kNotFound) {
+    QuarantineCorrupt(path, cached.status());
+  } else if (cached.ok()) {
+    LogWarning("rank cache %s holds %zu entries, expected %zu; recomputing",
+               path.c_str(), cached->size(), expected_count);
+  }
+  return nullptr;
+}
+
+void ExperimentContext::StoreRankCache(
+    const std::string& key, const std::vector<TripleRanks>& ranks) const {
+  if (!store_.usable()) return;
+  const Status save_status = SaveRanks(RankCachePath(key), ranks);
+  if (!save_status.ok()) {
+    LogWarning("rank cache save failed: %s", save_status.ToString().c_str());
+  }
+}
+
 const std::vector<TripleRanks>& ExperimentContext::GetRanks(
     const Dataset& dataset, ModelType type) {
   const ModelHyperParams params = DefaultHyperParams(type);
@@ -132,9 +180,8 @@ const std::vector<TripleRanks>& ExperimentContext::GetRanks(
   auto it = ranks_.find(key);
   if (it != ranks_.end()) return it->second;
 
-  auto cached = LoadRanks(RankCachePath(key));
-  if (cached.ok() && cached->size() == dataset.test().size()) {
-    return ranks_.emplace(key, std::move(*cached)).first->second;
+  if (const auto* cached = TryLoadRankCache(key, dataset.test().size())) {
+    return *cached;
   }
 
   const KgeModel& model = GetModel(dataset, type);
@@ -144,10 +191,7 @@ const std::vector<TripleRanks>& ExperimentContext::GetRanks(
   LogInfo("ranked %zu test triples of %s under %s in %.1fs",
           dataset.test().size(), dataset.name().c_str(), ModelTypeName(type),
           watch.ElapsedSeconds());
-  const Status save_status = SaveRanks(RankCachePath(key), ranks);
-  if (!save_status.ok()) {
-    LogWarning("rank cache save failed: %s", save_status.ToString().c_str());
-  }
+  StoreRankCache(key, ranks);
   return ranks_.emplace(key, std::move(ranks)).first->second;
 }
 
@@ -161,9 +205,8 @@ const std::vector<TripleRanks>& ExperimentContext::GetPredictorRanks(
   auto it = ranks_.find(key);
   if (it != ranks_.end()) return it->second;
 
-  auto cached = LoadRanks(RankCachePath(key));
-  if (cached.ok() && cached->size() == dataset.test().size()) {
-    return ranks_.emplace(key, std::move(*cached)).first->second;
+  if (const auto* cached = TryLoadRankCache(key, dataset.test().size())) {
+    return *cached;
   }
 
   Stopwatch watch;
@@ -172,10 +215,7 @@ const std::vector<TripleRanks>& ExperimentContext::GetPredictorRanks(
   LogInfo("ranked %zu test triples of %s under %s in %.1fs",
           dataset.test().size(), dataset.name().c_str(), predictor.name(),
           watch.ElapsedSeconds());
-  const Status save_status = SaveRanks(RankCachePath(key), ranks);
-  if (!save_status.ok()) {
-    LogWarning("rank cache save failed: %s", save_status.ToString().c_str());
-  }
+  StoreRankCache(key, ranks);
   return ranks_.emplace(key, std::move(ranks)).first->second;
 }
 

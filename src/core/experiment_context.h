@@ -78,6 +78,17 @@ class ExperimentContext {
   BenchmarkSuite MakeSuite(int which);
   std::string RankCachePath(const std::string& model_key) const;
 
+  /// Loads the on-disk rank cache for `key` into `ranks_` and returns the
+  /// entry, or nullptr on a miss. Corrupt cache files are quarantined
+  /// (moved to `.corrupt`) so the caller recomputes and overwrites.
+  const std::vector<TripleRanks>* TryLoadRankCache(const std::string& key,
+                                                   size_t expected_count);
+
+  /// Persists freshly computed ranks for `key` (no-op when the cache
+  /// directory is unusable).
+  void StoreRankCache(const std::string& key,
+                      const std::vector<TripleRanks>& ranks) const;
+
   ExperimentOptions options_;
   ModelStore store_;
   std::unique_ptr<BenchmarkSuite> fb15k_;

@@ -34,6 +34,10 @@ void EmbeddingTable::Serialize(BinaryWriter& writer) const {
   writer.WriteI64(rows_);
   writer.WriteI64(dim_);
   writer.WriteFloatVector(data_);
+  // Optimizer state rides along (flag + accumulators) so a deserialized
+  // model can resume training bit-exactly, not just score.
+  writer.WriteU32(adagrad_.empty() ? 0 : 1);
+  if (!adagrad_.empty()) writer.WriteFloatVector(adagrad_);
 }
 
 Status EmbeddingTable::Deserialize(BinaryReader& reader) {
@@ -47,10 +51,23 @@ Status EmbeddingTable::Deserialize(BinaryReader& reader) {
       data->size() != static_cast<size_t>(*rows * *dim)) {
     return Status::IoError("embedding table shape mismatch");
   }
+  auto has_adagrad = reader.ReadU32();
+  if (!has_adagrad.ok()) return has_adagrad.status();
+  std::vector<float> adagrad;
+  if (*has_adagrad == 1) {
+    auto accumulators = reader.ReadFloatVector();
+    if (!accumulators.ok()) return accumulators.status();
+    if (accumulators->size() != data->size()) {
+      return Status::IoError("adagrad accumulator shape mismatch");
+    }
+    adagrad = std::move(*accumulators);
+  } else if (*has_adagrad != 0) {
+    return Status::IoError("bad adagrad flag in embedding table");
+  }
   rows_ = *rows;
   dim_ = *dim;
   data_ = std::move(*data);
-  adagrad_.clear();
+  adagrad_ = std::move(adagrad);
   return Status::Ok();
 }
 

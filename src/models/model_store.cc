@@ -8,7 +8,106 @@ namespace kgc {
 namespace {
 
 constexpr uint32_t kMagic = 0x4b47434dU;  // "KGCM"
-constexpr uint32_t kVersion = 1;
+// v2: CRC-32 integrity footer + optimizer state in embedding tables.
+constexpr uint32_t kVersion = 2;
+
+// Hard ceilings on declared shapes: far above any dataset this harness
+// generates, far below anything that could make allocation itself fail.
+constexpr int32_t kMaxEntities = 1 << 27;
+constexpr int32_t kMaxRelations = 1 << 22;
+constexpr int32_t kMaxDim = 1 << 16;
+
+// Reads and validates the fixed-size header of a .kgcm payload, leaving the
+// reader positioned at the first parameter table.
+struct ModelHeader {
+  ModelType type;
+  int32_t num_entities;
+  int32_t num_relations;
+  ModelHyperParams params;
+};
+
+StatusOr<ModelHeader> ReadHeader(BinaryReader& reader,
+                                 const std::string& key) {
+  auto magic = reader.ReadU32();
+  if (!magic.ok() || *magic != kMagic) {
+    return Status::IoError("bad magic in model file: " + key);
+  }
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kVersion) {
+    return Status::IoError(
+        StrFormat("unsupported model file version %u in %s",
+                  *version, key.c_str()));
+  }
+  auto type_raw = reader.ReadI32();
+  if (!type_raw.ok()) return type_raw.status();
+  auto num_entities = reader.ReadI32();
+  if (!num_entities.ok()) return num_entities.status();
+  auto num_relations = reader.ReadI32();
+  if (!num_relations.ok()) return num_relations.status();
+
+  ModelHeader header;
+  auto dim = reader.ReadI32();
+  if (!dim.ok()) return dim.status();
+  auto dim2 = reader.ReadI32();
+  if (!dim2.ok()) return dim2.status();
+  auto lr = reader.ReadDouble();
+  if (!lr.ok()) return lr.status();
+  auto margin = reader.ReadDouble();
+  if (!margin.ok()) return margin.status();
+  auto loss = reader.ReadI32();
+  if (!loss.ok()) return loss.status();
+
+  if (*type_raw < 0 || *type_raw > static_cast<int32_t>(ModelType::kConvE)) {
+    return Status::IoError("bad model type in file: " + key);
+  }
+  // Bounds-check the declared shape before anything is allocated from it: a
+  // truncated or hostile header must not trigger huge allocations or
+  // out-of-bounds reads downstream.
+  if (*num_entities <= 0 || *num_entities > kMaxEntities ||
+      *num_relations <= 0 || *num_relations > kMaxRelations ||
+      *dim <= 0 || *dim > kMaxDim || *dim2 < 0 || *dim2 > kMaxDim) {
+    return Status::IoError(
+        StrFormat("implausible shape in model file %s: %d entities, "
+                  "%d relations, dim %d/%d",
+                  key.c_str(), *num_entities, *num_relations, *dim, *dim2));
+  }
+  // The payload holds at least the entity table (entities x dim floats,
+  // behind a 16-byte table header); a file shorter than that declared its
+  // shape dishonestly. Overflow-safe: both factors are bounded above.
+  const uint64_t min_payload_bytes =
+      static_cast<uint64_t>(*num_entities) * static_cast<uint64_t>(*dim) *
+      sizeof(float);
+  if (min_payload_bytes > reader.remaining()) {
+    return Status::IoError(
+        StrFormat("model file %s declares %d x %d entity table but only "
+                  "%zu payload bytes remain",
+                  key.c_str(), *num_entities, *dim, reader.remaining()));
+  }
+
+  header.type = static_cast<ModelType>(*type_raw);
+  header.num_entities = *num_entities;
+  header.num_relations = *num_relations;
+  header.params.dim = *dim;
+  header.params.dim2 = *dim2;
+  header.params.learning_rate = *lr;
+  header.params.margin = *margin;
+  header.params.loss = static_cast<LossKind>(*loss);
+  return header;
+}
+
+StatusOr<std::unique_ptr<KgeModel>> LoadFromPath(const std::string& path,
+                                                 const std::string& key) {
+  auto reader = BinaryReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  auto header = ReadHeader(*reader, key);
+  if (!header.ok()) return header.status();
+  std::unique_ptr<KgeModel> model =
+      CreateModel(header->type, header->num_entities, header->num_relations,
+                  header->params);
+  KGC_RETURN_IF_ERROR(model->Deserialize(*reader));
+  return model;
+}
 
 }  // namespace
 
@@ -44,48 +143,13 @@ std::string ModelStore::PathFor(const std::string& key) const {
 StatusOr<std::unique_ptr<KgeModel>> ModelStore::Load(
     const std::string& key) const {
   if (!usable_) return Status::NotFound("store unusable");
-  auto reader = BinaryReader::FromFile(PathFor(key));
-  if (!reader.ok()) return reader.status();
-
-  auto magic = reader->ReadU32();
-  if (!magic.ok() || *magic != kMagic) {
-    return Status::IoError("bad magic in model file: " + key);
+  const std::string path = PathFor(key);
+  auto model = LoadFromPath(path, key);
+  if (!model.ok() && model.status().code() != StatusCode::kNotFound) {
+    // Corrupt, truncated or incompatible file: move it aside so the caller
+    // retrains into a fresh file and the bad bytes stay inspectable.
+    QuarantineCorrupt(path, model.status());
   }
-  auto version = reader->ReadU32();
-  if (!version.ok() || *version != kVersion) {
-    return Status::IoError("unsupported model file version: " + key);
-  }
-  auto type_raw = reader->ReadI32();
-  if (!type_raw.ok()) return type_raw.status();
-  auto num_entities = reader->ReadI32();
-  if (!num_entities.ok()) return num_entities.status();
-  auto num_relations = reader->ReadI32();
-  if (!num_relations.ok()) return num_relations.status();
-
-  ModelHyperParams params;
-  auto dim = reader->ReadI32();
-  if (!dim.ok()) return dim.status();
-  auto dim2 = reader->ReadI32();
-  if (!dim2.ok()) return dim2.status();
-  auto lr = reader->ReadDouble();
-  if (!lr.ok()) return lr.status();
-  auto margin = reader->ReadDouble();
-  if (!margin.ok()) return margin.status();
-  auto loss = reader->ReadI32();
-  if (!loss.ok()) return loss.status();
-  params.dim = *dim;
-  params.dim2 = *dim2;
-  params.learning_rate = *lr;
-  params.margin = *margin;
-  params.loss = static_cast<LossKind>(*loss);
-
-  if (*type_raw < 0 || *type_raw > static_cast<int32_t>(ModelType::kConvE)) {
-    return Status::IoError("bad model type in file: " + key);
-  }
-  std::unique_ptr<KgeModel> model = CreateModel(
-      static_cast<ModelType>(*type_raw), *num_entities, *num_relations,
-      params);
-  KGC_RETURN_IF_ERROR(model->Deserialize(*reader));
   return model;
 }
 

@@ -2,8 +2,10 @@
 //
 // Bench binaries share one cache directory so each (dataset, model, config)
 // pair is trained exactly once across the whole harness. Files carry a magic
-// header, format version and full shape information; mismatches surface as
-// Status errors and the caller retrains.
+// header, format version and full shape information, plus the CRC-32
+// integrity footer written by BinaryWriter::Flush; mismatches surface as
+// Status errors, the corrupt file is quarantined to `<name>.corrupt`, and
+// the caller retrains.
 
 #ifndef KGC_MODELS_MODEL_STORE_H_
 #define KGC_MODELS_MODEL_STORE_H_
@@ -18,7 +20,8 @@ namespace kgc {
 class ModelStore {
  public:
   /// Creates the cache directory if needed. Falls back to a no-op store
-  /// (all loads miss) if the directory cannot be created.
+  /// (all loads miss, all saves fail) if the directory cannot be created;
+  /// `usable()` reports which mode the store is in.
   explicit ModelStore(std::string dir);
 
   /// Builds the canonical cache key for a (dataset, model, training) config.
@@ -26,16 +29,25 @@ class ModelStore {
                              const ModelHyperParams& params, int epochs,
                              uint64_t train_seed);
 
-  /// Loads a cached model; kNotFound if absent or incompatible.
+  /// Loads a cached model; kNotFound if absent or incompatible. A corrupt
+  /// file (bad checksum, truncated, malformed header) is moved aside to
+  /// `<path>.corrupt` and reported as an error so the caller retrains.
   StatusOr<std::unique_ptr<KgeModel>> Load(const std::string& key) const;
 
   Status Save(const std::string& key, const KgeModel& model) const;
 
-  const std::string& dir() const { return dir_; }
-
- private:
+  /// Cache file path for `key` (also the base of the `.ckpt` / `.corrupt`
+  /// sibling names).
   std::string PathFor(const std::string& key) const;
 
+  const std::string& dir() const { return dir_; }
+
+  /// False when the cache directory could not be created: every load
+  /// misses and every save fails, so callers retrain each run. Callers
+  /// should surface this state to the user rather than silently degrade.
+  bool usable() const { return usable_; }
+
+ private:
   std::string dir_;
   bool usable_ = false;
 };

@@ -1,13 +1,149 @@
 #include "models/trainer.h"
 
 #include <cmath>
+#include <cstdio>
 
 #include "kg/relation_stats.h"
+#include "util/file_util.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace kgc {
 namespace {
+
+constexpr uint32_t kCkptMagic = 0x4b47434bU;  // "KGCK"
+constexpr uint32_t kCkptVersion = 1;
+
+// Everything the loop below needs to continue exactly where a killed run
+// stopped: progress counters plus the stochastic state (RNG + the shuffle
+// permutation, which is reshuffled in place and so carries history).
+struct ResumePoint {
+  int completed_epochs = 0;
+  double last_loss = 0.0;
+  Rng::State rng;
+  std::vector<size_t> order;
+};
+
+Status SaveCheckpoint(const KgeModel& model, const TrainOptions& options,
+                      int completed_epochs, double last_loss, const Rng& rng,
+                      const std::vector<size_t>& order) {
+  BinaryWriter writer;
+  writer.WriteU32(kCkptMagic);
+  writer.WriteU32(kCkptVersion);
+  writer.WriteI32(static_cast<int32_t>(model.type()));
+  writer.WriteI32(model.num_entities());
+  writer.WriteI32(model.num_relations());
+  writer.WriteI32(options.epochs);
+  writer.WriteI32(options.negatives);
+  writer.WriteU32(options.bernoulli ? 1 : 0);
+  writer.WriteU64(options.seed);
+  writer.WriteI32(completed_epochs);
+  writer.WriteDouble(last_loss);
+  const Rng::State rng_state = rng.state();
+  for (uint64_t word : rng_state.words) writer.WriteU64(word);
+  writer.WriteU32(rng_state.has_cached_normal ? 1 : 0);
+  writer.WriteDouble(rng_state.cached_normal);
+  writer.WriteU64(order.size());
+  for (size_t index : order) writer.WriteU64(index);
+  model.Serialize(writer);
+  return writer.Flush(options.checkpoint_path);
+}
+
+// Restores `model` and the stochastic state from options.checkpoint_path.
+// Any mismatch with the current configuration is an error: the checkpoint
+// belongs to a different run and must not silently steer this one.
+StatusOr<ResumePoint> LoadCheckpoint(KgeModel& model,
+                                     const TrainOptions& options,
+                                     size_t num_triples) {
+  auto reader = BinaryReader::FromFile(options.checkpoint_path);
+  if (!reader.ok()) return reader.status();
+
+  auto magic = reader->ReadU32();
+  if (!magic.ok() || *magic != kCkptMagic) {
+    return Status::IoError("bad checkpoint magic: " + options.checkpoint_path);
+  }
+  auto version = reader->ReadU32();
+  if (!version.ok() || *version != kCkptVersion) {
+    return Status::IoError("unsupported checkpoint version: " +
+                           options.checkpoint_path);
+  }
+  auto type_raw = reader->ReadI32();
+  if (!type_raw.ok()) return type_raw.status();
+  auto num_entities = reader->ReadI32();
+  if (!num_entities.ok()) return num_entities.status();
+  auto num_relations = reader->ReadI32();
+  if (!num_relations.ok()) return num_relations.status();
+  auto epochs = reader->ReadI32();
+  if (!epochs.ok()) return epochs.status();
+  auto negatives = reader->ReadI32();
+  if (!negatives.ok()) return negatives.status();
+  auto bernoulli = reader->ReadU32();
+  if (!bernoulli.ok()) return bernoulli.status();
+  auto seed = reader->ReadU64();
+  if (!seed.ok()) return seed.status();
+  if (*type_raw != static_cast<int32_t>(model.type()) ||
+      *num_entities != model.num_entities() ||
+      *num_relations != model.num_relations() ||
+      *epochs != options.epochs || *negatives != options.negatives ||
+      (*bernoulli != 0) != options.bernoulli || *seed != options.seed) {
+    return Status::FailedPrecondition(
+        "checkpoint does not match the current training configuration: " +
+        options.checkpoint_path);
+  }
+
+  ResumePoint resume;
+  auto completed = reader->ReadI32();
+  if (!completed.ok()) return completed.status();
+  if (*completed < 1 || *completed > options.epochs) {
+    return Status::IoError("implausible epoch count in checkpoint: " +
+                           options.checkpoint_path);
+  }
+  resume.completed_epochs = *completed;
+  auto loss = reader->ReadDouble();
+  if (!loss.ok()) return loss.status();
+  resume.last_loss = *loss;
+
+  for (uint64_t& word : resume.rng.words) {
+    auto value = reader->ReadU64();
+    if (!value.ok()) return value.status();
+    word = *value;
+  }
+  auto has_cached = reader->ReadU32();
+  if (!has_cached.ok()) return has_cached.status();
+  resume.rng.has_cached_normal = (*has_cached != 0);
+  auto cached = reader->ReadDouble();
+  if (!cached.ok()) return cached.status();
+  resume.rng.cached_normal = *cached;
+
+  auto order_size = reader->ReadU64();
+  if (!order_size.ok()) return order_size.status();
+  if (*order_size != num_triples ||
+      *order_size > reader->remaining() / sizeof(uint64_t)) {
+    return Status::IoError("shuffle order size mismatch in checkpoint: " +
+                           options.checkpoint_path);
+  }
+  resume.order.resize(static_cast<size_t>(*order_size));
+  for (size_t& index : resume.order) {
+    auto value = reader->ReadU64();
+    if (!value.ok()) return value.status();
+    if (*value >= num_triples) {
+      return Status::IoError("shuffle order index out of range in checkpoint: " +
+                             options.checkpoint_path);
+    }
+    index = static_cast<size_t>(*value);
+  }
+  // Validate the parameter payload against a scratch model first so a
+  // malformed (but checksum-valid) file cannot leave `model` half
+  // overwritten — the caller falls back to training from scratch and must
+  // start from its pristine initialization.
+  BinaryReader payload = *reader;
+  std::unique_ptr<KgeModel> scratch =
+      CreateModel(model.type(), model.num_entities(), model.num_relations(),
+                  model.params());
+  KGC_RETURN_IF_ERROR(scratch->Deserialize(*reader));
+  KGC_RETURN_IF_ERROR(model.Deserialize(payload));
+  return resume;
+}
 
 double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
 
@@ -71,7 +207,29 @@ TrainStats TrainModel(KgeModel& model, const Dataset& dataset,
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   TrainStats stats;
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  int start_epoch = 0;
+  const bool checkpointing =
+      !options.checkpoint_path.empty() && options.checkpoint_every > 0;
+  if (checkpointing && FileExists(options.checkpoint_path)) {
+    auto resume = LoadCheckpoint(model, options, triples.size());
+    if (resume.ok()) {
+      start_epoch = resume->completed_epochs;
+      stats.final_loss = resume->last_loss;
+      stats.epochs_run = resume->completed_epochs;
+      stats.resumed_from_epoch = resume->completed_epochs;
+      rng.set_state(resume->rng);
+      order = std::move(resume->order);
+      LogInfo("%s: resuming from checkpoint at epoch %d/%d", model.name(),
+              start_epoch, options.epochs);
+    } else {
+      // Never let a bad checkpoint poison the run: quarantine it and train
+      // from scratch. (A config mismatch means the file belongs to a
+      // different run; corruption means a torn or rotted write.)
+      QuarantineCorrupt(options.checkpoint_path, resume.status());
+    }
+  }
+
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     model.OnEpochBegin(epoch);
     rng.Shuffle(order);
     double epoch_loss = 0.0;
@@ -119,6 +277,25 @@ TrainStats TrainModel(KgeModel& model, const Dataset& dataset,
       LogInfo("%s epoch %d/%d loss %.4f (%.1fs)", model.name(), epoch + 1,
               options.epochs, stats.final_loss, watch.ElapsedSeconds());
     }
+    const bool final_epoch = epoch + 1 == options.epochs;
+    if (checkpointing && !final_epoch &&
+        (epoch + 1) % options.checkpoint_every == 0) {
+      const Status saved = SaveCheckpoint(model, options, epoch + 1,
+                                          stats.final_loss, rng, order);
+      if (!saved.ok()) {
+        // Checkpointing is best-effort: a failed snapshot only costs resume
+        // granularity, never training correctness.
+        LogWarning("checkpoint save failed: %s", saved.ToString().c_str());
+      }
+    }
+    if (options.abort_after_epoch > 0 &&
+        epoch + 1 - start_epoch >= options.abort_after_epoch) {
+      stats.seconds = watch.ElapsedSeconds();
+      return stats;  // simulated kill: checkpoint (if any) stays behind
+    }
+  }
+  if (checkpointing) {
+    std::remove(options.checkpoint_path.c_str());
   }
   stats.seconds = watch.ElapsedSeconds();
   return stats;

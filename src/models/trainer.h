@@ -25,13 +25,31 @@ struct TrainOptions {
   uint64_t seed = 13;
   /// Log epoch losses via LogInfo.
   bool verbose = false;
+
+  /// When set (and checkpoint_every > 0), TrainModel writes an atomic,
+  /// checksummed snapshot of the complete training state — model
+  /// parameters, optimizer accumulators, RNG state, shuffle order, epoch
+  /// counter — to this path every checkpoint_every epochs, resumes from it
+  /// if it already exists, and deletes it once training completes. A run
+  /// killed mid-training therefore restarts from the last completed
+  /// checkpoint epoch and converges bit-exactly to the uninterrupted
+  /// result.
+  std::string checkpoint_path;
+  /// Epochs between checkpoints; <= 0 disables checkpointing.
+  int checkpoint_every = 0;
+  /// Fault-injection hook: return right after this many epochs have
+  /// completed this run (simulating a killed process, checkpoint left
+  /// behind). <= 0 disables.
+  int abort_after_epoch = 0;
 };
 
 struct TrainStats {
   /// Mean per-example loss of the last epoch.
   double final_loss = 0.0;
-  double seconds = 0.0;
-  int epochs_run = 0;
+  double seconds = 0.0;  ///< wall time of this run (excludes pre-resume runs)
+  int epochs_run = 0;    ///< total completed epochs, including resumed ones
+  /// Epochs restored from a checkpoint (0 = fresh run).
+  int resumed_from_epoch = 0;
 };
 
 /// Trains `model` on the training split of `dataset` in place.

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+//
+// Used as the integrity footer of every binary cache artifact (.kgcm model
+// files, .ranks tables, .ckpt training checkpoints) so that truncation and
+// bit-rot are detected at load time instead of surfacing as garbage metrics.
+
+#ifndef KGC_UTIL_CRC32_H_
+#define KGC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kgc {
+
+/// CRC-32 of `size` bytes starting at `data`, with the conventional
+/// all-ones initial value and final inversion (matches zlib's crc32()).
+uint32_t Crc32(const void* data, size_t size);
+
+/// Incremental form: feed `crc` the result of the previous call (start
+/// from 0) to checksum a stream in chunks.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace kgc
+
+#endif  // KGC_UTIL_CRC32_H_

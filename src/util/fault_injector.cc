@@ -1,0 +1,118 @@
+#include "util/fault_injector.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgc {
+
+bool ParseFaultKind(const std::string& name, FaultKind* kind) {
+  if (name == "torn_write") {
+    *kind = FaultKind::kTornWrite;
+  } else if (name == "short_read") {
+    *kind = FaultKind::kShortRead;
+  } else if (name == "enospc") {
+    *kind = FaultKind::kEnospc;
+  } else if (name == "rename_fail") {
+    *kind = FaultKind::kRenameFail;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FaultInjector& FaultInjector::Get() {
+  static FaultInjector* injector = [] {
+    auto* instance = new FaultInjector();
+    if (const char* spec = std::getenv("KGC_FAULTS")) {
+      instance->ArmFromSpec(spec);
+    }
+    return instance;
+  }();
+  return *injector;
+}
+
+void FaultInjector::Arm(FaultKind kind, int times, int skip, int64_t payload) {
+  Slot& slot = slots_[static_cast<size_t>(kind)];
+  slot.times = times;
+  slot.skip = skip;
+  slot.payload = payload;
+}
+
+void FaultInjector::Disarm(FaultKind kind) {
+  slots_[static_cast<size_t>(kind)] = Slot{};
+}
+
+void FaultInjector::DisarmAll() {
+  for (Slot& slot : slots_) slot = Slot{};
+}
+
+bool FaultInjector::ShouldFail(FaultKind kind, int64_t* payload) {
+  Slot& slot = slots_[static_cast<size_t>(kind)];
+  ++slot.seen;
+  if (slot.times <= 0) return false;
+  if (slot.skip > 0) {
+    --slot.skip;
+    return false;
+  }
+  --slot.times;
+  if (payload != nullptr) *payload = slot.payload;
+  return true;
+}
+
+int64_t FaultInjector::ops_seen(FaultKind kind) const {
+  return slots_[static_cast<size_t>(kind)].seen;
+}
+
+int FaultInjector::times_remaining(FaultKind kind) const {
+  return slots_[static_cast<size_t>(kind)].times;
+}
+
+bool FaultInjector::ArmFromSpec(const std::string& spec) {
+  bool all_ok = true;
+  for (const std::string& entry : Split(spec, ',')) {
+    if (Trim(entry).empty()) continue;
+    const std::vector<std::string> fields = Split(Trim(entry), ':');
+    FaultKind kind;
+    if (!ParseFaultKind(fields[0], &kind)) {
+      LogWarning("KGC_FAULTS: unknown fault kind '%s'", fields[0].c_str());
+      all_ok = false;
+      continue;
+    }
+    int times = 1;
+    int skip = 0;
+    int64_t payload = 0;
+    bool entry_ok = true;
+    for (size_t i = 1; i < fields.size(); ++i) {
+      const std::vector<std::string> kv = Split(fields[i], '=');
+      if (kv.size() != 2) {
+        entry_ok = false;
+        break;
+      }
+      const long value = std::strtol(kv[1].c_str(), nullptr, 10);
+      if (kv[0] == "times") {
+        times = static_cast<int>(value);
+      } else if (kv[0] == "skip") {
+        skip = static_cast<int>(value);
+      } else if (kv[0] == "bytes") {
+        payload = value;
+      } else {
+        entry_ok = false;
+        break;
+      }
+    }
+    if (!entry_ok) {
+      LogWarning("KGC_FAULTS: malformed entry '%s'", entry.c_str());
+      all_ok = false;
+      continue;
+    }
+    LogWarning("fault injection armed: %s times=%d skip=%d payload=%lld",
+               fields[0].c_str(), times, skip,
+               static_cast<long long>(payload));
+    Arm(kind, times, skip, payload);
+  }
+  return all_ok;
+}
+
+}  // namespace kgc

@@ -1,0 +1,84 @@
+// Failpoint registry for fault-injection testing of the I/O layer.
+//
+// The low-level file helpers (AtomicWriteFile, ReadFileBytes, the rename in
+// the atomic-write protocol) consult this singleton before every operation;
+// an armed failpoint makes the next matching operation(s) fail the way real
+// storage fails: a torn write that persists only a prefix, a short read, an
+// out-of-space error, a rename that never lands. Tests arm failpoints
+// programmatically; end-to-end runs can arm them through the KGC_FAULTS
+// environment variable (parsed once, on first use):
+//
+//   KGC_FAULTS=<kind>[:times=<n>][:skip=<n>][:bytes=<n>][,<kind>...]
+//
+//   kind   one of torn_write, short_read, enospc, rename_fail
+//   times  how many matching operations fail (default 1)
+//   skip   how many matching operations succeed first (default 0)
+//   bytes  for torn_write: prefix bytes persisted before the failure
+//
+// e.g. KGC_FAULTS=torn_write:bytes=64,short_read:times=2:skip=1
+//
+// The harness is single-threaded by design (see DESIGN.md); the registry is
+// deliberately lock-free and must not be armed concurrently with I/O.
+
+#ifndef KGC_UTIL_FAULT_INJECTOR_H_
+#define KGC_UTIL_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace kgc {
+
+enum class FaultKind : int {
+  kTornWrite = 0,   ///< write persists a prefix, then fails
+  kShortRead = 1,   ///< read returns fewer bytes than the file holds
+  kEnospc = 2,      ///< write fails up front (device full)
+  kRenameFail = 3,  ///< atomic-write rename never happens
+};
+inline constexpr int kNumFaultKinds = 4;
+
+/// Parses a fault kind name ("torn_write", ...); returns false on unknown.
+bool ParseFaultKind(const std::string& name, FaultKind* kind);
+
+class FaultInjector {
+ public:
+  /// The process-wide injector. Arms from KGC_FAULTS on first call.
+  static FaultInjector& Get();
+
+  /// Arms a failpoint: after `skip` successful matching operations, the
+  /// next `times` ones fail. `payload` carries kind-specific data (torn
+  /// write: bytes persisted before failing).
+  void Arm(FaultKind kind, int times = 1, int skip = 0, int64_t payload = 0);
+
+  void Disarm(FaultKind kind);
+  void DisarmAll();
+
+  /// True and consumes one armed failure if the operation should fail;
+  /// `payload` (may be null) receives the armed payload.
+  bool ShouldFail(FaultKind kind, int64_t* payload = nullptr);
+
+  /// Total matching operations consulted since construction / DisarmAll.
+  int64_t ops_seen(FaultKind kind) const;
+
+  /// Remaining failures armed for `kind` (0 = disarmed or exhausted).
+  int times_remaining(FaultKind kind) const;
+
+  /// Arms failpoints from a spec string (see header comment). Unknown or
+  /// malformed entries are skipped; returns false if any were.
+  bool ArmFromSpec(const std::string& spec);
+
+ private:
+  FaultInjector() = default;
+
+  struct Slot {
+    int times = 0;
+    int skip = 0;
+    int64_t payload = 0;
+    int64_t seen = 0;
+  };
+  std::array<Slot, kNumFaultKinds> slots_;
+};
+
+}  // namespace kgc
+
+#endif  // KGC_UTIL_FAULT_INJECTOR_H_

@@ -1,15 +1,48 @@
 #include "util/file_util.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
+#include "util/fault_injector.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace kgc {
+namespace {
 
-StatusOr<std::string> ReadFileToString(const std::string& path) {
+// Syncs an open stream's data to stable storage. Flushes stdio buffers
+// first so fsync sees every byte.
+Status FlushAndSync(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    return Status::IoError("flush failed: " + path);
+  }
+  if (::fsync(::fileno(file)) != 0) {
+    return Status::IoError("fsync failed: " + path);
+  }
+  return Status::Ok();
+}
+
+// Syncs the directory entry for `path` so the rename itself is durable.
+void SyncParentDir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fds
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::NotFound("cannot open: " + path);
@@ -21,28 +54,113 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
     std::fclose(file);
     return Status::IoError("cannot stat: " + path);
   }
-  std::string content(static_cast<size_t>(size), '\0');
-  const size_t read =
-      content.empty() ? 0 : std::fread(content.data(), 1, content.size(), file);
+  std::vector<uint8_t> buffer(static_cast<size_t>(size));
+  size_t read =
+      buffer.empty() ? 0 : std::fread(buffer.data(), 1, buffer.size(), file);
   std::fclose(file);
-  if (read != content.size()) {
-    return Status::IoError("short read: " + path);
+  if (FaultInjector::Get().ShouldFail(FaultKind::kShortRead)) {
+    read = read / 2;
   }
-  return content;
+  if (read != buffer.size()) {
+    return Status::IoError(StrFormat("short read: %s (%zu of %zu bytes)",
+                                     path.c_str(), read, buffer.size()));
+  }
+  return buffer;
+}
+
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       size_t size) {
+  FaultInjector& faults = FaultInjector::Get();
+  const std::string temp_path = path + ".tmp";
+
+  if (faults.ShouldFail(FaultKind::kEnospc)) {
+    return Status::IoError("no space left on device (injected): " + path);
+  }
+
+  std::FILE* file = std::fopen(temp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open for write: " + temp_path);
+  }
+
+  size_t to_write = size;
+  bool torn = false;
+  int64_t torn_bytes = 0;
+  if (faults.ShouldFail(FaultKind::kTornWrite, &torn_bytes)) {
+    torn = true;
+    to_write = std::min(size, static_cast<size_t>(
+                                  torn_bytes < 0 ? 0 : torn_bytes));
+  }
+  const size_t written =
+      to_write == 0 ? 0 : std::fwrite(data, 1, to_write, file);
+  if (torn) {
+    // A torn write persists the prefix: flush it, then report the failure
+    // without cleaning up, exactly like a crash mid-write would.
+    std::fflush(file);
+    std::fclose(file);
+    return Status::IoError(
+        StrFormat("write failed after %zu of %zu bytes (injected): %s",
+                  written, size, temp_path.c_str()));
+  }
+  if (written != size) {
+    std::fclose(file);
+    std::remove(temp_path.c_str());
+    return Status::IoError("short write: " + temp_path);
+  }
+  const Status sync_status = FlushAndSync(file, temp_path);
+  const int close_result = std::fclose(file);
+  if (!sync_status.ok() || close_result != 0) {
+    std::remove(temp_path.c_str());
+    return sync_status.ok() ? Status::IoError("close failed: " + temp_path)
+                            : sync_status;
+  }
+
+  if (faults.ShouldFail(FaultKind::kRenameFail)) {
+    std::remove(temp_path.c_str());
+    return Status::IoError("rename failed (injected): " + path);
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    return Status::IoError("rename failed: " + path);
+  }
+  SyncParentDir(path);
+  return Status::Ok();
+}
+
+Status RetryIo(const std::string& what, int max_attempts,
+               const std::function<Status()>& op) {
+  Status status;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+      LogWarning("retrying %s (attempt %d/%d): %s", what.c_str(), attempt + 1,
+                 max_attempts, status.ToString().c_str());
+    }
+    status = op();
+    if (status.code() != StatusCode::kIoError) return status;
+  }
+  return status;
+}
+
+void QuarantineCorrupt(const std::string& path, const Status& why) {
+  const std::string quarantine_path = path + ".corrupt";
+  if (std::rename(path.c_str(), quarantine_path.c_str()) == 0) {
+    LogWarning("quarantined corrupt artifact %s -> %s (%s)", path.c_str(),
+               quarantine_path.c_str(), why.ToString().c_str());
+  } else {
+    std::remove(path.c_str());
+    LogWarning("removed corrupt artifact %s (%s)", path.c_str(),
+               why.ToString().c_str());
+  }
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return std::string(bytes->begin(), bytes->end());
 }
 
 Status WriteStringToFile(const std::string& path, const std::string& content) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IoError("cannot open for write: " + path);
-  }
-  const size_t written =
-      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), file);
-  const int close_result = std::fclose(file);
-  if (written != content.size() || close_result != 0) {
-    return Status::IoError("short write: " + path);
-  }
-  return Status::Ok();
+  return AtomicWriteFile(path, content.data(), content.size());
 }
 
 StatusOr<std::vector<std::string>> ReadLines(const std::string& path) {

@@ -1,8 +1,14 @@
-// Filesystem helpers (text I/O, directory creation).
+// Filesystem helpers (text I/O, directory creation, crash-safe writes).
+//
+// All raw reads and writes funnel through ReadFileBytes / AtomicWriteFile,
+// which consult the FaultInjector failpoints — arming a failpoint exercises
+// every artifact path in the system with realistic storage failures.
 
 #ifndef KGC_UTIL_FILE_UTIL_H_
 #define KGC_UTIL_FILE_UTIL_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -13,7 +19,7 @@ namespace kgc {
 /// Reads a whole text file.
 StatusOr<std::string> ReadFileToString(const std::string& path);
 
-/// Writes a whole text file (truncating).
+/// Writes a whole text file atomically (write temp + rename).
 Status WriteStringToFile(const std::string& path, const std::string& content);
 
 /// Reads a text file into lines (without trailing newline characters).
@@ -24,6 +30,29 @@ Status MakeDirectories(const std::string& path);
 
 /// True if a regular file exists at `path`.
 bool FileExists(const std::string& path);
+
+/// Reads a whole file as bytes. kNotFound if absent; kIoError on a short
+/// read (including injected ones).
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+/// Crash-safe whole-file write: writes `path + ".tmp"`, fsyncs it, renames
+/// it over `path`, and fsyncs the parent directory, so a crash at any point
+/// leaves either the old file or the new one — never a torn mix. Honors the
+/// kTornWrite / kEnospc / kRenameFail failpoints.
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       size_t size);
+
+/// Runs `op` up to `max_attempts` times, backing off ~1ms * 2^attempt
+/// between tries, while it returns kIoError (other codes — kNotFound,
+/// corrupt-data failures — are returned immediately: retrying cannot fix
+/// them). `what` labels retry log lines.
+Status RetryIo(const std::string& what, int max_attempts,
+               const std::function<Status()>& op);
+
+/// Moves a corrupt artifact aside to `path + ".corrupt"` (best effort —
+/// falls back to deleting it) so the caller can regenerate the artifact
+/// while the evidence survives for post-mortems. Logs a warning.
+void QuarantineCorrupt(const std::string& path, const Status& why);
 
 }  // namespace kgc
 

@@ -135,6 +135,28 @@ class Rng {
     return Rng(SplitMix64(sm));
   }
 
+  /// Complete generator state, snapshot-able for checkpoint/resume. The
+  /// Box-Muller cache rides along so restored streams replay bit-exactly.
+  struct State {
+    uint64_t words[4];
+    bool has_cached_normal;
+    double cached_normal;
+  };
+
+  State state() const {
+    State snapshot{};
+    for (int i = 0; i < 4; ++i) snapshot.words[i] = state_[i];
+    snapshot.has_cached_normal = has_cached_normal_;
+    snapshot.cached_normal = cached_normal_;
+    return snapshot;
+  }
+
+  void set_state(const State& snapshot) {
+    for (int i = 0; i < 4; ++i) state_[i] = snapshot.words[i];
+    has_cached_normal_ = snapshot.has_cached_normal;
+    cached_normal_ = snapshot.cached_normal;
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

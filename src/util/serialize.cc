@@ -3,9 +3,24 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/crc32.h"
+#include "util/file_util.h"
 #include "util/string_util.h"
 
 namespace kgc {
+namespace {
+
+// Integrity footer: kFooterMagic then the payload CRC-32, both u32 LE.
+constexpr uint32_t kFooterMagic = 0x4b435243U;  // "KCRC"
+constexpr size_t kFooterSize = 2 * sizeof(uint32_t);
+
+uint32_t LoadU32(const uint8_t* bytes) {
+  uint32_t value;
+  std::memcpy(&value, bytes, sizeof(value));
+  return value;
+}
+
+}  // namespace
 
 void BinaryWriter::Append(const void* data, size_t size) {
   const auto* bytes = static_cast<const uint8_t*>(data);
@@ -33,46 +48,48 @@ void BinaryWriter::WriteFloatVector(const std::vector<float>& values) {
 }
 
 Status BinaryWriter::Flush(const std::string& path) const {
-  const std::string temp_path = path + ".tmp";
-  std::FILE* file = std::fopen(temp_path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IoError("cannot open for write: " + temp_path);
-  }
-  const size_t written = buffer_.empty()
-                             ? 0
-                             : std::fwrite(buffer_.data(), 1, buffer_.size(),
-                                           file);
-  const int close_result = std::fclose(file);
-  if (written != buffer_.size() || close_result != 0) {
-    std::remove(temp_path.c_str());
-    return Status::IoError("short write: " + temp_path);
-  }
-  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
-    std::remove(temp_path.c_str());
-    return Status::IoError("rename failed: " + path);
-  }
-  return Status::Ok();
+  std::vector<uint8_t> framed = buffer_;
+  const uint32_t magic = kFooterMagic;
+  const uint32_t crc = Crc32(buffer_.data(), buffer_.size());
+  const auto* magic_bytes = reinterpret_cast<const uint8_t*>(&magic);
+  const auto* crc_bytes = reinterpret_cast<const uint8_t*>(&crc);
+  framed.insert(framed.end(), magic_bytes, magic_bytes + sizeof(magic));
+  framed.insert(framed.end(), crc_bytes, crc_bytes + sizeof(crc));
+  return RetryIo("write " + path, /*max_attempts=*/3, [&] {
+    return AtomicWriteFile(path, framed.data(), framed.size());
+  });
 }
 
 StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::NotFound("cannot open: " + path);
+  // Retry the raw read with backoff: short reads can be transient (and the
+  // injected ones are); checksum failures below are not, so they are
+  // checked once, after a complete read.
+  StatusOr<std::vector<uint8_t>> bytes = ReadFileBytes(path);
+  for (int attempt = 1; attempt < 3 && !bytes.ok() &&
+                        bytes.status().code() == StatusCode::kIoError;
+       ++attempt) {
+    bytes = ReadFileBytes(path);
   }
-  std::fseek(file, 0, SEEK_END);
-  const long size = std::ftell(file);
-  std::fseek(file, 0, SEEK_SET);
-  if (size < 0) {
-    std::fclose(file);
-    return Status::IoError("cannot stat: " + path);
+  if (!bytes.ok()) return bytes.status();
+
+  std::vector<uint8_t> buffer = std::move(*bytes);
+  if (buffer.size() < kFooterSize) {
+    return Status::IoError("missing integrity footer (truncated?): " + path);
   }
-  std::vector<uint8_t> buffer(static_cast<size_t>(size));
-  const size_t read =
-      buffer.empty() ? 0 : std::fread(buffer.data(), 1, buffer.size(), file);
-  std::fclose(file);
-  if (read != buffer.size()) {
-    return Status::IoError("short read: " + path);
+  const uint8_t* footer = buffer.data() + buffer.size() - kFooterSize;
+  if (LoadU32(footer) != kFooterMagic) {
+    return Status::IoError(
+        "missing integrity footer (truncated or legacy file): " + path);
   }
+  const uint32_t stored_crc = LoadU32(footer + sizeof(uint32_t));
+  const uint32_t actual_crc =
+      Crc32(buffer.data(), buffer.size() - kFooterSize);
+  if (stored_crc != actual_crc) {
+    return Status::IoError(
+        StrFormat("checksum mismatch in %s: stored %08x, computed %08x",
+                  path.c_str(), stored_crc, actual_crc));
+  }
+  buffer.resize(buffer.size() - kFooterSize);
   return BinaryReader(std::move(buffer));
 }
 

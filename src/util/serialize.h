@@ -3,6 +3,11 @@
 // Little-endian, fixed-width primitives with a magic header and version tag.
 // Readers validate bounds; corrupted files surface as Status errors, never
 // undefined behaviour.
+//
+// Every file written by BinaryWriter::Flush carries an 8-byte integrity
+// footer (magic "KCRC" + CRC-32 of the payload) and lands via a crash-safe
+// write-temp/fsync/rename protocol; BinaryReader::FromFile verifies and
+// strips the footer, so truncation and bit-rot are detected at load time.
 
 #ifndef KGC_UTIL_SERIALIZE_H_
 #define KGC_UTIL_SERIALIZE_H_
@@ -30,7 +35,9 @@ class BinaryWriter {
 
   const std::vector<uint8_t>& buffer() const { return buffer_; }
 
-  /// Writes the buffer to `path` atomically (write temp + rename).
+  /// Writes the buffer to `path` atomically (write temp + fsync + rename),
+  /// appending the CRC-32 integrity footer. Transient I/O errors are
+  /// retried with backoff.
   Status Flush(const std::string& path) const;
 
  private:
@@ -45,7 +52,9 @@ class BinaryReader {
   explicit BinaryReader(std::vector<uint8_t> buffer)
       : buffer_(std::move(buffer)) {}
 
-  /// Loads the full content of `path`.
+  /// Loads the full content of `path`, verifying and stripping the CRC-32
+  /// footer. kNotFound if absent; kIoError if the footer is missing (a
+  /// truncated or pre-footer file) or the checksum does not match.
   static StatusOr<BinaryReader> FromFile(const std::string& path);
 
   StatusOr<uint32_t> ReadU32();
@@ -59,6 +68,10 @@ class BinaryReader {
   StatusOr<std::vector<float>> ReadFloatVector();
 
   bool AtEnd() const { return position_ == buffer_.size(); }
+
+  /// Bytes left to read; lets loaders sanity-check declared element counts
+  /// against the actual payload size before allocating.
+  size_t remaining() const { return buffer_.size() - position_; }
 
  private:
   Status ReadBytes(void* out, size_t size);

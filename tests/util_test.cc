@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "util/crc32.h"
 #include "util/file_util.h"
 #include "util/rng.h"
 #include "util/serialize.h"
@@ -255,6 +256,60 @@ TEST(SerializeTest, FileRoundTrip) {
 TEST(SerializeTest, MissingFileIsNotFound) {
   auto reader = BinaryReader::FromFile("/nonexistent/kgc.bin");
   EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, BitFlipFailsChecksum) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kgc_crc_flip.bin").string();
+  BinaryWriter writer;
+  writer.WriteDoubleVector({1.0, 2.0, 3.0});
+  ASSERT_TRUE(writer.Flush(path).ok());
+
+  // Flip one bit in the payload, leaving the stored CRC as-is.
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(file, nullptr);
+  std::fseek(file, 12, SEEK_SET);
+  int byte = std::fgetc(file);
+  std::fseek(file, 12, SEEK_SET);
+  std::fputc(byte ^ 0x10, file);
+  std::fclose(file);
+
+  auto reader = BinaryReader::FromFile(path);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FileWithoutFooterIsRejected) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kgc_crc_legacy.bin")
+          .string();
+  // Plain files are not valid binary artifacts: the footer magic is
+  // absent, so the reader refuses rather than misparse.
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  std::fputs("raw bytes, no KCRC footer", file);
+  std::fclose(file);
+  auto reader = BinaryReader::FromFile(path);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+// --- crc32 --------------------------------------------------------------
+
+TEST(Crc32Test, KnownAnswer) {
+  // The canonical CRC-32 check value (ITU-T V.42 / zlib).
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "incremental checksumming must compose";
+  uint32_t crc = 0;
+  crc = Crc32Update(crc, data.data(), 10);
+  crc = Crc32Update(crc, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(crc, Crc32(data.data(), data.size()));
 }
 
 // --- file_util ----------------------------------------------------------
