@@ -1,12 +1,24 @@
 // Micro-benchmarks (google-benchmark): scoring-function and ranking
 // throughput per model, plus triple-store lookup costs. These are the
 // throughput primitives the whole harness is built on.
+//
+// After the google-benchmark suite, a thread-scaling section times the full
+// RankTriples sweep at 1 / 2 / N worker threads and writes the results as
+// machine-readable JSON to BENCH_scoring.json in the working directory.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <thread>
 
 #include "datagen/presets.h"
 #include "eval/ranker.h"
 #include "models/model.h"
+#include "util/parallel.h"
 
 namespace kgc {
 namespace {
@@ -96,7 +108,121 @@ void BM_RankOneTriple(benchmark::State& state) {
 }
 BENCHMARK(BM_RankOneTriple)->Arg(0)->Arg(6)->Arg(8)->Arg(9);
 
+// --- Thread scaling --------------------------------------------------------
+
+struct ScalingPoint {
+  int threads = 0;
+  double seconds = 0.0;
+  double triples_per_sec = 0.0;
+};
+
+/// Best-of-3 wall time of a full RankTriples sweep at `threads` workers.
+ScalingPoint MeasureRankingThroughput(const KgeModel& model,
+                                      const Dataset& dataset, int threads) {
+  RankerOptions options;
+  options.threads = threads;
+  ScalingPoint point;
+  point.threads = threads;
+  point.seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto ranks = RankTriples(model, dataset, dataset.test(), options);
+    benchmark::DoNotOptimize(ranks.data());
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    point.seconds = std::min(point.seconds, elapsed.count());
+  }
+  point.triples_per_sec =
+      static_cast<double>(dataset.test().size()) / point.seconds;
+  return point;
+}
+
+/// Times the ranking sweep at 1 / 2 / N threads (N = the KGC_THREADS /
+/// hardware default) plus 8 as a fixed reference point, checks the outputs
+/// stay bit-identical, and writes BENCH_scoring.json.
+int RunThreadScaling() {
+  const SyntheticKg& kg = SharedKg();
+  const auto model = MakeModel(ModelType::kDistMult);
+  // Build the filter store up front so the first timed run is not charged
+  // for it.
+  kg.dataset.all_store();
+
+  std::vector<int> thread_counts = {1, 2, DefaultThreadCount(), 8};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  RankerOptions serial;
+  serial.threads = 1;
+  const auto baseline = RankTriples(*model, kg.dataset, kg.dataset.test(),
+                                    serial);
+  std::vector<ScalingPoint> points;
+  bool bit_identical = true;
+  for (int threads : thread_counts) {
+    points.push_back(MeasureRankingThroughput(*model, kg.dataset, threads));
+    RankerOptions options;
+    options.threads = threads;
+    const auto ranks = RankTriples(*model, kg.dataset, kg.dataset.test(),
+                                   options);
+    for (size_t i = 0; i < ranks.size(); ++i) {
+      if (ranks[i].head_raw != baseline[i].head_raw ||
+          ranks[i].head_filtered != baseline[i].head_filtered ||
+          ranks[i].tail_raw != baseline[i].tail_raw ||
+          ranks[i].tail_filtered != baseline[i].tail_filtered) {
+        bit_identical = false;
+      }
+    }
+  }
+
+  const double base_rate = points.front().triples_per_sec;
+  std::ofstream out("BENCH_scoring.json");
+  if (!out) {
+    std::fprintf(stderr, "cannot write BENCH_scoring.json\n");
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"ranking_thread_scaling\",\n"
+      << "  \"model\": \"" << ModelTypeName(ModelType::kDistMult) << "\",\n"
+      << "  \"dataset\": \"" << kg.dataset.name() << "\",\n"
+      << "  \"num_test_triples\": " << kg.dataset.test().size() << ",\n"
+      << "  \"num_entities\": " << kg.dataset.num_entities() << ",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"default_threads\": " << DefaultThreadCount() << ",\n"
+      << "  \"bit_identical_across_thread_counts\": "
+      << (bit_identical ? "true" : "false") << ",\n"
+      << "  \"results\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    out << "    {\"threads\": " << points[i].threads
+        << ", \"seconds\": " << points[i].seconds
+        << ", \"triples_per_sec\": " << points[i].triples_per_sec
+        << ", \"speedup_vs_1\": " << points[i].triples_per_sec / base_rate
+        << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  std::printf("\nthread scaling (RankTriples, %s, %zu test triples) -> "
+              "BENCH_scoring.json\n",
+              ModelTypeName(ModelType::kDistMult), kg.dataset.test().size());
+  for (const ScalingPoint& p : points) {
+    std::printf("  threads=%d  %.3fs  %.0f triples/s  (%.2fx)\n", p.threads,
+                p.seconds, p.triples_per_sec, p.triples_per_sec / base_rate);
+  }
+  if (!bit_identical) {
+    std::fprintf(stderr, "ERROR: ranks differ across thread counts\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace kgc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return kgc::RunThreadScaling();
+}

@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# Builds the tier-1 test suite under ASan + UBSan and runs it.
+# Builds the tier-1 test suite under a sanitizer configuration and runs it.
 #
 # Usage:
 #   ci/sanitize.sh              # address + undefined (default)
 #   ci/sanitize.sh address      # ASan only
 #   ci/sanitize.sh undefined    # UBSan only
+#   ci/sanitize.sh thread       # TSan: concurrency tests under KGC_THREADS=4
 #
-# Uses a dedicated build directory (build-sanitize) so it never pollutes
-# the regular `build/` tree. Exits non-zero on any build or test failure.
+# Uses a dedicated build directory per configuration (build-sanitize,
+# build-sanitize-thread) so it never pollutes the regular `build/` tree.
+# Exits non-zero on any build or test failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZERS="${1:-address;undefined}"
 BUILD_DIR="build-sanitize"
+if [[ "${SANITIZERS}" == *thread* ]]; then
+  # TSan cannot share a build tree (or a process) with ASan.
+  BUILD_DIR="build-sanitize-thread"
+fi
 
 echo "== configuring with KGC_SANITIZE=${SANITIZERS} =="
 cmake -B "${BUILD_DIR}" -S . -DKGC_SANITIZE="${SANITIZERS}" \
@@ -22,12 +28,24 @@ cmake -B "${BUILD_DIR}" -S . -DKGC_SANITIZE="${SANITIZERS}" \
 echo "== building =="
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
-echo "== running tier-1 tests =="
-# halt_on_error keeps CI failures crisp; detect_leaks stays on by default
-# under ASan. UBSan is built with -fno-sanitize-recover so any finding
-# aborts the offending test.
-export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
-export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+if [[ "${SANITIZERS}" == *thread* ]]; then
+  echo "== running concurrency tests under TSan =="
+  # Force multiple worker threads even on single-core CI machines so the
+  # parallel code paths (and not their serial fallbacks) are exercised;
+  # run the suites that drive ParallelFor across eval, redundancy, rules
+  # and the core context.
+  export KGC_THREADS=4
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+        -R '^(parallel_test|eval_test|redundancy_test|rules_test|core_test)$'
+else
+  echo "== running tier-1 tests =="
+  # halt_on_error keeps CI failures crisp; detect_leaks stays on by default
+  # under ASan. UBSan is built with -fno-sanitize-recover so any finding
+  # aborts the offending test.
+  export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+fi
 
 echo "== sanitize run passed =="

@@ -7,6 +7,7 @@
 
 #include "util/file_util.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace kgc {
@@ -42,7 +43,11 @@ BenchmarkSuite ExperimentContext::MakeSuite(int which) {
       break;
   }
   // Detect over the whole dataset (the paper's T_r is defined over G).
-  suite.catalog = RedundancyCatalog::Detect(suite.kg.dataset.all_store());
+  DetectorOptions detector_options;
+  detector_options.threads = options_.threads;
+  suite.catalog =
+      RedundancyCatalog::Detect(suite.kg.dataset.all_store(),
+                                detector_options);
   suite.oracle = BuildOracleCatalog(suite.kg);
   switch (which) {
     case 0:
@@ -186,13 +191,63 @@ const std::vector<TripleRanks>& ExperimentContext::GetRanks(
 
   const KgeModel& model = GetModel(dataset, type);
   Stopwatch watch;
+  RankerOptions ranker_options;
+  ranker_options.threads = options_.threads;
   std::vector<TripleRanks> ranks =
-      RankTriples(model, dataset, dataset.test());
+      RankTriples(model, dataset, dataset.test(), ranker_options);
   LogInfo("ranked %zu test triples of %s under %s in %.1fs",
           dataset.test().size(), dataset.name().c_str(), ModelTypeName(type),
           watch.ElapsedSeconds());
   StoreRankCache(key, ranks);
   return ranks_.emplace(key, std::move(ranks)).first->second;
+}
+
+void ExperimentContext::WarmRanks(const Dataset& dataset,
+                                  std::span<const ModelType> types) {
+  // Resolve cache state and train missing models serially up front (PR 1's
+  // bit-exact checkpoint resume depends on a deterministic serial training
+  // order), leaving only the independent ranking sweeps to overlap.
+  struct PendingRank {
+    std::string key;
+    const KgeModel* model = nullptr;
+  };
+  std::vector<PendingRank> pending;
+  for (ModelType type : types) {
+    const ModelHyperParams params = DefaultHyperParams(type);
+    const TrainOptions train_options = ScaledTrainOptions(type);
+    const std::string key =
+        ModelStore::MakeKey(dataset.name(), type, params,
+                            train_options.epochs, train_options.seed);
+    if (ranks_.find(key) != ranks_.end()) continue;
+    if (TryLoadRankCache(key, dataset.test().size()) != nullptr) continue;
+    pending.push_back({key, &GetModel(dataset, type)});
+  }
+  if (pending.empty()) return;
+
+  // Build the shared filter store before the workers need it.
+  dataset.all_store();
+
+  Stopwatch watch;
+  RankerOptions ranker_options;
+  ranker_options.threads = options_.threads;
+  std::vector<std::vector<TripleRanks>> computed(pending.size());
+  // One task per model; each inner RankTriples call is nested inside a
+  // worker and therefore runs its sweep serially (util/parallel.h), so the
+  // parallelism budget is spent across models, not within one.
+  ParallelFor(pending.size(), options_.threads,
+              [&](size_t begin, size_t end, int /*shard*/) {
+    for (size_t i = begin; i < end; ++i) {
+      computed[i] = RankTriples(*pending[i].model, dataset, dataset.test(),
+                                ranker_options);
+    }
+  });
+  LogInfo("ranked %zu models x %zu test triples of %s in %.1fs",
+          pending.size(), dataset.test().size(), dataset.name().c_str(),
+          watch.ElapsedSeconds());
+  for (size_t i = 0; i < pending.size(); ++i) {
+    StoreRankCache(pending[i].key, computed[i]);
+    ranks_.emplace(pending[i].key, std::move(computed[i]));
+  }
 }
 
 const std::vector<TripleRanks>& ExperimentContext::GetPredictorRanks(
@@ -210,8 +265,10 @@ const std::vector<TripleRanks>& ExperimentContext::GetPredictorRanks(
   }
 
   Stopwatch watch;
+  RankerOptions ranker_options;
+  ranker_options.threads = options_.threads;
   std::vector<TripleRanks> ranks =
-      RankTriples(predictor, dataset, dataset.test());
+      RankTriples(predictor, dataset, dataset.test(), ranker_options);
   LogInfo("ranked %zu test triples of %s under %s in %.1fs",
           dataset.test().size(), dataset.name().c_str(), predictor.name(),
           watch.ElapsedSeconds());

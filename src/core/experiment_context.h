@@ -11,6 +11,7 @@
 #define KGC_CORE_EXPERIMENT_CONTEXT_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +40,12 @@ struct ExperimentOptions {
   /// Scales every model's epoch budget (1.0 = defaults); lowered in tests.
   double epoch_scale = 1.0;
   bool verbose_training = false;
+  /// Worker threads for ranking, redundancy detection and rule mining
+  /// (0 = KGC_THREADS / hardware default; see util/parallel.h). Training
+  /// stays serial regardless: bit-exact checkpoint resume depends on a
+  /// deterministic serial example order. All parallelized outputs are
+  /// bit-identical for any value.
+  int threads = 0;
 };
 
 class ExperimentContext {
@@ -67,6 +74,13 @@ class ExperimentContext {
   const std::vector<TripleRanks>& GetPredictorRanks(
       const Dataset& dataset, const LinkPredictor& predictor,
       const std::string& label);
+
+  /// Computes (and caches) the rank tables of every listed model, training
+  /// any missing models serially first, then overlapping the independent
+  /// per-model ranking sweeps across worker threads. Subsequent GetRanks
+  /// calls hit the in-memory cache. Tables are byte-identical to the ones
+  /// GetRanks would have produced one at a time.
+  void WarmRanks(const Dataset& dataset, std::span<const ModelType> types);
 
   const ExperimentOptions& options() const { return options_; }
   const ModelStore& store() const { return store_; }

@@ -1,42 +1,51 @@
 #include "eval/ranker.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace kgc {
 namespace {
 
-// Computes tie-averaged raw and filtered rank of `true_entity` given the
-// score array and the set of known-correct candidates to filter.
+// Computes tie-averaged raw and filtered rank of `true_entity` in a single
+// pass over the score array: the known-correct candidates are marked in
+// `known_mark` (a num_entities-sized scratch counter array, all zero on
+// entry) before the sweep, counted alongside the raw tallies during it, and
+// unmarked afterwards so the scratch is clean for the next triple without a
+// full O(num_entities) clear. Marks are occurrence counts, not booleans, so
+// a candidate listed twice contributes twice — exactly as iterating the
+// candidate list would.
 void ComputeRank(std::span<const float> scores, EntityId true_entity,
-                 const std::vector<EntityId>& known_correct, double* raw,
+                 const std::vector<EntityId>& known_correct,
+                 std::vector<uint32_t>& known_mark, double* raw,
                  double* filtered) {
   const float s_true = scores[static_cast<size_t>(true_entity)];
+  for (EntityId e : known_correct) {
+    if (e != true_entity) ++known_mark[static_cast<size_t>(e)];
+  }
   size_t greater = 0;
   size_t equal = 0;
+  size_t greater_known = 0;
+  size_t equal_known = 0;
   for (size_t e = 0; e < scores.size(); ++e) {
-    if (scores[e] > s_true) {
+    const float s = scores[e];
+    if (s > s_true) {
       ++greater;
-    } else if (scores[e] == s_true) {
+      greater_known += known_mark[e];
+    } else if (s == s_true) {
       ++equal;
+      equal_known += known_mark[e];
     }
+  }
+  for (EntityId e : known_correct) {
+    known_mark[static_cast<size_t>(e)] = 0;
   }
   KGC_DCHECK(equal >= 1);  // the true entity itself
   equal -= 1;
 
-  size_t greater_known = 0;
-  size_t equal_known = 0;
-  for (EntityId e : known_correct) {
-    if (e == true_entity) continue;
-    const float s = scores[static_cast<size_t>(e)];
-    if (s > s_true) {
-      ++greater_known;
-    } else if (s == s_true) {
-      ++equal_known;
-    }
-  }
   *raw = static_cast<double>(greater) + static_cast<double>(equal) / 2.0 + 1.0;
   *filtered = static_cast<double>(greater - greater_known) +
               static_cast<double>(equal - equal_known) / 2.0 + 1.0;
@@ -60,25 +69,35 @@ std::vector<TripleRanks> RankTriples(const LinkPredictor& predictor,
     return test[a].relation < test[b].relation;
   });
 
+  // Each shard ranks a contiguous run of the relation-grouped order with its
+  // own score/mark scratch and writes into the disjoint `results` slots its
+  // triples own, so the output is bit-identical for any thread count.
+  // Contiguous runs also keep per-relation model caches (TransR) effective:
+  // a relation's triples split across at most two shards.
   std::vector<TripleRanks> results(test.size());
-  std::vector<float> scores(num_entities);
-  for (size_t idx : order) {
-    const Triple& triple = test[idx];
-    TripleRanks ranks;
-    ranks.triple = triple;
+  ParallelFor(order.size(), options.threads,
+              [&](size_t begin, size_t end, int /*shard*/) {
+    std::vector<float> scores(num_entities);
+    std::vector<uint32_t> known_mark(num_entities, 0);
+    for (size_t i = begin; i < end; ++i) {
+      const size_t idx = order[i];
+      const Triple& triple = test[idx];
+      TripleRanks ranks;
+      ranks.triple = triple;
 
-    predictor.ScoreTails(triple.head, triple.relation, scores);
-    ComputeRank(scores, triple.tail,
-                filter.Tails(triple.head, triple.relation), &ranks.tail_raw,
-                &ranks.tail_filtered);
+      predictor.ScoreTails(triple.head, triple.relation, scores);
+      ComputeRank(scores, triple.tail,
+                  filter.Tails(triple.head, triple.relation), known_mark,
+                  &ranks.tail_raw, &ranks.tail_filtered);
 
-    predictor.ScoreHeads(triple.relation, triple.tail, scores);
-    ComputeRank(scores, triple.head,
-                filter.Heads(triple.relation, triple.tail), &ranks.head_raw,
-                &ranks.head_filtered);
+      predictor.ScoreHeads(triple.relation, triple.tail, scores);
+      ComputeRank(scores, triple.head,
+                  filter.Heads(triple.relation, triple.tail), known_mark,
+                  &ranks.head_raw, &ranks.head_filtered);
 
-    results[idx] = ranks;
-  }
+      results[idx] = ranks;
+    }
+  });
   return results;
 }
 

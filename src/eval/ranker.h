@@ -21,11 +21,17 @@ namespace kgc {
 struct RankerOptions {
   /// Store used to filter known facts; if null, dataset.all_store() is used.
   const TripleStore* filter = nullptr;
+  /// Worker threads for the ranking sweep (0 = KGC_THREADS / hardware
+  /// default; see util/parallel.h). Results are bit-identical for any value.
+  int threads = 0;
 };
 
 /// Ranks every triple of `test` under `predictor`. Results align with the
 /// order of `test`. Triples are internally processed grouped by relation so
-/// models with per-relation caches (TransR) amortize their projections.
+/// models with per-relation caches (TransR) amortize their projections; the
+/// relation-grouped order is statically sharded across threads, each with
+/// its own score scratch, writing disjoint result slots (deterministic for
+/// any thread count).
 std::vector<TripleRanks> RankTriples(const LinkPredictor& predictor,
                                      const Dataset& dataset,
                                      const TripleList& test,

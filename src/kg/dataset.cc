@@ -5,6 +5,7 @@
 namespace kgc {
 
 const TripleStore& Dataset::train_store() const {
+  std::lock_guard<std::mutex> lock(store_mutex_);
   if (train_store_ == nullptr) {
     train_store_ = std::make_unique<TripleStore>(train_, num_entities(),
                                                  num_relations());
@@ -13,6 +14,7 @@ const TripleStore& Dataset::train_store() const {
 }
 
 const TripleStore& Dataset::test_store() const {
+  std::lock_guard<std::mutex> lock(store_mutex_);
   if (test_store_ == nullptr) {
     test_store_ =
         std::make_unique<TripleStore>(test_, num_entities(), num_relations());
@@ -21,6 +23,7 @@ const TripleStore& Dataset::test_store() const {
 }
 
 const TripleStore& Dataset::all_store() const {
+  std::lock_guard<std::mutex> lock(store_mutex_);
   if (all_store_ == nullptr) {
     TripleList all;
     all.reserve(train_.size() + valid_.size() + test_.size());
@@ -35,6 +38,7 @@ const TripleStore& Dataset::all_store() const {
 }
 
 void Dataset::InvalidateCaches() {
+  std::lock_guard<std::mutex> lock(store_mutex_);
   train_store_.reset();
   test_store_.reset();
   all_store_.reset();

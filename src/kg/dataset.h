@@ -4,6 +4,7 @@
 #define KGC_KG_DATASET_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "kg/triple.h"
@@ -24,6 +25,32 @@ class Dataset {
         train_(std::move(train)),
         valid_(std::move(valid)),
         test_(std::move(test)) {}
+
+  // Movable (cleaners and generators return datasets by value); the store
+  // mutex is not part of the value and is freshly constructed. Moves must
+  // not race with concurrent store access on either operand.
+  Dataset(Dataset&& other) noexcept
+      : name_(std::move(other.name_)),
+        vocab_(std::move(other.vocab_)),
+        train_(std::move(other.train_)),
+        valid_(std::move(other.valid_)),
+        test_(std::move(other.test_)),
+        train_store_(std::move(other.train_store_)),
+        test_store_(std::move(other.test_store_)),
+        all_store_(std::move(other.all_store_)) {}
+  Dataset& operator=(Dataset&& other) noexcept {
+    if (this != &other) {
+      name_ = std::move(other.name_);
+      vocab_ = std::move(other.vocab_);
+      train_ = std::move(other.train_);
+      valid_ = std::move(other.valid_);
+      test_ = std::move(other.test_);
+      train_store_ = std::move(other.train_store_);
+      test_store_ = std::move(other.test_store_);
+      all_store_ = std::move(other.all_store_);
+    }
+    return *this;
+  }
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -67,6 +94,11 @@ class Dataset {
   TripleList valid_;
   TripleList test_;
 
+  // Lazily-built indexed views, guarded so that concurrent first use from
+  // parallel evaluation workers builds each store exactly once. The stores
+  // themselves are immutable after construction and safe to read without
+  // the lock.
+  mutable std::mutex store_mutex_;
   mutable std::unique_ptr<TripleStore> train_store_;
   mutable std::unique_ptr<TripleStore> test_store_;
   mutable std::unique_ptr<TripleStore> all_store_;

@@ -130,10 +130,14 @@ ModelHyperParams DefaultHyperParams(ModelType type);
 
 /// All model types evaluated by the paper's main tables, in table order:
 /// TransE, TransH, TransR, TransD, DistMult, ComplEx, ConvE, RotatE, TuckER.
+/// RESCAL is intentionally excluded: the paper only revisits it in the
+/// historical accuracy-evolution discussion, not in the main result tables.
 std::span<const ModelType> PaperModelLineup();
 
 /// The six models of the comparison figures (Fig. 1, 5, 6):
-/// TransE, DistMult, ComplEx, ConvE, RotatE, TuckER.
+/// TransE, DistMult, ComplEx, ConvE, RotatE, TuckER. RESCAL is intentionally
+/// excluded here too — the figures track the paper's figure lineup, which
+/// drops it along with the remaining translational variants.
 std::span<const ModelType> FigureModelLineup();
 
 }  // namespace kgc

@@ -1,15 +1,25 @@
 #include "models/transr.h"
 
+#include <atomic>
 #include <cmath>
 
 namespace kgc {
+namespace {
+
+uint64_t NextInstanceId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 TransR::TransR(int32_t num_entities, int32_t num_relations,
                const ModelHyperParams& params)
     : KgeModel(ModelType::kTransR, num_entities, num_relations, params),
       entities_(num_entities, params.dim),
       relations_(num_relations, params.dim),
-      matrices_(num_relations, params.dim * params.dim) {
+      matrices_(num_relations, params.dim * params.dim),
+      instance_id_(NextInstanceId()) {
   Rng rng(params.seed);
   const double bound = 6.0 / std::sqrt(static_cast<double>(params.dim));
   entities_.InitUniform(rng, bound);
@@ -121,20 +131,23 @@ void TransR::ApplyGradient(const Triple& triple, float d_loss_d_score,
 }
 
 const std::vector<float>& TransR::ProjectedEntities(RelationId r) const {
-  if (cache_.relation != r || cache_.version != version_) {
-    cache_.relation = r;
-    cache_.version = version_;
-    cache_.projected.resize(static_cast<size_t>(num_entities_) *
-                            static_cast<size_t>(params_.dim));
+  static thread_local ProjectionCache cache;
+  if (cache.owner != instance_id_ || cache.relation != r ||
+      cache.version != version_) {
+    cache.owner = instance_id_;
+    cache.relation = r;
+    cache.version = version_;
+    cache.projected.resize(static_cast<size_t>(num_entities_) *
+                           static_cast<size_t>(params_.dim));
     for (EntityId e = 0; e < num_entities_; ++e) {
-      std::span<float> out(cache_.projected.data() +
+      std::span<float> out(cache.projected.data() +
                                static_cast<size_t>(e) *
                                    static_cast<size_t>(params_.dim),
                            static_cast<size_t>(params_.dim));
       ProjectEntity(r, e, out);
     }
   }
-  return cache_.projected;
+  return cache.projected;
 }
 
 void TransR::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {

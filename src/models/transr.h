@@ -34,8 +34,12 @@ class TransR final : public KgeModel {
 
   // Evaluation-time cache of all projected entities for one relation; the
   // ranker visits triples grouped by relation, so hits dominate. Invalidated
-  // by any parameter update (version counter).
+  // by any parameter update (version counter). The cache lives in
+  // thread-local storage (keyed by owning model) so concurrent ranking
+  // shards — each of which walks its own contiguous run of relation groups —
+  // amortize independently without racing on shared state.
   struct ProjectionCache {
+    uint64_t owner = 0;  // instance_id_ of the model that filled the cache
     RelationId relation = -1;
     uint64_t version = 0;
     std::vector<float> projected;  // num_entities x dim
@@ -46,7 +50,9 @@ class TransR final : public KgeModel {
   EmbeddingTable relations_;
   EmbeddingTable matrices_;  // one d*d row-major matrix per relation
   uint64_t version_ = 1;
-  mutable ProjectionCache cache_;
+  // Process-unique id: keys the thread-local projection caches so a model
+  // allocated at a recycled address can never be served another's entries.
+  const uint64_t instance_id_;
 };
 
 }  // namespace kgc

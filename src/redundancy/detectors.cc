@@ -1,7 +1,33 @@
 #include "redundancy/detectors.h"
 
+#include "util/parallel.h"
+
 namespace kgc {
 namespace {
+
+// Runs body(r) for every relation id in [0, num_relations), statically
+// sharded across threads; each shard appends matches to its own vector and
+// the shard vectors are concatenated in shard order, which reproduces the
+// exact output sequence of the serial ascending-id sweep.
+template <typename Evidence, typename Body>
+std::vector<Evidence> ParallelRelationSweep(int32_t num_relations,
+                                            int threads, const Body& body) {
+  const size_t n =
+      num_relations > 0 ? static_cast<size_t>(num_relations) : size_t{0};
+  std::vector<std::vector<Evidence>> local(
+      static_cast<size_t>(std::max(PlannedShards(n, threads), 1)));
+  ParallelFor(n, threads, [&](size_t begin, size_t end, int shard) {
+    std::vector<Evidence>& out = local[static_cast<size_t>(shard)];
+    for (size_t r = begin; r < end; ++r) {
+      body(static_cast<RelationId>(r), out);
+    }
+  });
+  std::vector<Evidence> result;
+  for (std::vector<Evidence>& shard_out : local) {
+    result.insert(result.end(), shard_out.begin(), shard_out.end());
+  }
+  return result;
+}
 
 // Iterates over the smaller set for intersection counting.
 size_t IntersectionCount(const PairSet& a, const PairSet& b, bool reverse_b) {
@@ -37,37 +63,38 @@ namespace {
 std::vector<RelationPairOverlap> FindOverlappingPairs(
     const TripleStore& store, const DetectorOptions& options,
     bool reversed) {
-  std::vector<RelationPairOverlap> result;
   const int32_t num_relations = store.num_relations();
   // Candidate pruning: a pair can only pass both thresholds if the relations
   // share at least one subject-object pair; index pairs by one member entity
   // would be overkill at our scale, so we do the quadratic sweep with an
   // early size-ratio cut: if |r1| * θ1 > |r2| the overlap |T∩| ≤ |r2| cannot
-  // reach θ1·|r1|.
-  for (RelationId r1 = 0; r1 < num_relations; ++r1) {
-    const PairSet& pairs1 = store.Pairs(r1);
-    if (pairs1.size() < options.min_relation_size) continue;
-    for (RelationId r2 = r1 + 1; r2 < num_relations; ++r2) {
-      const PairSet& pairs2 = store.Pairs(r2);
-      if (pairs2.size() < options.min_relation_size) continue;
-      const double size1 = static_cast<double>(pairs1.size());
-      const double size2 = static_cast<double>(pairs2.size());
-      if (size2 < options.theta1 * size1 || size1 < options.theta2 * size2) {
-        continue;
-      }
-      const size_t overlap = IntersectionCount(pairs1, pairs2, reversed);
-      RelationPairOverlap stat;
-      stat.r1 = r1;
-      stat.r2 = r2;
-      stat.coverage_r1 = static_cast<double>(overlap) / size1;
-      stat.coverage_r2 = static_cast<double>(overlap) / size2;
-      if (stat.coverage_r1 > options.theta1 &&
-          stat.coverage_r2 > options.theta2) {
-        result.push_back(stat);
-      }
-    }
-  }
-  return result;
+  // reach θ1·|r1|. The sweep is sharded over r1; each r1 scans r2 > r1.
+  return ParallelRelationSweep<RelationPairOverlap>(
+      num_relations, options.threads,
+      [&](RelationId r1, std::vector<RelationPairOverlap>& out) {
+        const PairSet& pairs1 = store.Pairs(r1);
+        if (pairs1.size() < options.min_relation_size) return;
+        for (RelationId r2 = r1 + 1; r2 < num_relations; ++r2) {
+          const PairSet& pairs2 = store.Pairs(r2);
+          if (pairs2.size() < options.min_relation_size) continue;
+          const double size1 = static_cast<double>(pairs1.size());
+          const double size2 = static_cast<double>(pairs2.size());
+          if (size2 < options.theta1 * size1 ||
+              size1 < options.theta2 * size2) {
+            continue;
+          }
+          const size_t overlap = IntersectionCount(pairs1, pairs2, reversed);
+          RelationPairOverlap stat;
+          stat.r1 = r1;
+          stat.r2 = r2;
+          stat.coverage_r1 = static_cast<double>(overlap) / size1;
+          stat.coverage_r2 = static_cast<double>(overlap) / size2;
+          if (stat.coverage_r1 > options.theta1 &&
+              stat.coverage_r2 > options.theta2) {
+            out.push_back(stat);
+          }
+        }
+      });
 }
 
 }  // namespace
@@ -84,45 +111,45 @@ std::vector<RelationPairOverlap> FindReverseDuplicateRelations(
 
 std::vector<RelationPairOverlap> FindSymmetricRelations(
     const TripleStore& store, const DetectorOptions& options) {
-  std::vector<RelationPairOverlap> result;
-  for (RelationId r = 0; r < store.num_relations(); ++r) {
-    const PairSet& pairs = store.Pairs(r);
-    if (pairs.size() < options.min_relation_size) continue;
-    const size_t overlap = PairReverseIntersectionSize(pairs, pairs);
-    const double coverage =
-        static_cast<double>(overlap) / static_cast<double>(pairs.size());
-    if (coverage > options.theta1) {
-      RelationPairOverlap stat;
-      stat.r1 = r;
-      stat.r2 = r;
-      stat.coverage_r1 = coverage;
-      stat.coverage_r2 = coverage;
-      result.push_back(stat);
-    }
-  }
-  return result;
+  return ParallelRelationSweep<RelationPairOverlap>(
+      store.num_relations(), options.threads,
+      [&](RelationId r, std::vector<RelationPairOverlap>& out) {
+        const PairSet& pairs = store.Pairs(r);
+        if (pairs.size() < options.min_relation_size) return;
+        const size_t overlap = PairReverseIntersectionSize(pairs, pairs);
+        const double coverage =
+            static_cast<double>(overlap) / static_cast<double>(pairs.size());
+        if (coverage > options.theta1) {
+          RelationPairOverlap stat;
+          stat.r1 = r;
+          stat.r2 = r;
+          stat.coverage_r1 = coverage;
+          stat.coverage_r2 = coverage;
+          out.push_back(stat);
+        }
+      });
 }
 
 std::vector<CartesianEvidence> FindCartesianRelations(
     const TripleStore& store, const DetectorOptions& options) {
-  std::vector<CartesianEvidence> result;
-  for (RelationId r = 0; r < store.num_relations(); ++r) {
-    const size_t size = store.RelationSize(r);
-    if (size < options.min_relation_size) continue;
-    CartesianEvidence evidence;
-    evidence.relation = r;
-    evidence.num_triples = size;
-    evidence.num_subjects = store.Subjects(r).size();
-    evidence.num_objects = store.Objects(r).size();
-    evidence.density =
-        static_cast<double>(size) /
-        (static_cast<double>(evidence.num_subjects) *
-         static_cast<double>(evidence.num_objects));
-    if (evidence.density > options.cartesian_density) {
-      result.push_back(evidence);
-    }
-  }
-  return result;
+  return ParallelRelationSweep<CartesianEvidence>(
+      store.num_relations(), options.threads,
+      [&](RelationId r, std::vector<CartesianEvidence>& out) {
+        const size_t size = store.RelationSize(r);
+        if (size < options.min_relation_size) return;
+        CartesianEvidence evidence;
+        evidence.relation = r;
+        evidence.num_triples = size;
+        evidence.num_subjects = store.Subjects(r).size();
+        evidence.num_objects = store.Objects(r).size();
+        evidence.density =
+            static_cast<double>(size) /
+            (static_cast<double>(evidence.num_subjects) *
+             static_cast<double>(evidence.num_objects));
+        if (evidence.density > options.cartesian_density) {
+          out.push_back(evidence);
+        }
+      });
 }
 
 }  // namespace kgc

@@ -46,6 +46,10 @@ struct DetectorOptions {
   /// Relations smaller than this are skipped (the paper drops single-triple
   /// relations before Cartesian detection).
   size_t min_relation_size = 2;
+  /// Worker threads for the per-relation-pair overlap sweeps (0 =
+  /// KGC_THREADS / hardware default; see util/parallel.h). Detector output
+  /// is bit-identical for any value.
+  int threads = 0;
 };
 
 /// |A ∩ B| for two packed pair sets.

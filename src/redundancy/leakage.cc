@@ -1,8 +1,32 @@
 #include "redundancy/leakage.h"
 
+#include <numeric>
 #include <string>
 
+#include "util/parallel.h"
+
 namespace kgc {
+namespace {
+
+// Counts triples of `list` matching `pred`, sharded across threads with one
+// counter per shard. Integer partial sums are merged in shard order, so the
+// total is identical to the serial count for any thread count.
+template <typename Pred>
+size_t ParallelCount(const TripleList& list, int threads, const Pred& pred) {
+  std::vector<size_t> partial(
+      static_cast<size_t>(std::max(PlannedShards(list.size(), threads), 1)),
+      0);
+  ParallelFor(list.size(), threads, [&](size_t begin, size_t end, int shard) {
+    size_t count = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (pred(list[i])) ++count;
+    }
+    partial[static_cast<size_t>(shard)] = count;
+  });
+  return std::accumulate(partial.begin(), partial.end(), size_t{0});
+}
+
+}  // namespace
 
 RedundancyCatalog RedundancyCatalog::Detect(const TripleStore& store,
                                             const DetectorOptions& options) {
@@ -101,26 +125,25 @@ bool HasReverseDuplicateIn(const TripleStore& store,
 }  // namespace
 
 ReverseLeakageStats ComputeReverseLeakage(const Dataset& dataset,
-                                          const RedundancyCatalog& catalog) {
+                                          const RedundancyCatalog& catalog,
+                                          int threads) {
   ReverseLeakageStats stats;
   const TripleStore& train = dataset.train_store();
 
-  for (const Triple& t : dataset.train()) {
-    if (HasReverseIn(train, catalog, t, /*exclude_self=*/true)) {
-      ++stats.train_triples_in_reverse_pairs;
-    }
-  }
+  stats.train_triples_in_reverse_pairs =
+      ParallelCount(dataset.train(), threads, [&](const Triple& t) {
+        return HasReverseIn(train, catalog, t, /*exclude_self=*/true);
+      });
   if (!dataset.train().empty()) {
     stats.train_reverse_fraction =
         static_cast<double>(stats.train_triples_in_reverse_pairs) /
         static_cast<double>(dataset.train().size());
   }
 
-  for (const Triple& t : dataset.test()) {
-    if (HasReverseIn(train, catalog, t, /*exclude_self=*/false)) {
-      ++stats.test_triples_with_reverse_in_train;
-    }
-  }
+  stats.test_triples_with_reverse_in_train =
+      ParallelCount(dataset.test(), threads, [&](const Triple& t) {
+        return HasReverseIn(train, catalog, t, /*exclude_self=*/false);
+      });
   if (!dataset.test().empty()) {
     stats.test_reverse_fraction =
         static_cast<double>(stats.test_triples_with_reverse_in_train) /
@@ -130,38 +153,62 @@ ReverseLeakageStats ComputeReverseLeakage(const Dataset& dataset,
 }
 
 RedundancyBitmap ComputeRedundancyBitmap(const Dataset& dataset,
-                                         const RedundancyCatalog& catalog) {
+                                         const RedundancyCatalog& catalog,
+                                         int threads) {
   RedundancyBitmap bitmap;
   const TripleStore& train = dataset.train_store();
   const TripleStore& test = dataset.test_store();
-  bitmap.cases.reserve(dataset.test().size());
+  const TripleList& triples = dataset.test();
+  bitmap.cases.resize(triples.size(), 0);
 
-  for (const Triple& t : dataset.test()) {
-    const bool reverse_train =
-        HasReverseIn(train, catalog, t, /*exclude_self=*/false);
-    const bool dup_train = HasDuplicateIn(train, catalog, t);
-    const bool revdup_train = HasReverseDuplicateIn(train, catalog, t);
-    // Within the test split the triple itself is present; the reverse check
-    // must not count the triple as its own counterpart.
-    const bool reverse_test =
-        HasReverseIn(test, catalog, t, /*exclude_self=*/true);
-    const bool dup_test = HasDuplicateIn(test, catalog, t);
-    const bool revdup_test = HasReverseDuplicateIn(test, catalog, t);
+  // Each shard classifies its contiguous slice of the test split, writing
+  // case codes into disjoint `cases` slots and tallying into its own
+  // partial bitmap; partials merge in shard order (integer sums, so the
+  // result equals the serial sweep for any thread count).
+  std::vector<RedundancyBitmap> partial(
+      static_cast<size_t>(std::max(PlannedShards(triples.size(), threads), 1)));
+  ParallelFor(triples.size(), threads,
+              [&](size_t begin, size_t end, int shard) {
+    RedundancyBitmap& local = partial[static_cast<size_t>(shard)];
+    for (size_t i = begin; i < end; ++i) {
+      const Triple& t = triples[i];
+      const bool reverse_train =
+          HasReverseIn(train, catalog, t, /*exclude_self=*/false);
+      const bool dup_train = HasDuplicateIn(train, catalog, t);
+      const bool revdup_train = HasReverseDuplicateIn(train, catalog, t);
+      // Within the test split the triple itself is present; the reverse
+      // check must not count the triple as its own counterpart.
+      const bool reverse_test =
+          HasReverseIn(test, catalog, t, /*exclude_self=*/true);
+      const bool dup_test = HasDuplicateIn(test, catalog, t);
+      const bool revdup_test = HasReverseDuplicateIn(test, catalog, t);
 
-    uint8_t code = 0;
-    if (reverse_train) code |= 0b1000;
-    if (dup_train || revdup_train) code |= 0b0100;
-    if (reverse_test) code |= 0b0010;
-    if (dup_test || revdup_test) code |= 0b0001;
-    bitmap.cases.push_back(code);
-    bitmap.histogram[code]++;
+      uint8_t code = 0;
+      if (reverse_train) code |= 0b1000;
+      if (dup_train || revdup_train) code |= 0b0100;
+      if (reverse_test) code |= 0b0010;
+      if (dup_test || revdup_test) code |= 0b0001;
+      bitmap.cases[i] = code;
+      local.histogram[code]++;
 
-    if (reverse_train) ++bitmap.reverse_in_train;
-    if (dup_train) ++bitmap.duplicate_in_train;
-    if (revdup_train) ++bitmap.reverse_duplicate_in_train;
-    if (reverse_test) ++bitmap.reverse_in_test;
-    if (dup_test) ++bitmap.duplicate_in_test;
-    if (revdup_test) ++bitmap.reverse_duplicate_in_test;
+      if (reverse_train) ++local.reverse_in_train;
+      if (dup_train) ++local.duplicate_in_train;
+      if (revdup_train) ++local.reverse_duplicate_in_train;
+      if (reverse_test) ++local.reverse_in_test;
+      if (dup_test) ++local.duplicate_in_test;
+      if (revdup_test) ++local.reverse_duplicate_in_test;
+    }
+  });
+  for (const RedundancyBitmap& local : partial) {
+    for (size_t c = 0; c < bitmap.histogram.size(); ++c) {
+      bitmap.histogram[c] += local.histogram[c];
+    }
+    bitmap.reverse_in_train += local.reverse_in_train;
+    bitmap.duplicate_in_train += local.duplicate_in_train;
+    bitmap.reverse_duplicate_in_train += local.reverse_duplicate_in_train;
+    bitmap.reverse_in_test += local.reverse_in_test;
+    bitmap.duplicate_in_test += local.duplicate_in_test;
+    bitmap.reverse_duplicate_in_test += local.reverse_duplicate_in_test;
   }
   return bitmap;
 }

@@ -54,9 +54,12 @@ struct ReverseLeakageStats {
   double test_reverse_fraction = 0.0;
 };
 
-/// Computes reverse-pair leakage between/within splits.
+/// Computes reverse-pair leakage between/within splits. `threads` shards the
+/// per-triple sweep (0 = KGC_THREADS / hardware default); the stats are
+/// bit-identical for any value.
 ReverseLeakageStats ComputeReverseLeakage(const Dataset& dataset,
-                                          const RedundancyCatalog& catalog);
+                                          const RedundancyCatalog& catalog,
+                                          int threads = 0);
 
 /// Figure-4 bitmap. Bit order follows the paper's notation "wxyz":
 ///   bit 3 (w): reverse triple in the training set
@@ -81,9 +84,12 @@ struct RedundancyBitmap {
   size_t reverse_duplicate_in_test = 0;
 };
 
-/// Classifies every test triple of `dataset` (paper Figure 4).
+/// Classifies every test triple of `dataset` (paper Figure 4). `threads`
+/// shards the per-triple classification (0 = KGC_THREADS / hardware
+/// default); the bitmap is bit-identical for any value.
 RedundancyBitmap ComputeRedundancyBitmap(const Dataset& dataset,
-                                         const RedundancyCatalog& catalog);
+                                         const RedundancyCatalog& catalog,
+                                         int threads = 0);
 
 /// Renders a case index as the paper's 4-character code, e.g. "1100".
 std::string RedundancyCaseName(uint8_t case_index);

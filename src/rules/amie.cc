@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace kgc {
@@ -69,65 +70,82 @@ bool FinalizeRule(const TripleStore& train, const AmieOptions& options,
   return confidence >= options.min_confidence;
 }
 
+// A rule whose support has been counted but whose PCA denominator — a sweep
+// over its body pairs — is still pending. `body_pairs` stays valid for the
+// whole mining run (it points into the TripleStore or the path-body map).
+struct RuleCandidate {
+  Rule rule;
+  const PairSet* body_pairs = nullptr;
+};
+
 }  // namespace
 
 std::vector<Rule> MineRules(const TripleStore& train,
                             const AmieOptions& options) {
-  std::vector<Rule> rules;
   const int32_t num_relations = train.num_relations();
   const PairRelationIndex pair_index = BuildPairRelationIndex(train);
 
   // --- Unary rules: r1(x,y) => rh(x,y) and r1(y,x) => rh(x,y). ------------
   // For each body relation count, via the pair index, how many of its pairs
-  // (or reversed pairs) carry each other relation.
-  for (RelationId body = 0; body < num_relations; ++body) {
-    const PairSet& body_pairs = train.Pairs(body);
-    if (body_pairs.size() < options.min_support) continue;
-    std::unordered_map<RelationId, size_t> same_support;
-    std::unordered_map<RelationId, size_t> inverse_support;
-    for (uint64_t key : body_pairs) {
-      auto it = pair_index.find(key);
-      if (it != pair_index.end()) {
-        for (RelationId rh : it->second) same_support[rh] += 1;
-      }
-      const auto [x, y] = UnpackPair(key);
-      auto rit = pair_index.find(PackPair(y, x));
-      if (rit != pair_index.end()) {
-        for (RelationId rh : rit->second) inverse_support[rh] += 1;
-      }
-    }
-
-    auto emit = [&](RuleBodyKind kind, RelationId head, size_t support) {
-      if (kind == RuleBodyKind::kSame && head == body) return;  // tautology
-      Rule rule;
-      rule.kind = kind;
-      rule.body1 = body;
-      rule.head = head;
-      rule.support = support;
-      rule.body_size = body_pairs.size();
-      // PCA denominator: body pairs whose x has some head-relation fact.
-      size_t pca_body = 0;
-      const EntitySet& head_subjects = train.Subjects(head);
+  // (or reversed pairs) carry each other relation. Body relations are
+  // statically sharded across threads; each shard emits candidates into its
+  // own vector and the shards concatenate in order, reproducing the serial
+  // ascending-body emission sequence exactly.
+  const size_t num_bodies =
+      num_relations > 0 ? static_cast<size_t>(num_relations) : size_t{0};
+  std::vector<std::vector<RuleCandidate>> unary_local(static_cast<size_t>(
+      std::max(PlannedShards(num_bodies, options.threads), 1)));
+  ParallelFor(num_bodies, options.threads,
+              [&](size_t begin, size_t end, int shard) {
+    std::vector<RuleCandidate>& out = unary_local[static_cast<size_t>(shard)];
+    for (size_t b = begin; b < end; ++b) {
+      const RelationId body = static_cast<RelationId>(b);
+      const PairSet& body_pairs = train.Pairs(body);
+      if (body_pairs.size() < options.min_support) continue;
+      std::unordered_map<RelationId, size_t> same_support;
+      std::unordered_map<RelationId, size_t> inverse_support;
       for (uint64_t key : body_pairs) {
-        const auto [bx, by] = UnpackPair(key);
-        const EntityId x = kind == RuleBodyKind::kSame ? bx : by;
-        if (head_subjects.contains(x)) ++pca_body;
+        auto it = pair_index.find(key);
+        if (it != pair_index.end()) {
+          for (RelationId rh : it->second) same_support[rh] += 1;
+        }
+        const auto [x, y] = UnpackPair(key);
+        auto rit = pair_index.find(PackPair(y, x));
+        if (rit != pair_index.end()) {
+          for (RelationId rh : rit->second) inverse_support[rh] += 1;
+        }
       }
-      if (FinalizeRule(train, options, pca_body, rule)) {
-        rules.push_back(rule);
+      auto emit = [&](RuleBodyKind kind, RelationId head, size_t support) {
+        if (kind == RuleBodyKind::kSame && head == body) return;  // tautology
+        if (support < options.min_support) return;
+        RuleCandidate candidate;
+        candidate.rule.kind = kind;
+        candidate.rule.body1 = body;
+        candidate.rule.head = head;
+        candidate.rule.support = support;
+        candidate.rule.body_size = body_pairs.size();
+        candidate.body_pairs = &body_pairs;
+        out.push_back(candidate);
+      };
+      for (const auto& [head, support] : same_support) {
+        emit(RuleBodyKind::kSame, head, support);
       }
-    };
-    for (const auto& [head, support] : same_support) {
-      emit(RuleBodyKind::kSame, head, support);
+      for (const auto& [head, support] : inverse_support) {
+        emit(RuleBodyKind::kInverse, head, support);
+      }
     }
-    for (const auto& [head, support] : inverse_support) {
-      emit(RuleBodyKind::kInverse, head, support);
-    }
+  });
+  std::vector<RuleCandidate> candidates;
+  for (std::vector<RuleCandidate>& local : unary_local) {
+    candidates.insert(candidates.end(), local.begin(), local.end());
   }
 
   // --- Path rules: r1(x,z) ^ r2(z,y) => rh(x,y). --------------------------
   // Enumerate 2-hop body pairs through each mediator entity; bodies are
-  // keyed by (r1, r2).
+  // keyed by (r1, r2). The enumeration stays serial: the global
+  // max_path_pairs cap makes which pairs get enumerated order-dependent, so
+  // sharding it would break the determinism contract. The expensive part —
+  // the per-candidate PCA sweep — joins the parallel evaluation below.
   struct PathBody {
     PairSet pairs;
     std::unordered_map<RelationId, size_t> support;
@@ -171,24 +189,47 @@ std::vector<Rule> MineRules(const TripleStore& train,
     const RelationId r2 = static_cast<RelationId>(key & 0xffffffffULL);
     for (const auto& [head, support] : body.support) {
       if (support < options.min_support) continue;
-      Rule rule;
-      rule.kind = RuleBodyKind::kPath;
-      rule.body1 = r1;
-      rule.body2 = r2;
-      rule.head = head;
-      rule.support = support;
-      rule.body_size = body.pairs.size();
+      RuleCandidate candidate;
+      candidate.rule.kind = RuleBodyKind::kPath;
+      candidate.rule.body1 = r1;
+      candidate.rule.body2 = r2;
+      candidate.rule.head = head;
+      candidate.rule.support = support;
+      candidate.rule.body_size = body.pairs.size();
+      candidate.body_pairs = &body.pairs;
+      candidates.push_back(candidate);
+    }
+  }
+
+  // --- Support/confidence evaluation, sharded over candidates. ------------
+  // The PCA denominator — body pairs whose x has some head-relation fact —
+  // is the dominant cost and is independent per candidate. Each candidate
+  // evaluates into its own slot; surviving rules compact in candidate order,
+  // which is exactly the order the serial loop pushed them.
+  std::vector<Rule> finalized(candidates.size());
+  std::vector<uint8_t> survived(candidates.size(), 0);
+  ParallelFor(candidates.size(), options.threads,
+              [&](size_t begin, size_t end, int /*shard*/) {
+    for (size_t i = begin; i < end; ++i) {
+      const RuleCandidate& candidate = candidates[i];
+      const EntitySet& head_subjects = train.Subjects(candidate.rule.head);
       size_t pca_body = 0;
-      const EntitySet& head_subjects = train.Subjects(head);
-      for (uint64_t pair_key : body.pairs) {
-        const auto [x, y] = UnpackPair(pair_key);
-        (void)y;
+      for (uint64_t key : *candidate.body_pairs) {
+        const auto [bx, by] = UnpackPair(key);
+        const EntityId x =
+            candidate.rule.kind == RuleBodyKind::kInverse ? by : bx;
         if (head_subjects.contains(x)) ++pca_body;
       }
+      Rule rule = candidate.rule;
       if (FinalizeRule(train, options, pca_body, rule)) {
-        rules.push_back(rule);
+        finalized[i] = rule;
+        survived[i] = 1;
       }
     }
+  });
+  std::vector<Rule> rules;
+  for (size_t i = 0; i < finalized.size(); ++i) {
+    if (survived[i]) rules.push_back(finalized[i]);
   }
 
   std::sort(rules.begin(), rules.end(), [&](const Rule& a, const Rule& b) {

@@ -28,6 +28,10 @@ struct AmieOptions {
   size_t max_path_pairs = 2'000'000;
   /// Rank candidates by PCA confidence (true, AMIE+'s default) or standard.
   bool use_pca_confidence = true;
+  /// Worker threads for candidate generation and support/confidence
+  /// evaluation (0 = KGC_THREADS / hardware default; see util/parallel.h).
+  /// The mined rule list is bit-identical for any value.
+  int threads = 0;
 };
 
 /// Mines rules from `train`.

@@ -33,14 +33,25 @@ void CartesianPredictor::EnableTypeExtension(
   KGC_CHECK_EQ(static_cast<int64_t>(entity_type.size()),
                static_cast<int64_t>(train_.num_entities()));
   entity_type_ = std::move(entity_type);
-  subject_type_.assign(static_cast<size_t>(train_.num_relations()), -2);
-  object_type_.assign(static_cast<size_t>(train_.num_relations()), -2);
+  // Precomputed for every relation up front: scoring runs concurrently on
+  // the ranker's worker threads, so a lazily-filled cache would race.
+  subject_type_.assign(static_cast<size_t>(train_.num_relations()), -1);
+  object_type_.assign(static_cast<size_t>(train_.num_relations()), -1);
+  for (RelationId r = 0; r < train_.num_relations(); ++r) {
+    subject_type_[static_cast<size_t>(r)] =
+        ComputeMajorityType(r, /*objects=*/false);
+    object_type_[static_cast<size_t>(r)] =
+        ComputeMajorityType(r, /*objects=*/true);
+  }
 }
 
 int32_t CartesianPredictor::MajorityType(RelationId r, bool objects) const {
-  std::vector<int32_t>& cache = objects ? object_type_ : subject_type_;
-  int32_t& cached = cache[static_cast<size_t>(r)];
-  if (cached != -2) return cached;
+  const std::vector<int32_t>& cache = objects ? object_type_ : subject_type_;
+  return cache[static_cast<size_t>(r)];
+}
+
+int32_t CartesianPredictor::ComputeMajorityType(RelationId r,
+                                                bool objects) const {
   std::unordered_map<int32_t, size_t> counts;
   const EntitySet& entities = objects ? train_.Objects(r) : train_.Subjects(r);
   for (EntityId e : entities) {
@@ -54,7 +65,6 @@ int32_t CartesianPredictor::MajorityType(RelationId r, bool objects) const {
       best_count = count;
     }
   }
-  cached = best;
   return best;
 }
 

@@ -51,15 +51,18 @@ class CartesianPredictor final : public LinkPredictor {
 
  private:
   // Majority type of a relation's observed subjects (if `objects` is false)
-  // or objects; -1 when untyped or no triples.
+  // or objects; -1 when untyped or no triples. Pure lookup into the tables
+  // precomputed by EnableTypeExtension (scoring is concurrent, so there is
+  // no lazy fill-in).
   int32_t MajorityType(RelationId r, bool objects) const;
+  int32_t ComputeMajorityType(RelationId r, bool objects) const;
 
   const TripleStore& train_;
   std::vector<bool> cartesian_;
   std::vector<int32_t> entity_type_;
-  // Per relation, lazily filled majority subject/object types.
-  mutable std::vector<int32_t> subject_type_;
-  mutable std::vector<int32_t> object_type_;
+  // Per relation, majority subject/object types (filled eagerly).
+  std::vector<int32_t> subject_type_;
+  std::vector<int32_t> object_type_;
 };
 
 }  // namespace kgc

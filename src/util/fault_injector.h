@@ -17,7 +17,8 @@
 //
 // e.g. KGC_FAULTS=torn_write:bytes=64,short_read:times=2:skip=1
 //
-// The harness is single-threaded by design (see DESIGN.md); the registry is
+// All cache I/O runs on the serial training/caching path (parallel workers
+// only compute; see DESIGN.md "Execution engine"), so the registry is
 // deliberately lock-free and must not be armed concurrently with I/O.
 
 #ifndef KGC_UTIL_FAULT_INJECTOR_H_

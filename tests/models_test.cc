@@ -248,9 +248,17 @@ TEST(EmbeddingTableTest, AdaGradShrinksEffectiveStep) {
 }
 
 TEST(ModelTypeTest, NamesRoundTrip) {
-  for (ModelType type : PaperModelLineup()) {
+  // All ten ModelType values — not just the paper lineup, which
+  // intentionally excludes RESCAL.
+  constexpr ModelType kAllTypes[] = {
+      ModelType::kTransE,  ModelType::kTransH, ModelType::kTransR,
+      ModelType::kTransD,  ModelType::kRescal, ModelType::kDistMult,
+      ModelType::kComplEx, ModelType::kRotatE, ModelType::kTuckER,
+      ModelType::kConvE,
+  };
+  for (ModelType type : kAllTypes) {
     auto parsed = ParseModelType(ModelTypeName(type));
-    ASSERT_TRUE(parsed.ok());
+    ASSERT_TRUE(parsed.ok()) << ModelTypeName(type);
     EXPECT_EQ(*parsed, type);
   }
   EXPECT_FALSE(ParseModelType("NotAModel").ok());
