@@ -2,11 +2,76 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace kgc::bench {
+namespace {
+
+// If `arg` is `prefix` + value, stores value and returns true.
+bool ConsumeFlag(const std::string& arg, const char* prefix,
+                 std::string* value) {
+  if (!arg.starts_with(prefix)) return false;
+  *value = arg.substr(std::string(prefix).size());
+  return true;
+}
+
+}  // namespace
+
+BenchTelemetry::BenchTelemetry(const char* name, int* argc, char** argv)
+    : name_(name), report_path_(obs::MetricsPathFromEnv()) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ConsumeFlag(arg, "--report=", &value)) {
+      report_path_ = value;
+    } else if (ConsumeFlag(arg, "--trace=", &value)) {
+      obs::StartTracing(value);
+    } else if (ConsumeFlag(arg, "--log-level=", &value)) {
+      LogLevel level;
+      if (ParseLogLevel(value, &level)) {
+        SetLogLevel(level);
+      } else {
+        LogWarning("unknown --log-level value '%s' ignored", value.c_str());
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  argv[kept] = nullptr;
+  if (!report_path_.empty()) obs::EnableSpanRollups();
+}
+
+int BenchTelemetry::Finish(int exit_code) {
+  if (finished_) return exit_code;
+  finished_ = true;
+  if (!report_path_.empty()) {
+    obs::RunInfo info;
+    info.name = name_;
+    info.threads = DefaultThreadCount();
+    info.wall_seconds = watch_.ElapsedSeconds();
+    info.exit_code = exit_code;
+    if (obs::AppendRunReport(report_path_, info)) {
+      LogInfo("run report appended to %s", report_path_.c_str());
+    } else {
+      LogWarning("could not append run report to %s", report_path_.c_str());
+    }
+  }
+  obs::FlushTrace();
+  return exit_code;
+}
+
+int RunBench(int argc, char** argv, const char* name, int (*run)()) {
+  BenchTelemetry telemetry(name, &argc, argv);
+  return telemetry.Finish(run());
+}
 
 ExperimentContext MakeContext() {
   ExperimentOptions options;

@@ -17,8 +17,41 @@
 #include "eval/comparison.h"
 #include "rules/amie.h"
 #include "rules/simple_rule_model.h"
+#include "util/stopwatch.h"
 
 namespace kgc::bench {
+
+/// Telemetry bracket for a bench binary.
+///
+/// Construction parses and strips the telemetry flags from argv (updating
+/// *argc in place, so later argument parsers never see them):
+///
+///   --report=PATH     append a run report line to PATH (overrides
+///                     KGC_METRICS for this run)
+///   --trace=PATH      write a Chrome trace to PATH (overrides KGC_TRACE)
+///   --log-level=L     debug | info | warning | error
+///
+/// `Finish(exit_code)` appends the machine-readable run report — when a
+/// report path came from --report or KGC_METRICS — and flushes the trace,
+/// then returns `exit_code` unchanged so it can wrap a return statement.
+class BenchTelemetry {
+ public:
+  BenchTelemetry(const char* name, int* argc, char** argv);
+  int Finish(int exit_code);
+
+ private:
+  std::string name_;
+  std::string report_path_;
+  Stopwatch watch_;
+  bool finished_ = false;
+};
+
+/// Standard main() body for table/figure benches: wraps `run` in a
+/// BenchTelemetry bracket. Usage:
+///   int main(int argc, char** argv) {
+///     return kgc::bench::RunBench(argc, argv, "bench_table5_fb15k", Run);
+///   }
+int RunBench(int argc, char** argv, const char* name, int (*run)());
 
 /// Builds the canonical context: cache dir from $KGC_CACHE_DIR (default
 /// "kgc_cache"), default seeds, quiet training logs.

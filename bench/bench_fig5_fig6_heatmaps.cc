@@ -78,4 +78,6 @@ int Run() {
 }  // namespace
 }  // namespace kgc::bench
 
-int main() { return kgc::bench::Run(); }
+int main(int argc, char** argv) {
+  return kgc::bench::RunBench(argc, argv, "bench_fig5_fig6_heatmaps", kgc::bench::Run);
+}

@@ -56,4 +56,6 @@ int Run() {
 }  // namespace
 }  // namespace kgc::bench
 
-int main() { return kgc::bench::Run(); }
+int main(int argc, char** argv) {
+  return kgc::bench::RunBench(argc, argv, "bench_fig7_category_breakdown", kgc::bench::Run);
+}

@@ -15,6 +15,7 @@
 #include <limits>
 #include <thread>
 
+#include "bench/bench_common.h"
 #include "datagen/presets.h"
 #include "eval/ranker.h"
 #include "models/model.h"
@@ -220,9 +221,14 @@ int RunThreadScaling() {
 }  // namespace kgc
 
 int main(int argc, char** argv) {
+  // Telemetry flags must come off argv before google-benchmark sees them,
+  // or ReportUnrecognizedArguments rejects the invocation.
+  kgc::bench::BenchTelemetry telemetry("bench_micro_scoring", &argc, argv);
   benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return telemetry.Finish(1);
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return kgc::RunThreadScaling();
+  return telemetry.Finish(kgc::RunThreadScaling());
 }

@@ -36,4 +36,6 @@ int Run() {
 }  // namespace
 }  // namespace kgc::bench
 
-int main() { return kgc::bench::Run(); }
+int main(int argc, char** argv) {
+  return kgc::bench::RunBench(argc, argv, "bench_table1_dataset_stats", kgc::bench::Run);
+}

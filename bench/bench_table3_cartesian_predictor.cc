@@ -99,4 +99,6 @@ int Run() {
 }  // namespace
 }  // namespace kgc::bench
 
-int main() { return kgc::bench::Run(); }
+int main(int argc, char** argv) {
+  return kgc::bench::RunBench(argc, argv, "bench_table3_cartesian_predictor", kgc::bench::Run);
+}

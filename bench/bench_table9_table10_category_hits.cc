@@ -59,4 +59,6 @@ int Run() {
 }  // namespace
 }  // namespace kgc::bench
 
-int main() { return kgc::bench::Run(); }
+int main(int argc, char** argv) {
+  return kgc::bench::RunBench(argc, argv, "bench_table9_table10_category_hits", kgc::bench::Run);
+}

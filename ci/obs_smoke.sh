@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Telemetry smoke test: runs one fast bench binary with KGC_METRICS and
+# KGC_TRACE set, then validates that both artifacts are well-formed.
+#
+#   - the trace file must parse as one Chrome trace_event JSON document
+#   - the metrics file must be JSONL: every line a complete JSON object
+#     carrying the kgc.run_report.v1 schema
+#
+# Usage: ci/obs_smoke.sh [build-dir]      (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BENCH="${BUILD_DIR}/bench/bench_table1_dataset_stats"
+
+if [[ ! -x "${BENCH}" ]]; then
+  echo "== building ${BENCH} =="
+  cmake -B "${BUILD_DIR}" -S .
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_table1_dataset_stats
+fi
+
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "${WORK_DIR}"' EXIT
+TRACE_FILE="${WORK_DIR}/trace.json"
+METRICS_FILE="${WORK_DIR}/metrics.jsonl"
+
+echo "== running ${BENCH} with telemetry enabled =="
+# Run twice so the JSONL report accumulates lines (and the second run
+# exercises the warm-cache path).
+for run in 1 2; do
+  KGC_TRACE="${TRACE_FILE}" KGC_METRICS="${METRICS_FILE}" \
+  KGC_CACHE_DIR="${WORK_DIR}/cache" "${BENCH}" > /dev/null
+done
+
+echo "== validating trace JSON =="
+if command -v python3 > /dev/null; then
+  python3 -m json.tool "${TRACE_FILE}" > /dev/null
+  python3 - "${TRACE_FILE}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace has no events"
+names = {e["name"] for e in events}
+assert "make_suite" in names, f"expected a make_suite span, got {sorted(names)}"
+for e in events:
+    for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+        assert key in e, f"trace event missing {key}: {e}"
+print(f"trace OK: {len(events)} events, {len(names)} span names")
+EOF
+elif command -v jq > /dev/null; then
+  jq -e '.traceEvents | length > 0' "${TRACE_FILE}" > /dev/null
+  echo "trace OK ($(jq '.traceEvents | length' "${TRACE_FILE}") events)"
+else
+  echo "ERROR: need python3 or jq to validate JSON" >&2
+  exit 1
+fi
+
+echo "== validating metrics JSONL =="
+if command -v python3 > /dev/null; then
+  python3 - "${METRICS_FILE}" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) == 2, f"expected 2 report lines, got {len(lines)}"
+for line in lines:
+    report = json.loads(line)
+    assert report["schema"] == "kgc.run_report.v1", report["schema"]
+    for section in ("name", "timestamp", "threads", "wall_seconds",
+                    "exit_code", "counters", "gauges", "histograms", "spans"):
+        assert section in report, f"report missing {section}"
+    for counter in ("kgc.trainer.epochs", "kgc.ranker.triples_ranked",
+                    "kgc.redundancy.pairs_compared", "kgc.amie.candidates",
+                    "kgc.cache.model_hits", "kgc.faults.injected"):
+        assert counter in report["counters"], f"report missing {counter}"
+    assert report["exit_code"] == 0, report["exit_code"]
+print(f"metrics OK: {len(lines)} report lines")
+EOF
+else
+  while IFS= read -r line; do
+    [[ -z "${line}" ]] && continue
+    printf '%s' "${line}" | jq -e '.schema == "kgc.run_report.v1"' > /dev/null
+  done < "${METRICS_FILE}"
+  echo "metrics OK ($(wc -l < "${METRICS_FILE}") report lines)"
+fi
+
+echo "== obs smoke test passed =="

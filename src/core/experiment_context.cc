@@ -5,6 +5,8 @@
 
 #include "core/audit.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/file_util.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -30,6 +32,8 @@ ExperimentContext::ExperimentContext(ExperimentOptions options)
 }
 
 BenchmarkSuite ExperimentContext::MakeSuite(int which) {
+  obs::TraceSpan span("make_suite");
+  span.AddArgInt("which", which);
   BenchmarkSuite suite;
   switch (which) {
     case 0:
@@ -151,12 +155,21 @@ std::string ExperimentContext::RankCachePath(
 
 const std::vector<TripleRanks>* ExperimentContext::TryLoadRankCache(
     const std::string& key, size_t expected_count) {
-  if (!store_.usable()) return nullptr;
+  static obs::Counter& hits =
+      obs::Registry::Get().GetCounter(obs::kCacheRankHits);
+  static obs::Counter& misses =
+      obs::Registry::Get().GetCounter(obs::kCacheRankMisses);
+  if (!store_.usable()) {
+    misses.Increment();
+    return nullptr;
+  }
   const std::string path = RankCachePath(key);
   auto cached = LoadRanks(path);
   if (cached.ok() && cached->size() == expected_count) {
+    hits.Increment();
     return &ranks_.emplace(key, std::move(*cached)).first->second;
   }
+  misses.Increment();
   if (!cached.ok() && cached.status().code() != StatusCode::kNotFound) {
     QuarantineCorrupt(path, cached.status());
   } else if (cached.ok()) {
@@ -204,6 +217,9 @@ const std::vector<TripleRanks>& ExperimentContext::GetRanks(
 
 void ExperimentContext::WarmRanks(const Dataset& dataset,
                                   std::span<const ModelType> types) {
+  obs::TraceSpan span("warm_ranks");
+  span.AddArgStr("dataset", dataset.name().c_str());
+  span.AddArgInt("models", static_cast<long long>(types.size()));
   // Resolve cache state and train missing models serially up front (PR 1's
   // bit-exact checkpoint resume depends on a deterministic serial training
   // order), leaving only the independent ranking sweeps to overlap.

@@ -1,5 +1,6 @@
 #include "models/model_store.h"
 
+#include "obs/metrics.h"
 #include "util/file_util.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -115,6 +116,9 @@ ModelStore::ModelStore(std::string dir) : dir_(std::move(dir)) {
   const Status status = MakeDirectories(dir_);
   usable_ = status.ok();
   if (!usable_) {
+    // Counted as well as logged: an unusable store silently retrains
+    // everything, and the run report must show that mode.
+    obs::Registry::Get().GetCounter(obs::kCacheStoreUnusable).Increment();
     LogWarning("model cache disabled: %s", status.ToString().c_str());
   }
 }
@@ -142,7 +146,14 @@ std::string ModelStore::PathFor(const std::string& key) const {
 
 StatusOr<std::unique_ptr<KgeModel>> ModelStore::Load(
     const std::string& key) const {
-  if (!usable_) return Status::NotFound("store unusable");
+  static obs::Counter& hits =
+      obs::Registry::Get().GetCounter(obs::kCacheModelHits);
+  static obs::Counter& misses =
+      obs::Registry::Get().GetCounter(obs::kCacheModelMisses);
+  if (!usable_) {
+    misses.Increment();
+    return Status::NotFound("store unusable");
+  }
   const std::string path = PathFor(key);
   auto model = LoadFromPath(path, key);
   if (!model.ok() && model.status().code() != StatusCode::kNotFound) {
@@ -150,6 +161,7 @@ StatusOr<std::unique_ptr<KgeModel>> ModelStore::Load(
     // retrains into a fresh file and the bad bytes stay inspectable.
     QuarantineCorrupt(path, model.status());
   }
+  (model.ok() ? hits : misses).Increment();
   return model;
 }
 

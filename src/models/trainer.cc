@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "kg/relation_stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/file_util.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -184,6 +186,25 @@ TrainStats TrainModel(KgeModel& model, const Dataset& dataset,
   const TripleList& triples = dataset.train();
   KGC_CHECK(!triples.empty());
 
+  obs::TraceSpan train_span("train_model");
+  train_span.AddArgStr("model", model.name());
+  train_span.AddArgStr("dataset", dataset.name().c_str());
+  train_span.AddArgInt("epochs", options.epochs);
+  static obs::Counter& epochs_counter =
+      obs::Registry::Get().GetCounter(obs::kTrainerEpochs);
+  static obs::Counter& examples_counter =
+      obs::Registry::Get().GetCounter(obs::kTrainerExamples);
+  static obs::Counter& negatives_counter =
+      obs::Registry::Get().GetCounter(obs::kTrainerNegatives);
+  static obs::Counter& checkpoint_saves =
+      obs::Registry::Get().GetCounter(obs::kTrainerCheckpointSaves);
+  static obs::Counter& resumes =
+      obs::Registry::Get().GetCounter(obs::kTrainerResumes);
+  static obs::Gauge& last_loss =
+      obs::Registry::Get().GetGauge(obs::kTrainerLastLoss);
+  static obs::Histogram& epoch_seconds =
+      obs::Registry::Get().GetHistogram(obs::kTrainerEpochSeconds);
+
   // Per-relation head-corruption probability tph / (tph + hpt).
   std::vector<double> p_head(static_cast<size_t>(dataset.num_relations()),
                              0.5);
@@ -219,6 +240,7 @@ TrainStats TrainModel(KgeModel& model, const Dataset& dataset,
       stats.resumed_from_epoch = resume->completed_epochs;
       rng.set_state(resume->rng);
       order = std::move(resume->order);
+      resumes.Increment();
       LogInfo("%s: resuming from checkpoint at epoch %d/%d", model.name(),
               start_epoch, options.epochs);
     } else {
@@ -230,6 +252,9 @@ TrainStats TrainModel(KgeModel& model, const Dataset& dataset,
   }
 
   for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("train_epoch");
+    epoch_span.AddArgInt("epoch", epoch);
+    Stopwatch epoch_watch;
     model.OnEpochBegin(epoch);
     rng.Shuffle(order);
     double epoch_loss = 0.0;
@@ -273,6 +298,13 @@ TrainStats TrainModel(KgeModel& model, const Dataset& dataset,
     stats.final_loss = examples > 0 ? epoch_loss / static_cast<double>(examples)
                                     : 0.0;
     stats.epochs_run = epoch + 1;
+    epochs_counter.Increment();
+    examples_counter.Add(examples);
+    // Every positive draws options.negatives corruptions in both loss modes.
+    negatives_counter.Add(order.size() *
+                          static_cast<size_t>(options.negatives));
+    last_loss.Set(stats.final_loss);
+    epoch_seconds.Observe(epoch_watch.ElapsedSeconds());
     if (options.verbose && (epoch % 5 == 0 || epoch + 1 == options.epochs)) {
       LogInfo("%s epoch %d/%d loss %.4f (%.1fs)", model.name(), epoch + 1,
               options.epochs, stats.final_loss, watch.ElapsedSeconds());
@@ -282,7 +314,9 @@ TrainStats TrainModel(KgeModel& model, const Dataset& dataset,
         (epoch + 1) % options.checkpoint_every == 0) {
       const Status saved = SaveCheckpoint(model, options, epoch + 1,
                                           stats.final_loss, rng, order);
-      if (!saved.ok()) {
+      if (saved.ok()) {
+        checkpoint_saves.Increment();
+      } else {
         // Checkpointing is best-effort: a failed snapshot only costs resume
         // granularity, never training correctness.
         LogWarning("checkpoint save failed: %s", saved.ToString().c_str());

@@ -1,0 +1,61 @@
+// Tiny JSON rendering helpers shared by the trace and report exporters.
+// Internal to src/obs — not a general-purpose JSON library.
+
+#ifndef KGC_OBS_JSON_H_
+#define KGC_OBS_JSON_H_
+
+#include <cstdio>
+#include <string>
+
+namespace kgc::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders a double as a JSON number. NaN / infinity (not representable in
+/// JSON) degrade to 0 so the output always parses.
+inline std::string JsonDouble(double value) {
+  if (!(value == value) || value > 1.7e308 || value < -1.7e308) {
+    return "0";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace kgc::obs
+
+#endif  // KGC_OBS_JSON_H_

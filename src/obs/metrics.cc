@@ -1,0 +1,152 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kgc::obs {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(edges_.size() + 1);
+  for (size_t i = 0; i <= edges_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = edges_.size();  // overflow unless an edge matches
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (value <= edges_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(value)) {
+    sum_micros_.fetch_add(static_cast<int64_t>(std::llround(value * 1e6)),
+                          std::memory_order_relaxed);
+  }
+}
+
+void Histogram::ResetForTest() {
+  for (size_t i = 0; i <= edges_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  std::vector<double> edges;
+  edges.reserve(static_cast<size_t>(std::max(count, 0)));
+  double edge = start;
+  for (int i = 0; i < count; ++i) {
+    edges.push_back(edge);
+    edge *= factor;
+  }
+  return edges;
+}
+
+namespace {
+
+// 100us .. ~26s in x4 steps: wide enough for both per-shard ranking slices
+// and full training epochs on the scaled synthetic datasets.
+std::vector<double> DefaultLatencyBuckets() {
+  return ExponentialBuckets(1e-4, 4.0, 10);
+}
+
+}  // namespace
+
+Registry::Registry() {
+  // Pre-register the canonical schema (see header).
+  for (const char* name :
+       {kTrainerEpochs, kTrainerExamples, kTrainerNegatives,
+        kTrainerCheckpointSaves, kTrainerResumes, kRankerSweeps,
+        kRankerTriplesRanked, kRankerScoreEvals, kRedundancyPairsCompared,
+        kRedundancyPairsFlagged, kRedundancyTriplesClassified,
+        kAmieCandidates, kAmieRulesKept, kCacheModelHits, kCacheModelMisses,
+        kCacheRankHits, kCacheRankMisses, kCacheQuarantined,
+        kCacheStoreUnusable, kFaultsInjected}) {
+    counters_.emplace(name, std::make_unique<Counter>());
+  }
+  gauges_.emplace(kTrainerLastLoss, std::make_unique<Gauge>());
+  for (const char* name : {kTrainerEpochSeconds, kRankerShardSeconds}) {
+    histograms_.emplace(name,
+                        std::make_unique<Histogram>(DefaultLatencyBuckets()));
+  }
+}
+
+Registry& Registry::Get() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> edges) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (edges.empty()) edges = DefaultLatencyBuckets();
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(edges)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value(), gauge->is_set()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.edges = histogram->edges();
+    sample.buckets.reserve(sample.edges.size() + 1);
+    for (size_t i = 0; i <= sample.edges.size(); ++i) {
+      sample.buckets.push_back(histogram->bucket_count(i));
+    }
+    sample.count = histogram->count();
+    sample.sum = histogram->sum();
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void Registry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->ResetForTest();
+  for (const auto& [name, gauge] : gauges_) gauge->ResetForTest();
+  for (const auto& [name, histogram] : histograms_) {
+    histogram->ResetForTest();
+  }
+}
+
+}  // namespace kgc::obs

@@ -1,0 +1,113 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace kgc::obs {
+namespace {
+
+std::string NowIso8601Utc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderRunReport(const RunInfo& info) {
+  const MetricsSnapshot snapshot = Registry::Get().Snapshot();
+  const std::vector<SpanRollup> rollups = CollectSpanRollups();
+
+  std::ostringstream out;
+  out << "{\"schema\":\"kgc.run_report.v1\"";
+  out << ",\"name\":\"" << JsonEscape(info.name) << "\"";
+  out << ",\"timestamp\":\""
+      << JsonEscape(info.timestamp.empty() ? NowIso8601Utc()
+                                           : info.timestamp)
+      << "\"";
+  out << ",\"threads\":" << info.threads;
+  out << ",\"wall_seconds\":" << JsonDouble(info.wall_seconds);
+  out << ",\"exit_code\":" << info.exit_code;
+
+  out << ",\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSample& c = snapshot.counters[i];
+    out << (i > 0 ? "," : "") << "\"" << JsonEscape(c.name)
+        << "\":" << c.value;
+  }
+  out << "}";
+
+  out << ",\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSample& g = snapshot.gauges[i];
+    out << (i > 0 ? "," : "") << "\"" << JsonEscape(g.name) << "\":";
+    if (g.is_set) {
+      out << JsonDouble(g.value);
+    } else {
+      out << "null";
+    }
+  }
+  out << "}";
+
+  out << ",\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    out << (i > 0 ? "," : "") << "\"" << JsonEscape(h.name)
+        << "\":{\"count\":" << h.count << ",\"sum\":" << JsonDouble(h.sum)
+        << ",\"buckets\":[";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      // The final bucket has no upper edge (overflow): le = null.
+      out << (b > 0 ? "," : "") << "{\"le\":";
+      if (b < h.edges.size()) {
+        out << JsonDouble(h.edges[b]);
+      } else {
+        out << "null";
+      }
+      out << ",\"count\":" << h.buckets[b] << "}";
+    }
+    out << "]}";
+  }
+  out << "}";
+
+  out << ",\"spans\":{";
+  for (size_t i = 0; i < rollups.size(); ++i) {
+    const SpanRollup& r = rollups[i];
+    out << (i > 0 ? "," : "") << "\"" << JsonEscape(r.name)
+        << "\":{\"count\":" << r.count
+        << ",\"total_seconds\":" << JsonDouble(r.total_seconds)
+        << ",\"min_seconds\":" << JsonDouble(r.min_seconds)
+        << ",\"max_seconds\":" << JsonDouble(r.max_seconds) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+bool AppendRunReport(const std::string& path, const RunInfo& info) {
+  // Telemetry must never consult the fault-injection failpoints or the
+  // atomic-write machinery (it reports on them), so this is a plain append.
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "[WARN] cannot write run report %s\n", path.c_str());
+    return false;
+  }
+  out << RenderRunReport(info) << "\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::string MetricsPathFromEnv() {
+  const char* path = std::getenv("KGC_METRICS");
+  return (path != nullptr && path[0] != '\0') ? path : "";
+}
+
+}  // namespace kgc::obs

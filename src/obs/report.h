@@ -1,0 +1,40 @@
+// Machine-readable run reports: one JSON object per run, appended as a
+// single JSONL line, containing a snapshot of every registered metric plus
+// span rollups.
+//
+// `KGC_METRICS=<path>` makes the bench harness (bench/bench_common.h)
+// append a report line when the binary exits; repeated runs append more
+// lines, so the file accumulates a perf trajectory that downstream tooling
+// (BENCH_*.json trackers) can diff run over run. Each line is a complete,
+// self-describing JSON document (`schema: "kgc.run_report.v1"`).
+
+#ifndef KGC_OBS_REPORT_H_
+#define KGC_OBS_REPORT_H_
+
+#include <string>
+
+namespace kgc::obs {
+
+/// Identity and outcome of the run being reported.
+struct RunInfo {
+  std::string name;       ///< run label, e.g. the bench binary name
+  std::string timestamp;  ///< ISO-8601 UTC; filled in when empty
+  int threads = 0;        ///< resolved worker count (0 = unknown)
+  double wall_seconds = 0.0;
+  int exit_code = 0;
+};
+
+/// Renders the run report — metrics snapshot + span rollups + `info` — as a
+/// single-line JSON document (no trailing newline).
+std::string RenderRunReport(const RunInfo& info);
+
+/// Appends RenderRunReport(info) + '\n' to `path`. Returns false on I/O
+/// failure (telemetry is best-effort: callers log and move on).
+bool AppendRunReport(const std::string& path, const RunInfo& info);
+
+/// The KGC_METRICS destination, or "" when unset.
+std::string MetricsPathFromEnv();
+
+}  // namespace kgc::obs
+
+#endif  // KGC_OBS_REPORT_H_

@@ -1,0 +1,278 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace kgc::obs {
+namespace {
+
+// Bitmask of enabled features, or kUninitialized before the first span /
+// query reads the environment. One relaxed load of this is the entire cost
+// of a span when telemetry is off.
+constexpr int kUninitialized = -1;
+constexpr int kTracingBit = 1;
+constexpr int kRollupsBit = 2;
+std::atomic<int> g_mode{kUninitialized};
+
+struct Event {
+  std::string name;
+  std::string args;
+  int tid = 0;
+  int depth = 0;
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+};
+
+struct Rollup {
+  uint64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t min_ns = 0;
+  int64_t max_ns = 0;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::string path;
+  bool flushed = false;
+  bool atexit_registered = false;
+  std::vector<Event> events;
+  std::map<std::string, Rollup> rollups;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+std::atomic<uint64_t> g_next_span_id{0};
+thread_local uint64_t tls_current_span = 0;
+thread_local int tls_depth = 0;
+
+int64_t NowNanos() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              t0)
+      .count();
+}
+
+void FlushAtExit() { FlushTrace(); }
+
+void RegisterAtExitFlushLocked(TraceState& state) {
+  if (!state.atexit_registered) {
+    state.atexit_registered = true;
+    std::atexit(&FlushAtExit);
+  }
+}
+
+// Reads KGC_TRACE / KGC_METRICS once and publishes the mode. Returns the
+// resolved mode.
+int InitFromEnv() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  int mode = g_mode.load(std::memory_order_relaxed);
+  if (mode != kUninitialized) return mode;  // lost the race; already set
+  mode = 0;
+  if (const char* path = std::getenv("KGC_TRACE");
+      path != nullptr && path[0] != '\0') {
+    state.path = path;
+    mode |= kTracingBit | kRollupsBit;
+    RegisterAtExitFlushLocked(state);
+  }
+  if (const char* metrics = std::getenv("KGC_METRICS");
+      metrics != nullptr && metrics[0] != '\0') {
+    mode |= kRollupsBit;
+  }
+  g_mode.store(mode, std::memory_order_release);
+  return mode;
+}
+
+int Mode() {
+  const int mode = g_mode.load(std::memory_order_relaxed);
+  return mode == kUninitialized ? InitFromEnv() : mode;
+}
+
+}  // namespace
+
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+bool TracingEnabled() { return (Mode() & kTracingBit) != 0; }
+
+bool SpanRollupsEnabled() { return (Mode() & kRollupsBit) != 0; }
+
+void StartTracing(const std::string& path) {
+  Mode();  // settle env init first so it cannot overwrite this
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.path = path;
+  state.flushed = false;
+  RegisterAtExitFlushLocked(state);
+  g_mode.fetch_or(kTracingBit | kRollupsBit, std::memory_order_release);
+}
+
+void EnableSpanRollups() {
+  Mode();
+  g_mode.fetch_or(kRollupsBit, std::memory_order_release);
+}
+
+bool FlushTrace() {
+  if (!TracingEnabled()) return true;
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.flushed || state.path.empty()) return true;
+
+  std::vector<const Event*> ordered;
+  ordered.reserve(state.events.size());
+  for (const Event& event : state.events) ordered.push_back(&event);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) {
+                     return a->start_ns < b->start_ns;
+                   });
+
+  std::ofstream out(state.path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "[WARN] cannot write trace file %s\n",
+                 state.path.c_str());
+    return false;
+  }
+  out << "{\"traceEvents\":[\n";
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const Event& e = *ordered[i];
+    out << "{\"name\":\"" << JsonEscape(e.name)
+        << "\",\"cat\":\"kgc\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+        << ",\"ts\":" << JsonDouble(static_cast<double>(e.start_ns) * 1e-3)
+        << ",\"dur\":" << JsonDouble(static_cast<double>(e.duration_ns) * 1e-3)
+        << ",\"args\":{\"id\":" << e.id << ",\"parent\":" << e.parent_id
+        << ",\"depth\":" << e.depth << e.args << "}}"
+        << (i + 1 < ordered.size() ? ",\n" : "\n");
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+  out.flush();
+  state.flushed = true;
+  return static_cast<bool>(out);
+}
+
+std::vector<SpanRollup> CollectSpanRollups() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<SpanRollup> rollups;
+  rollups.reserve(state.rollups.size());
+  for (const auto& [name, r] : state.rollups) {
+    SpanRollup rollup;
+    rollup.name = name;
+    rollup.count = r.count;
+    rollup.total_seconds = static_cast<double>(r.total_ns) * 1e-9;
+    rollup.min_seconds = static_cast<double>(r.min_ns) * 1e-9;
+    rollup.max_seconds = static_cast<double>(r.max_ns) * 1e-9;
+    rollups.push_back(std::move(rollup));
+  }
+  return rollups;
+}
+
+std::vector<RecordedSpan> SnapshotSpansForTest() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<RecordedSpan> spans;
+  spans.reserve(state.events.size());
+  for (const Event& e : state.events) {
+    RecordedSpan span;
+    span.name = e.name;
+    span.tid = e.tid;
+    span.depth = e.depth;
+    span.id = e.id;
+    span.parent_id = e.parent_id;
+    span.start_us = static_cast<double>(e.start_ns) * 1e-3;
+    span.duration_us = static_cast<double>(e.duration_ns) * 1e-3;
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+void ResetTracingForTest() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.events.clear();
+  state.rollups.clear();
+  state.path.clear();
+  state.flushed = false;
+  g_mode.store(0, std::memory_order_release);
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  const int mode = Mode();
+  if (mode == 0) return;
+  active_ = true;
+  name_ = name;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  parent_id_ = tls_current_span;
+  depth_ = tls_depth;
+  tls_current_span = id_;
+  ++tls_depth;
+  start_ns_ = NowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const int64_t duration_ns = NowNanos() - start_ns_;
+  tls_current_span = parent_id_;
+  --tls_depth;
+
+  const int mode = g_mode.load(std::memory_order_relaxed);
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if ((mode & kTracingBit) != 0) {
+    Event event;
+    event.name = name_;
+    event.args = std::move(args_);
+    event.tid = ThreadId();
+    event.depth = depth_;
+    event.id = id_;
+    event.parent_id = parent_id_;
+    event.start_ns = start_ns_;
+    event.duration_ns = duration_ns;
+    state.events.push_back(std::move(event));
+  }
+  if ((mode & kRollupsBit) != 0) {
+    Rollup& rollup = state.rollups[name_];
+    if (rollup.count == 0 || duration_ns < rollup.min_ns) {
+      rollup.min_ns = duration_ns;
+    }
+    if (rollup.count == 0 || duration_ns > rollup.max_ns) {
+      rollup.max_ns = duration_ns;
+    }
+    ++rollup.count;
+    rollup.total_ns += duration_ns;
+  }
+}
+
+void TraceSpan::AddArgInt(const char* key, long long value) {
+  if (!active_) return;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%lld", key, value);
+  args_ += buf;
+}
+
+void TraceSpan::AddArgStr(const char* key, const char* value) {
+  if (!active_) return;
+  args_ += ",\"";
+  args_ += key;
+  args_ += "\":\"";
+  args_ += JsonEscape(value);
+  args_ += "\"";
+}
+
+}  // namespace kgc::obs

@@ -1,9 +1,23 @@
 #include "redundancy/detectors.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace kgc {
 namespace {
+
+obs::Counter& PairsComparedCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Get().GetCounter(obs::kRedundancyPairsCompared);
+  return counter;
+}
+
+obs::Counter& PairsFlaggedCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Get().GetCounter(obs::kRedundancyPairsFlagged);
+  return counter;
+}
 
 // Runs body(r) for every relation id in [0, num_relations), statically
 // sharded across threads; each shard appends matches to its own vector and
@@ -74,6 +88,7 @@ std::vector<RelationPairOverlap> FindOverlappingPairs(
       [&](RelationId r1, std::vector<RelationPairOverlap>& out) {
         const PairSet& pairs1 = store.Pairs(r1);
         if (pairs1.size() < options.min_relation_size) return;
+        size_t compared = 0;
         for (RelationId r2 = r1 + 1; r2 < num_relations; ++r2) {
           const PairSet& pairs2 = store.Pairs(r2);
           if (pairs2.size() < options.min_relation_size) continue;
@@ -83,6 +98,7 @@ std::vector<RelationPairOverlap> FindOverlappingPairs(
               size1 < options.theta2 * size2) {
             continue;
           }
+          ++compared;
           const size_t overlap = IntersectionCount(pairs1, pairs2, reversed);
           RelationPairOverlap stat;
           stat.r1 = r1;
@@ -94,6 +110,9 @@ std::vector<RelationPairOverlap> FindOverlappingPairs(
             out.push_back(stat);
           }
         }
+        // Per-r1 totals are independent of the shard plan, so the counter
+        // stays bit-identical across thread counts.
+        PairsComparedCounter().Add(compared);
       });
 }
 
@@ -101,21 +120,32 @@ std::vector<RelationPairOverlap> FindOverlappingPairs(
 
 std::vector<RelationPairOverlap> FindDuplicateRelations(
     const TripleStore& store, const DetectorOptions& options) {
-  return FindOverlappingPairs(store, options, /*reversed=*/false);
+  obs::TraceSpan span("find_duplicate_relations");
+  std::vector<RelationPairOverlap> result =
+      FindOverlappingPairs(store, options, /*reversed=*/false);
+  PairsFlaggedCounter().Add(result.size());
+  return result;
 }
 
 std::vector<RelationPairOverlap> FindReverseDuplicateRelations(
     const TripleStore& store, const DetectorOptions& options) {
-  return FindOverlappingPairs(store, options, /*reversed=*/true);
+  obs::TraceSpan span("find_reverse_duplicates");
+  std::vector<RelationPairOverlap> result =
+      FindOverlappingPairs(store, options, /*reversed=*/true);
+  PairsFlaggedCounter().Add(result.size());
+  return result;
 }
 
 std::vector<RelationPairOverlap> FindSymmetricRelations(
     const TripleStore& store, const DetectorOptions& options) {
-  return ParallelRelationSweep<RelationPairOverlap>(
+  obs::TraceSpan span("find_symmetric_relations");
+  std::vector<RelationPairOverlap> result =
+      ParallelRelationSweep<RelationPairOverlap>(
       store.num_relations(), options.threads,
       [&](RelationId r, std::vector<RelationPairOverlap>& out) {
         const PairSet& pairs = store.Pairs(r);
         if (pairs.size() < options.min_relation_size) return;
+        PairsComparedCounter().Increment();
         const size_t overlap = PairReverseIntersectionSize(pairs, pairs);
         const double coverage =
             static_cast<double>(overlap) / static_cast<double>(pairs.size());
@@ -128,15 +158,20 @@ std::vector<RelationPairOverlap> FindSymmetricRelations(
           out.push_back(stat);
         }
       });
+  PairsFlaggedCounter().Add(result.size());
+  return result;
 }
 
 std::vector<CartesianEvidence> FindCartesianRelations(
     const TripleStore& store, const DetectorOptions& options) {
-  return ParallelRelationSweep<CartesianEvidence>(
+  obs::TraceSpan span("find_cartesian_relations");
+  std::vector<CartesianEvidence> result =
+      ParallelRelationSweep<CartesianEvidence>(
       store.num_relations(), options.threads,
       [&](RelationId r, std::vector<CartesianEvidence>& out) {
         const size_t size = store.RelationSize(r);
         if (size < options.min_relation_size) return;
+        PairsComparedCounter().Increment();
         CartesianEvidence evidence;
         evidence.relation = r;
         evidence.num_triples = size;
@@ -150,6 +185,8 @@ std::vector<CartesianEvidence> FindCartesianRelations(
           out.push_back(evidence);
         }
       });
+  PairsFlaggedCounter().Add(result.size());
+  return result;
 }
 
 }  // namespace kgc

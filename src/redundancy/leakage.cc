@@ -3,6 +3,8 @@
 #include <numeric>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace kgc {
@@ -30,6 +32,8 @@ size_t ParallelCount(const TripleList& list, int threads, const Pred& pred) {
 
 RedundancyCatalog RedundancyCatalog::Detect(const TripleStore& store,
                                             const DetectorOptions& options) {
+  obs::TraceSpan span("redundancy_detect");
+  span.AddArgInt("relations", store.num_relations());
   RedundancyCatalog catalog;
   catalog.duplicate_pairs = FindDuplicateRelations(store, options);
   catalog.reverse_pairs = FindReverseDuplicateRelations(store, options);
@@ -127,6 +131,13 @@ bool HasReverseDuplicateIn(const TripleStore& store,
 ReverseLeakageStats ComputeReverseLeakage(const Dataset& dataset,
                                           const RedundancyCatalog& catalog,
                                           int threads) {
+  obs::TraceSpan span("reverse_leakage");
+  span.AddArgInt("train_triples", static_cast<long long>(dataset.train().size()));
+  span.AddArgInt("test_triples", static_cast<long long>(dataset.test().size()));
+  static obs::Counter& classified =
+      obs::Registry::Get().GetCounter(obs::kRedundancyTriplesClassified);
+  classified.Add(dataset.train().size() + dataset.test().size());
+
   ReverseLeakageStats stats;
   const TripleStore& train = dataset.train_store();
 
@@ -155,6 +166,12 @@ ReverseLeakageStats ComputeReverseLeakage(const Dataset& dataset,
 RedundancyBitmap ComputeRedundancyBitmap(const Dataset& dataset,
                                          const RedundancyCatalog& catalog,
                                          int threads) {
+  obs::TraceSpan span("redundancy_bitmap");
+  span.AddArgInt("test_triples", static_cast<long long>(dataset.test().size()));
+  static obs::Counter& classified =
+      obs::Registry::Get().GetCounter(obs::kRedundancyTriplesClassified);
+  classified.Add(dataset.test().size());
+
   RedundancyBitmap bitmap;
   const TripleStore& train = dataset.train_store();
   const TripleStore& test = dataset.test_store();

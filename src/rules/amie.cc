@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
@@ -82,6 +84,9 @@ struct RuleCandidate {
 
 std::vector<Rule> MineRules(const TripleStore& train,
                             const AmieOptions& options) {
+  obs::TraceSpan span("mine_rules");
+  span.AddArgInt("relations", train.num_relations());
+  span.AddArgInt("triples", static_cast<long long>(train.size()));
   const int32_t num_relations = train.num_relations();
   const PairRelationIndex pair_index = BuildPairRelationIndex(train);
 
@@ -231,6 +236,14 @@ std::vector<Rule> MineRules(const TripleStore& train,
   for (size_t i = 0; i < finalized.size(); ++i) {
     if (survived[i]) rules.push_back(finalized[i]);
   }
+  // Counted after the sharded evaluation so both totals are shard-plan
+  // independent (candidates are emitted in a deterministic order).
+  static obs::Counter& candidates_counter =
+      obs::Registry::Get().GetCounter(obs::kAmieCandidates);
+  static obs::Counter& kept_counter =
+      obs::Registry::Get().GetCounter(obs::kAmieRulesKept);
+  candidates_counter.Add(candidates.size());
+  kept_counter.Add(rules.size());
 
   std::sort(rules.begin(), rules.end(), [&](const Rule& a, const Rule& b) {
     const double ca = options.use_pca_confidence ? a.pca_confidence

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -58,6 +59,9 @@ bool FaultInjector::ShouldFail(FaultKind kind, int64_t* payload) {
   }
   --slot.times;
   if (payload != nullptr) *payload = slot.payload;
+  static obs::Counter& injected =
+      obs::Registry::Get().GetCounter(obs::kFaultsInjected);
+  injected.Increment();
   return true;
 }
 

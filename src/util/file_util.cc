@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -142,6 +143,11 @@ Status RetryIo(const std::string& what, int max_attempts,
 }
 
 void QuarantineCorrupt(const std::string& path, const Status& why) {
+  // Silent regeneration is a perf and correctness signal: surface every
+  // quarantine in the run report, not just in the log.
+  static obs::Counter& quarantined =
+      obs::Registry::Get().GetCounter(obs::kCacheQuarantined);
+  quarantined.Increment();
   const std::string quarantine_path = path + ".corrupt";
   if (std::rename(path.c_str(), quarantine_path.c_str()) == 0) {
     LogWarning("quarantined corrupt artifact %s -> %s (%s)", path.c_str(),

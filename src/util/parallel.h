@@ -33,6 +33,7 @@
 #include <functional>
 #include <mutex>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace kgc {
@@ -73,6 +74,9 @@ inline void ParallelFor(size_t n, int threads,
   const int planned = PlannedShards(n, threads);
   if (planned == 0) return;
   if (planned == 1 || internal_parallel::in_parallel_region) {
+    obs::TraceSpan span("parallel_for.shard");
+    span.AddArgInt("shard", 0);
+    span.AddArgInt("n", static_cast<long long>(n));
     body(0, n, 0);
     return;
   }
@@ -86,14 +90,26 @@ inline void ParallelFor(size_t n, int threads,
   for (size_t s = 1; s < shards; ++s) {
     pool.Submit([&, s] {
       internal_parallel::in_parallel_region = true;
-      body(n * s / shards, n * (s + 1) / shards, static_cast<int>(s));
+      {
+        obs::TraceSpan span("parallel_for.shard");
+        span.AddArgInt("shard", static_cast<long long>(s));
+        span.AddArgInt("begin", static_cast<long long>(n * s / shards));
+        span.AddArgInt("end", static_cast<long long>(n * (s + 1) / shards));
+        body(n * s / shards, n * (s + 1) / shards, static_cast<int>(s));
+      }
       internal_parallel::in_parallel_region = false;
       std::lock_guard<std::mutex> lock(mutex);
       if (--remaining == 0) all_done.notify_one();
     });
   }
   internal_parallel::in_parallel_region = true;
-  body(0, n / shards, 0);
+  {
+    obs::TraceSpan span("parallel_for.shard");
+    span.AddArgInt("shard", 0);
+    span.AddArgInt("begin", 0);
+    span.AddArgInt("end", static_cast<long long>(n / shards));
+    body(0, n / shards, 0);
+  }
   internal_parallel::in_parallel_region = false;
   std::unique_lock<std::mutex> lock(mutex);
   all_done.wait(lock, [&] { return remaining == 0; });

@@ -7,24 +7,54 @@
 
 namespace kgc {
 
-/// Measures elapsed wall time from construction or the last Reset().
+/// Measures elapsed wall time. Starts running at construction; Stop() /
+/// Start() pause and resume, accumulating across segments (span rollups
+/// time paused phases this way). Elapsed readings include the in-progress
+/// segment, so code written against the original always-running API
+/// behaves identically.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
 
-  void Reset() { start_ = Clock::now(); }
-
-  /// Elapsed seconds since start.
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+  /// Discards accumulated time and restarts from now.
+  void Reset() {
+    accumulated_ = Duration::zero();
+    running_ = true;
+    start_ = Clock::now();
   }
 
-  /// Elapsed milliseconds since start.
+  /// Pauses; elapsed time freezes until Start(). No-op if already stopped.
+  void Stop() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - start_;
+    running_ = false;
+  }
+
+  /// Resumes after Stop(). No-op if already running.
+  void Start() {
+    if (running_) return;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  bool running() const { return running_; }
+
+  /// Accumulated elapsed seconds (including the running segment, if any).
+  double ElapsedSeconds() const {
+    Duration total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return std::chrono::duration<double>(total).count();
+  }
+
+  /// Accumulated elapsed milliseconds.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
   using Clock = std::chrono::steady_clock;
+  using Duration = Clock::duration;
   Clock::time_point start_;
+  Duration accumulated_ = Duration::zero();
+  bool running_ = true;
 };
 
 }  // namespace kgc

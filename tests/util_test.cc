@@ -10,6 +10,7 @@
 #include "util/rng.h"
 #include "util/serialize.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -183,6 +184,35 @@ TEST(StringUtilTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatPercent(0.703), "70.3%");
+}
+
+// --- Stopwatch ----------------------------------------------------------
+
+TEST(StopwatchTest, RunsAtConstructionAndAccumulates) {
+  Stopwatch watch;
+  EXPECT_TRUE(watch.running());
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+
+  watch.Stop();
+  EXPECT_FALSE(watch.running());
+  const double frozen = watch.ElapsedSeconds();
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), frozen);  // frozen while stopped
+  watch.Stop();  // idempotent
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), frozen);
+
+  watch.Start();
+  EXPECT_TRUE(watch.running());
+  EXPECT_GE(watch.ElapsedSeconds(), frozen);  // resumes from accumulated
+
+  watch.Reset();
+  EXPECT_TRUE(watch.running());
+  EXPECT_LT(watch.ElapsedSeconds(), frozen + 1.0);
+}
+
+TEST(StopwatchTest, MillisTracksSeconds) {
+  Stopwatch watch;
+  watch.Stop();
+  EXPECT_DOUBLE_EQ(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3);
 }
 
 // --- AsciiTable ---------------------------------------------------------
