@@ -2,9 +2,13 @@
 // throughput per model, plus triple-store lookup costs. These are the
 // throughput primitives the whole harness is built on.
 //
-// After the google-benchmark suite, a thread-scaling section times the full
-// RankTriples sweep at 1 / 2 / N worker threads and writes the results as
-// machine-readable JSON to BENCH_scoring.json in the working directory.
+// After the google-benchmark suite, three sections write machine-readable
+// JSON to BENCH_scoring.json in the working directory:
+//   - thread_scaling: the full RankTriples sweep at 1 / 2 / N workers;
+//   - kernel_paths:   per-model ScoreTails sweeps under the generic vs the
+//                     -march native kernel dispatch path;
+//   - query_dedup:    RankTriples on a duplicate-heavy test list with query
+//                     deduplication off vs on, with the score_evals deltas.
 
 #include <benchmark/benchmark.h>
 
@@ -19,7 +23,9 @@
 #include "datagen/presets.h"
 #include "eval/ranker.h"
 #include "models/model.h"
+#include "obs/metrics.h"
 #include "util/parallel.h"
+#include "util/vecmath.h"
 
 namespace kgc {
 namespace {
@@ -140,8 +146,8 @@ ScalingPoint MeasureRankingThroughput(const KgeModel& model,
 
 /// Times the ranking sweep at 1 / 2 / N threads (N = the KGC_THREADS /
 /// hardware default) plus 8 as a fixed reference point, checks the outputs
-/// stay bit-identical, and writes BENCH_scoring.json.
-int RunThreadScaling() {
+/// stay bit-identical, and writes the thread_scaling JSON section.
+int RunThreadScaling(std::ostream& out) {
   const SyntheticKg& kg = SharedKg();
   const auto model = MakeModel(ModelType::kDistMult);
   // Build the filter store up front so the first timed run is not charged
@@ -177,34 +183,21 @@ int RunThreadScaling() {
   }
 
   const double base_rate = points.front().triples_per_sec;
-  std::ofstream out("BENCH_scoring.json");
-  if (!out) {
-    std::fprintf(stderr, "cannot write BENCH_scoring.json\n");
-    return 1;
-  }
-  out << "{\n"
-      << "  \"benchmark\": \"ranking_thread_scaling\",\n"
-      << "  \"model\": \"" << ModelTypeName(ModelType::kDistMult) << "\",\n"
-      << "  \"dataset\": \"" << kg.dataset.name() << "\",\n"
-      << "  \"num_test_triples\": " << kg.dataset.test().size() << ",\n"
-      << "  \"num_entities\": " << kg.dataset.num_entities() << ",\n"
-      << "  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n"
-      << "  \"default_threads\": " << DefaultThreadCount() << ",\n"
-      << "  \"bit_identical_across_thread_counts\": "
+  out << "  \"thread_scaling\": {\n"
+      << "    \"model\": \"" << ModelTypeName(ModelType::kDistMult) << "\",\n"
+      << "    \"bit_identical_across_thread_counts\": "
       << (bit_identical ? "true" : "false") << ",\n"
-      << "  \"results\": [\n";
+      << "    \"results\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {
-    out << "    {\"threads\": " << points[i].threads
+    out << "      {\"threads\": " << points[i].threads
         << ", \"seconds\": " << points[i].seconds
         << ", \"triples_per_sec\": " << points[i].triples_per_sec
         << ", \"speedup_vs_1\": " << points[i].triples_per_sec / base_rate
         << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "    ]\n  }";
 
-  std::printf("\nthread scaling (RankTriples, %s, %zu test triples) -> "
-              "BENCH_scoring.json\n",
+  std::printf("\nthread scaling (RankTriples, %s, %zu test triples)\n",
               ModelTypeName(ModelType::kDistMult), kg.dataset.test().size());
   for (const ScalingPoint& p : points) {
     std::printf("  threads=%d  %.3fs  %.0f triples/s  (%.2fx)\n", p.threads,
@@ -215,6 +208,195 @@ int RunThreadScaling() {
     return 1;
   }
   return 0;
+}
+
+// --- Kernel dispatch paths -------------------------------------------------
+
+/// Best-of-3 time of `reps` full ScoreTails sweeps under the active kernel
+/// path, in nanoseconds per scored entity.
+double MeasureSweepNsPerEntity(const KgeModel& model, int reps) {
+  std::vector<float> scores(static_cast<size_t>(model.num_entities()));
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+      model.ScoreTails(static_cast<EntityId>(i % 100), 1, scores);
+      benchmark::DoNotOptimize(scores.data());
+    }
+    const std::chrono::duration<double, std::nano> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, elapsed.count());
+  }
+  return best / (static_cast<double>(reps) *
+                 static_cast<double>(model.num_entities()));
+}
+
+/// Times every model's ScoreTails sweep under the generic and (when
+/// available) the -march native kernel path and writes the kernel_paths
+/// JSON section. The dispatch override is restored to generic afterwards,
+/// the build's default.
+void RunKernelPaths(std::ostream& out) {
+  const bool native = vec::NativeKernelsAvailable();
+  out << "  \"kernel_paths\": {\n"
+      << "    \"native_available\": " << (native ? "true" : "false") << ",\n"
+      << "    \"models\": [\n";
+  std::printf("\nkernel paths (ScoreTails ns/entity, native %s)\n",
+              native ? "available" : "unavailable");
+  const int reps = 50;
+  for (int m = 0; m <= 9; ++m) {
+    const auto type = static_cast<ModelType>(m);
+    const auto model = MakeModel(type);
+    vec::SetKernelPathForTest(vec::KernelPath::kGeneric);
+    MeasureSweepNsPerEntity(*model, 5);  // warm caches before timing
+    const double generic_ns = MeasureSweepNsPerEntity(*model, reps);
+    double native_ns = 0.0;
+    if (native) {
+      vec::SetKernelPathForTest(vec::KernelPath::kNative);
+      MeasureSweepNsPerEntity(*model, 5);
+      native_ns = MeasureSweepNsPerEntity(*model, reps);
+      vec::SetKernelPathForTest(vec::KernelPath::kGeneric);
+    }
+    out << "      {\"model\": \"" << ModelTypeName(type)
+        << "\", \"generic_ns_per_entity\": " << generic_ns;
+    if (native) {
+      out << ", \"native_ns_per_entity\": " << native_ns
+          << ", \"native_speedup\": " << generic_ns / native_ns;
+    }
+    out << "}" << (m < 9 ? "," : "") << "\n";
+    if (native) {
+      std::printf("  %-10s generic %8.2f  native %8.2f  (%.2fx)\n",
+                  ModelTypeName(type), generic_ns, native_ns,
+                  generic_ns / native_ns);
+    } else {
+      std::printf("  %-10s generic %8.2f\n", ModelTypeName(type), generic_ns);
+    }
+  }
+  out << "    ]\n  }";
+}
+
+// --- Query deduplication ---------------------------------------------------
+
+/// Times RankTriples on a duplicate-heavy test list with query dedup off vs
+/// on (under each compiled kernel path), records the score_evals counter
+/// delta for each run, verifies ranks are bit-identical, and writes the
+/// query_dedup JSON section. Returns non-zero if ranks diverge.
+int RunQueryDedup(std::ostream& out) {
+  const SyntheticKg& kg = SharedKg();
+  const auto model = MakeModel(ModelType::kTransE);
+  // A few anchors fanned out over many tails: most triples share their
+  // (head, relation) query, and the shared tails make the reverse
+  // (relation, tail) queries heavily duplicated too.
+  TripleList dup;
+  for (size_t i = 0; i < 5; ++i) {
+    const Triple& base = kg.dataset.test()[i % kg.dataset.test().size()];
+    for (EntityId t = 0; t < 40; ++t) {
+      dup.push_back({base.head, base.relation, t});
+    }
+  }
+  obs::Counter& score_evals =
+      obs::Registry::Get().GetCounter(obs::kRankerScoreEvals);
+
+  struct DedupPoint {
+    const char* kernel;
+    bool dedup;
+    double seconds;
+    uint64_t evals;
+  };
+  std::vector<DedupPoint> points;
+  std::vector<TripleRanks> baseline;
+  bool bit_identical = true;
+  const std::vector<vec::KernelPath> paths =
+      vec::NativeKernelsAvailable()
+          ? std::vector<vec::KernelPath>{vec::KernelPath::kGeneric,
+                                         vec::KernelPath::kNative}
+          : std::vector<vec::KernelPath>{vec::KernelPath::kGeneric};
+  for (vec::KernelPath path : paths) {
+    vec::SetKernelPathForTest(path);
+    for (bool dedup : {false, true}) {
+      RankerOptions options;
+      options.threads = 1;
+      options.dedup_queries = dedup;
+      DedupPoint point;
+      point.kernel = vec::OpsFor(path).name;
+      point.dedup = dedup;
+      point.seconds = std::numeric_limits<double>::infinity();
+      std::vector<TripleRanks> ranks;
+      for (int rep = 0; rep < 3; ++rep) {
+        const uint64_t evals_before = score_evals.value();
+        const auto start = std::chrono::steady_clock::now();
+        ranks = RankTriples(*model, kg.dataset, dup, options);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        point.seconds = std::min(point.seconds, elapsed.count());
+        point.evals = score_evals.value() - evals_before;
+      }
+      if (baseline.empty()) {
+        baseline = ranks;
+      } else {
+        for (size_t i = 0; i < ranks.size(); ++i) {
+          if (ranks[i].head_raw != baseline[i].head_raw ||
+              ranks[i].head_filtered != baseline[i].head_filtered ||
+              ranks[i].tail_raw != baseline[i].tail_raw ||
+              ranks[i].tail_filtered != baseline[i].tail_filtered) {
+            bit_identical = false;
+          }
+        }
+      }
+      points.push_back(point);
+    }
+  }
+  vec::SetKernelPathForTest(vec::KernelPath::kGeneric);
+
+  out << "  \"query_dedup\": {\n"
+      << "    \"model\": \"" << ModelTypeName(ModelType::kTransE) << "\",\n"
+      << "    \"num_test_triples\": " << dup.size() << ",\n"
+      << "    \"bit_identical_dedup_on_vs_off\": "
+      << (bit_identical ? "true" : "false") << ",\n"
+      << "    \"results\": [\n";
+  std::printf("\nquery dedup (RankTriples, %zu duplicate-heavy triples)\n",
+              dup.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const DedupPoint& p = points[i];
+    out << "      {\"kernel\": \"" << p.kernel << "\", \"dedup\": "
+        << (p.dedup ? "true" : "false") << ", \"seconds\": " << p.seconds
+        << ", \"score_evals\": " << p.evals << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+    std::printf("  kernel=%-7s dedup=%-5s  %.4fs  %llu score evals\n",
+                p.kernel, p.dedup ? "on" : "off", p.seconds,
+                static_cast<unsigned long long>(p.evals));
+  }
+  out << "    ]\n  }";
+  if (!bit_identical) {
+    std::fprintf(stderr, "ERROR: ranks differ between dedup on and off\n");
+    return 1;
+  }
+  return 0;
+}
+
+/// Runs the three post-suite sections and composes BENCH_scoring.json.
+int RunPostSuiteSections() {
+  const SyntheticKg& kg = SharedKg();
+  std::ofstream out("BENCH_scoring.json");
+  if (!out) {
+    std::fprintf(stderr, "cannot write BENCH_scoring.json\n");
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"micro_scoring\",\n"
+      << "  \"dataset\": \"" << kg.dataset.name() << "\",\n"
+      << "  \"num_test_triples\": " << kg.dataset.test().size() << ",\n"
+      << "  \"num_entities\": " << kg.dataset.num_entities() << ",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"default_threads\": " << DefaultThreadCount() << ",\n";
+  int rc = RunThreadScaling(out);
+  out << ",\n";
+  RunKernelPaths(out);
+  out << ",\n";
+  rc |= RunQueryDedup(out);
+  out << "\n}\n";
+  std::printf("-> BENCH_scoring.json\n");
+  return rc;
 }
 
 }  // namespace
@@ -230,5 +412,5 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return telemetry.Finish(kgc::RunThreadScaling());
+  return telemetry.Finish(kgc::RunPostSuiteSections());
 }

@@ -33,11 +33,13 @@ if [[ "${SANITIZERS}" == *thread* ]]; then
   # Force multiple worker threads even on single-core CI machines so the
   # parallel code paths (and not their serial fallbacks) are exercised;
   # run the suites that drive ParallelFor across eval, redundancy, rules
-  # and the core context, plus the metrics registry / trace span suite.
+  # and the core context, plus the metrics registry / trace span suite and
+  # the scoring-kernel suite (its scratch buffers are thread_local and the
+  # dispatch table resolve races on first use).
   export KGC_THREADS=4
   export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
   ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-        -R '^(parallel_test|eval_test|redundancy_test|rules_test|core_test|obs_test)$'
+        -R '^(parallel_test|eval_test|redundancy_test|rules_test|core_test|obs_test|vecmath_test)$'
 else
   echo "== running tier-1 tests =="
   # halt_on_error keeps CI failures crisp; detect_leaks stays on by default

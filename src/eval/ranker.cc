@@ -76,52 +76,99 @@ std::vector<TripleRanks> RankTriples(const LinkPredictor& predictor,
       obs::Registry::Get().GetCounter(obs::kRankerTriplesRanked);
   static obs::Counter& score_evals =
       obs::Registry::Get().GetCounter(obs::kRankerScoreEvals);
+  static obs::Counter& query_hits =
+      obs::Registry::Get().GetCounter(obs::kRankerQueryCacheHits);
+  static obs::Counter& query_misses =
+      obs::Registry::Get().GetCounter(obs::kRankerQueryCacheMisses);
   static obs::Histogram& shard_seconds =
       obs::Registry::Get().GetHistogram(obs::kRankerShardSeconds);
   sweeps.Increment();
 
-  // Group by relation for per-relation model caches.
-  std::vector<size_t> order(test.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return test[a].relation < test[b].relation;
-  });
-
-  // Each shard ranks a contiguous run of the relation-grouped order with its
-  // own score/mark scratch and writes into the disjoint `results` slots its
-  // triples own, so the output is bit-identical for any thread count.
-  // Contiguous runs also keep per-relation model caches (TransR) effective:
-  // a relation's triples split across at most two shards.
   std::vector<TripleRanks> results(test.size());
-  ParallelFor(order.size(), options.threads,
-              [&](size_t begin, size_t end, int /*shard*/) {
-    Stopwatch shard_watch;
-    std::vector<float> scores(num_entities);
-    std::vector<uint32_t> known_mark(num_entities, 0);
-    for (size_t i = begin; i < end; ++i) {
-      const size_t idx = order[i];
-      const Triple& triple = test[idx];
-      TripleRanks ranks;
-      ranks.triple = triple;
 
-      predictor.ScoreTails(triple.head, triple.relation, scores);
-      ComputeRank(scores, triple.tail,
-                  filter.Tails(triple.head, triple.relation), known_mark,
-                  &ranks.tail_raw, &ranks.tail_filtered);
+  // One pass per candidate direction. Each pass sorts the test triples by
+  // (relation, anchor) — the anchor is the entity kept fixed by the query —
+  // so every triple sharing a ScoreTails/ScoreHeads query lands in one
+  // contiguous group, and relation runs stay contiguous for per-relation
+  // model caches (TransR). Sharding happens at *group* granularity: a group
+  // is never split across shards, so the hit/miss/eval tallies are a pure
+  // function of the test list, bit-identical for any thread count.
+  const auto run_pass = [&](bool tails) {
+    std::vector<size_t> order(test.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    const auto anchor = [&](size_t idx) {
+      return tails ? test[idx].head : test[idx].tail;
+    };
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (test[a].relation != test[b].relation) {
+        return test[a].relation < test[b].relation;
+      }
+      return anchor(a) < anchor(b);
+    });
 
-      predictor.ScoreHeads(triple.relation, triple.tail, scores);
-      ComputeRank(scores, triple.head,
-                  filter.Heads(triple.relation, triple.tail), known_mark,
-                  &ranks.head_raw, &ranks.head_filtered);
-
-      results[idx] = ranks;
+    // group g spans order[group_start[g], group_start[g + 1]).
+    std::vector<size_t> group_start;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (i == 0 || test[order[i]].relation != test[order[i - 1]].relation ||
+          anchor(order[i]) != anchor(order[i - 1])) {
+        group_start.push_back(i);
+      }
     }
-    // Per-triple work is thread-count independent, so these totals are
-    // bit-identical for every KGC_THREADS (the per-shard split commutes).
-    triples_ranked.Add(end - begin);
-    score_evals.Add(2 * num_entities * (end - begin));
-    shard_seconds.Observe(shard_watch.ElapsedSeconds());
-  });
+    group_start.push_back(order.size());
+    const size_t num_groups = group_start.empty() ? 0 : group_start.size() - 1;
+
+    ParallelFor(num_groups, options.threads,
+                [&](size_t gbegin, size_t gend, int /*shard*/) {
+      Stopwatch shard_watch;
+      std::vector<float> scores(num_entities);
+      std::vector<uint32_t> known_mark(num_entities, 0);
+      size_t evals = 0;
+      size_t hits = 0;
+      size_t misses = 0;
+      size_t ranked = 0;
+      for (size_t g = gbegin; g < gend; ++g) {
+        const size_t first = group_start[g];
+        const size_t last = group_start[g + 1];
+        for (size_t i = first; i < last; ++i) {
+          const size_t idx = order[i];
+          const Triple& triple = test[idx];
+          // The first triple of a group fills the score buffer; later ones
+          // reuse it (a cache hit) unless dedup is off, in which case every
+          // triple re-sweeps — producing the same bits either way.
+          if (!options.dedup_queries || i == first) {
+            if (tails) {
+              predictor.ScoreTails(triple.head, triple.relation, scores);
+            } else {
+              predictor.ScoreHeads(triple.relation, triple.tail, scores);
+            }
+            evals += num_entities;
+            ++misses;
+          } else {
+            ++hits;
+          }
+          TripleRanks& out = results[idx];
+          if (tails) {
+            out.triple = triple;
+            ComputeRank(scores, triple.tail,
+                        filter.Tails(triple.head, triple.relation),
+                        known_mark, &out.tail_raw, &out.tail_filtered);
+          } else {
+            ComputeRank(scores, triple.head,
+                        filter.Heads(triple.relation, triple.tail),
+                        known_mark, &out.head_raw, &out.head_filtered);
+          }
+          ++ranked;
+        }
+      }
+      if (tails) triples_ranked.Add(ranked);
+      score_evals.Add(evals);
+      query_hits.Add(hits);
+      query_misses.Add(misses);
+      shard_seconds.Observe(shard_watch.ElapsedSeconds());
+    });
+  };
+  run_pass(/*tails=*/true);
+  run_pass(/*tails=*/false);
   return results;
 }
 

@@ -24,14 +24,22 @@ struct RankerOptions {
   /// Worker threads for the ranking sweep (0 = KGC_THREADS / hardware
   /// default; see util/parallel.h). Results are bit-identical for any value.
   int threads = 0;
+  /// Score each unique (head, relation) / (relation, tail) query once and
+  /// reuse the score buffer for every test triple that shares it. Ranks are
+  /// bit-identical with dedup on or off — the reused buffer is the same one
+  /// a fresh sweep would produce — so this only trades memory locality for
+  /// skipped sweeps on duplicate-heavy test sets.
+  bool dedup_queries = true;
 };
 
 /// Ranks every triple of `test` under `predictor`. Results align with the
-/// order of `test`. Triples are internally processed grouped by relation so
-/// models with per-relation caches (TransR) amortize their projections; the
-/// relation-grouped order is statically sharded across threads, each with
-/// its own score scratch, writing disjoint result slots (deterministic for
-/// any thread count).
+/// order of `test`. The sweep runs in two passes (tail candidates, then head
+/// candidates), each sorted by (relation, anchor entity) so that triples
+/// sharing a query are adjacent and per-relation model caches (TransR)
+/// amortize their projections. Work is statically sharded across threads at
+/// query-group granularity — a group is never split — so ranks *and* all
+/// telemetry counters (score_evals, query_cache_hits/misses) are
+/// bit-identical for any thread count and for dedup on vs off.
 std::vector<TripleRanks> RankTriples(const LinkPredictor& predictor,
                                      const Dataset& dataset,
                                      const TripleList& test,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/vecmath.h"
+
 namespace kgc {
 
 ComplEx::ComplEx(int32_t num_entities, int32_t num_relations,
@@ -22,17 +24,14 @@ ComplEx::ComplEx(int32_t num_entities, int32_t num_relations,
 double ComplEx::Score(EntityId h, RelationId r, EntityId t) const {
   const auto hv = entities_.Row(h);
   const auto rv = relations_.Row(r);
-  const auto tv = entities_.Row(t);
   const size_t d = static_cast<size_t>(params_.dim);
-  double sum = 0.0;
-  for (size_t j = 0; j < d; ++j) {
-    const double hr = hv[j], hi = hv[d + j];
-    const double rr = rv[j], ri = rv[d + j];
-    const double tr = tv[j], ti = tv[d + j];
-    // Re((h r) conj(t)).
-    sum += (hr * rr - hi * ri) * tr + (hr * ri + hi * rr) * ti;
-  }
-  return sum;
+  // q = h * r (complex product); Re((h r) conj(t)) = q_re.t_re + q_im.t_im.
+  auto q = vec::GetScratch(2 * d, 0);
+  const auto& ops = vec::Ops();
+  ops.complex_hadamard(hv.data(), rv.data(), d, /*conj_a=*/false, q.data());
+  float score = 0.0f;
+  ops.dot_rows(q.data(), entities_.Row(t).data(), 1, 2 * d, 2 * d, &score);
+  return static_cast<double>(score);
 }
 
 void ComplEx::ApplyGradient(const Triple& triple, float d_loss_d_score,
@@ -43,26 +42,24 @@ void ComplEx::ApplyGradient(const Triple& triple, float d_loss_d_score,
   const size_t d = static_cast<size_t>(params_.dim);
   const float decay = static_cast<float>(params_.l2_reg);
   const float g = d_loss_d_score;
+  auto gh = vec::GetScratch(2 * d, 0);
+  auto gr = vec::GetScratch(2 * d, 1);
+  auto gt = vec::GetScratch(2 * d, 2);
   for (size_t j = 0; j < d; ++j) {
     const float hr = hv[j], hi = hv[d + j];
     const float rr = rv[j], ri = rv[d + j];
     const float tr = tv[j], ti = tv[d + j];
     // score_j = (hr rr - hi ri) tr + (hr ri + hi rr) ti.
-    const float ghr = g * (rr * tr + ri * ti) + decay * hr;
-    const float ghi = g * (rr * ti - ri * tr) + decay * hi;
-    const float grr = g * (hr * tr + hi * ti) + decay * rr;
-    const float gri = g * (hr * ti - hi * tr) + decay * ri;
-    const float gtr = g * (hr * rr - hi * ri) + decay * tr;
-    const float gti = g * (hr * ri + hi * rr) + decay * ti;
-    const int32_t jj = static_cast<int32_t>(j);
-    const int32_t dj = static_cast<int32_t>(d + j);
-    entities_.Update(triple.head, jj, ghr, lr);
-    entities_.Update(triple.head, dj, ghi, lr);
-    relations_.Update(triple.relation, jj, grr, lr);
-    relations_.Update(triple.relation, dj, gri, lr);
-    entities_.Update(triple.tail, jj, gtr, lr);
-    entities_.Update(triple.tail, dj, gti, lr);
+    gh[j] = g * (rr * tr + ri * ti) + decay * hr;
+    gh[d + j] = g * (rr * ti - ri * tr) + decay * hi;
+    gr[j] = g * (hr * tr + hi * ti) + decay * rr;
+    gr[d + j] = g * (hr * ti - hi * tr) + decay * ri;
+    gt[j] = g * (hr * rr - hi * ri) + decay * tr;
+    gt[d + j] = g * (hr * ri + hi * rr) + decay * ti;
   }
+  entities_.UpdateRow(triple.head, gh, lr);
+  relations_.UpdateRow(triple.relation, gr, lr);
+  entities_.UpdateRow(triple.tail, gt, lr);
 }
 
 void ComplEx::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
@@ -71,14 +68,11 @@ void ComplEx::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   const auto rv = relations_.Row(r);
   const size_t d = static_cast<size_t>(params_.dim);
   // q = h * r (complex product); score(e) = q_re . e_re + q_im . e_im.
-  std::vector<float> q(2 * d);
-  for (size_t j = 0; j < d; ++j) {
-    q[j] = hv[j] * rv[j] - hv[d + j] * rv[d + j];
-    q[d + j] = hv[j] * rv[d + j] + hv[d + j] * rv[j];
-  }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    out[static_cast<size_t>(e)] = static_cast<float>(Dot(q, entities_.Row(e)));
-  }
+  auto q = vec::GetScratch(2 * d, 0);
+  const auto& ops = vec::Ops();
+  ops.complex_hadamard(hv.data(), rv.data(), d, /*conj_a=*/false, q.data());
+  ops.dot_rows(q.data(), entities_.raw(), static_cast<size_t>(num_entities_),
+               2 * d, 2 * d, out.data());
 }
 
 void ComplEx::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
@@ -87,15 +81,12 @@ void ComplEx::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   const auto rv = relations_.Row(r);
   const size_t d = static_cast<size_t>(params_.dim);
   // As a function of h: score = h_re . q_re + h_im . q_im with
-  // q_re = r_re t_re + r_im t_im, q_im = r_re t_im - r_im t_re.
-  std::vector<float> q(2 * d);
-  for (size_t j = 0; j < d; ++j) {
-    q[j] = rv[j] * tv[j] + rv[d + j] * tv[d + j];
-    q[d + j] = rv[j] * tv[d + j] - rv[d + j] * tv[j];
-  }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    out[static_cast<size_t>(e)] = static_cast<float>(Dot(q, entities_.Row(e)));
-  }
+  // q = conj(r) * t (Hermitian product).
+  auto q = vec::GetScratch(2 * d, 0);
+  const auto& ops = vec::Ops();
+  ops.complex_hadamard(rv.data(), tv.data(), d, /*conj_a=*/true, q.data());
+  ops.dot_rows(q.data(), entities_.raw(), static_cast<size_t>(num_entities_),
+               2 * d, 2 * d, out.data());
 }
 
 void ComplEx::Serialize(BinaryWriter& writer) const {

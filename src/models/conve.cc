@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/vecmath.h"
+
 namespace kgc {
 
 ConvE::ConvE(int32_t num_entities, int32_t num_relations,
@@ -86,10 +88,7 @@ void ConvE::RunForward(EntityId e, int32_t relation_row, Forward& fwd) const {
   for (int32_t i = 0; i < feat_size_; ++i) {
     const float fi = fwd.feat[static_cast<size_t>(i)];
     if (fi == 0.0f) continue;
-    const auto w = fc_.Row(i);
-    for (int32_t d = 0; d < dim; ++d) {
-      fwd.z[static_cast<size_t>(d)] += fi * w[static_cast<size_t>(d)];
-    }
+    vec::Axpy(fi, fc_.Row(i).data(), fwd.z.data(), static_cast<size_t>(dim));
   }
   // The FC head stays linear: without batch-norm a second ReLU collapses
   // to dead units under SGD (documented deviation from the original).
@@ -103,10 +102,15 @@ double ConvE::Score(EntityId h, RelationId r, EntityId t) const {
   // side without feedback and let it drift unboundedly through the shared
   // parameters.
   Forward fwd;
+  const size_t dim = static_cast<size_t>(params_.dim);
   RunForward(h, r, fwd);
-  double score = Dot(fwd.v, entities_.Row(t)) + entity_bias_.Row(t)[0];
+  float dot = 0.0f;
+  const auto& ops = vec::Ops();
+  ops.dot_rows(fwd.v.data(), entities_.Row(t).data(), 1, dim, dim, &dot);
+  double score = static_cast<double>(dot) + entity_bias_.Row(t)[0];
   RunForward(t, num_relations_ + r, fwd);
-  score += Dot(fwd.v, entities_.Row(h)) + entity_bias_.Row(h)[0];
+  ops.dot_rows(fwd.v.data(), entities_.Row(h).data(), 1, dim, dim, &dot);
+  score += static_cast<double>(dot) + entity_bias_.Row(h)[0];
   return score;
 }
 
@@ -202,20 +206,21 @@ void ConvE::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   Forward fwd;
   RunForward(h, r, fwd);
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    out[static_cast<size_t>(e)] = static_cast<float>(
-        Dot(fwd.v, entities_.Row(e)) + entity_bias_.Row(e)[0]);
-  }
+  const size_t dim = static_cast<size_t>(params_.dim);
+  const size_t n = static_cast<size_t>(num_entities_);
+  vec::Ops().dot_rows(fwd.v.data(), entities_.raw(), n, dim, dim, out.data());
+  // entity_bias_ is an (num_entities x 1) table, i.e. one contiguous array.
+  vec::Axpy(1.0f, entity_bias_.raw(), out.data(), n);
 }
 
 void ConvE::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   Forward fwd;
   RunForward(t, num_relations_ + r, fwd);
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    out[static_cast<size_t>(e)] = static_cast<float>(
-        Dot(fwd.v, entities_.Row(e)) + entity_bias_.Row(e)[0]);
-  }
+  const size_t dim = static_cast<size_t>(params_.dim);
+  const size_t n = static_cast<size_t>(num_entities_);
+  vec::Ops().dot_rows(fwd.v.data(), entities_.raw(), n, dim, dim, out.data());
+  vec::Axpy(1.0f, entity_bias_.raw(), out.data(), n);
 }
 
 void ConvE::Serialize(BinaryWriter& writer) const {

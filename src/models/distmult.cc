@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/vecmath.h"
+
 namespace kgc {
 
 DistMult::DistMult(int32_t num_entities, int32_t num_relations,
@@ -20,6 +22,8 @@ DistMult::DistMult(int32_t num_entities, int32_t num_relations,
 }
 
 double DistMult::Score(EntityId h, RelationId r, EntityId t) const {
+  // All-double triple product: rounding the h*r query to float (as the
+  // sweeps do) would break the model's exact head/tail symmetry.
   const auto hv = entities_.Row(h);
   const auto rv = relations_.Row(r);
   const auto tv = entities_.Row(t);
@@ -37,15 +41,18 @@ void DistMult::ApplyGradient(const Triple& triple, float d_loss_d_score,
   const auto rv = relations_.Row(triple.relation);
   const auto tv = entities_.Row(triple.tail);
   const float decay = static_cast<float>(params_.l2_reg);
-  for (int32_t j = 0; j < params_.dim; ++j) {
-    const size_t k = static_cast<size_t>(j);
-    const float gh = d_loss_d_score * rv[k] * tv[k] + decay * hv[k];
-    const float gr = d_loss_d_score * hv[k] * tv[k] + decay * rv[k];
-    const float gt = d_loss_d_score * hv[k] * rv[k] + decay * tv[k];
-    entities_.Update(triple.head, j, gh, lr);
-    relations_.Update(triple.relation, j, gr, lr);
-    entities_.Update(triple.tail, j, gt, lr);
+  const size_t dim = static_cast<size_t>(params_.dim);
+  auto gh = vec::GetScratch(dim, 0);
+  auto gr = vec::GetScratch(dim, 1);
+  auto gt = vec::GetScratch(dim, 2);
+  for (size_t k = 0; k < dim; ++k) {
+    gh[k] = d_loss_d_score * rv[k] * tv[k] + decay * hv[k];
+    gr[k] = d_loss_d_score * hv[k] * tv[k] + decay * rv[k];
+    gt[k] = d_loss_d_score * hv[k] * rv[k] + decay * tv[k];
   }
+  entities_.UpdateRow(triple.head, gh, lr);
+  relations_.UpdateRow(triple.relation, gr, lr);
+  entities_.UpdateRow(triple.tail, gt, lr);
 }
 
 void DistMult::ScoreTails(EntityId h, RelationId r,
@@ -53,14 +60,12 @@ void DistMult::ScoreTails(EntityId h, RelationId r,
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   const auto hv = entities_.Row(h);
   const auto rv = relations_.Row(r);
-  std::vector<float> q(static_cast<size_t>(params_.dim));
-  for (int32_t j = 0; j < params_.dim; ++j) {
-    const size_t k = static_cast<size_t>(j);
-    q[k] = hv[k] * rv[k];
-  }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    out[static_cast<size_t>(e)] = static_cast<float>(Dot(q, entities_.Row(e)));
-  }
+  const size_t dim = static_cast<size_t>(params_.dim);
+  auto q = vec::GetScratch(dim, 0);
+  for (size_t j = 0; j < dim; ++j) q[j] = hv[j] * rv[j];
+  vec::Ops().dot_rows(q.data(), entities_.raw(),
+                      static_cast<size_t>(num_entities_), dim, dim,
+                      out.data());
 }
 
 void DistMult::ScoreHeads(RelationId r, EntityId t,
@@ -68,14 +73,12 @@ void DistMult::ScoreHeads(RelationId r, EntityId t,
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   const auto tv = entities_.Row(t);
   const auto rv = relations_.Row(r);
-  std::vector<float> q(static_cast<size_t>(params_.dim));
-  for (int32_t j = 0; j < params_.dim; ++j) {
-    const size_t k = static_cast<size_t>(j);
-    q[k] = tv[k] * rv[k];
-  }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    out[static_cast<size_t>(e)] = static_cast<float>(Dot(q, entities_.Row(e)));
-  }
+  const size_t dim = static_cast<size_t>(params_.dim);
+  auto q = vec::GetScratch(dim, 0);
+  for (size_t j = 0; j < dim; ++j) q[j] = tv[j] * rv[j];
+  vec::Ops().dot_rows(q.data(), entities_.raw(),
+                      static_cast<size_t>(num_entities_), dim, dim,
+                      out.data());
 }
 
 void DistMult::Serialize(BinaryWriter& writer) const {

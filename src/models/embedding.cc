@@ -23,7 +23,7 @@ void EmbeddingTable::NormalizeRowL2(int64_t i) {
   const double norm = NormL2(row);
   if (norm < 1e-12) return;
   const float inv = static_cast<float>(1.0 / norm);
-  for (float& value : row) value *= inv;
+  vec::Ops().scale(row.data(), row.size(), inv);
 }
 
 void EmbeddingTable::EnableAdaGrad() {
@@ -66,8 +66,10 @@ Status EmbeddingTable::Deserialize(BinaryReader& reader) {
   }
   rows_ = *rows;
   dim_ = *dim;
-  data_ = std::move(*data);
-  adagrad_ = std::move(adagrad);
+  // The reader hands back plain std::vector payloads; copy into the
+  // aligned storage (format on disk is unchanged).
+  data_.assign(data->begin(), data->end());
+  adagrad_.assign(adagrad.begin(), adagrad.end());
   return Status::Ok();
 }
 

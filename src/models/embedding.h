@@ -8,14 +8,20 @@
 #include <span>
 #include <vector>
 
+#include "util/aligned.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/serialize.h"
+#include "util/vecmath.h"
 
 namespace kgc {
 
 /// A rows x dim table of float parameters. Supports plain SGD and AdaGrad
 /// updates; AdaGrad accumulators are allocated lazily on first use.
+///
+/// Storage is contiguous row-major and 64-byte aligned so the scoring
+/// kernels (util/vecmath.h) can stream rows directly; the serialization
+/// format is unchanged from the std::vector days (plain float payload).
 class EmbeddingTable {
  public:
   EmbeddingTable() = default;
@@ -37,6 +43,10 @@ class EmbeddingTable {
     KGC_DCHECK(i >= 0 && i < rows_);
     return {data_.data() + i * dim_, static_cast<size_t>(dim_)};
   }
+
+  /// Pointer to the first element of row 0; rows are `dim()` floats apart.
+  /// This is the base pointer the row-sweep kernels walk.
+  const float* raw() const { return data_.data(); }
 
   /// Uniform initialization in [-bound, bound]; the conventional bound is
   /// 6/sqrt(dim) (Bordes et al. 2013).
@@ -73,15 +83,29 @@ class EmbeddingTable {
     }
   }
 
-  /// Applies a dense gradient to one row.
-  void UpdateRow(int64_t i, std::span<const float> grad, float lr) {
+  /// Applies a dense gradient to one row through the fused row-update
+  /// kernels: the SGD/AdaGrad branch and the row base-index arithmetic are
+  /// resolved once per row instead of once per float. `gscale` multiplies
+  /// every gradient element before clipping, so callers that previously
+  /// scaled into a temporary can pass the raw gradient plus a scale.
+  void UpdateRow(int64_t i, std::span<const float> grad, float lr,
+                 float gscale = 1.0f) {
     KGC_DCHECK(static_cast<int64_t>(grad.size()) == dim_);
-    for (int64_t j = 0; j < dim_; ++j) Update(i, j, grad[static_cast<size_t>(j)], lr);
+    const size_t base = static_cast<size_t>(i * dim_);
+    const auto& ops = vec::Ops();
+    if (!adagrad_.empty()) {
+      ops.adagrad_update_row(data_.data() + base, adagrad_.data() + base,
+                             grad.data(), gscale,
+                             static_cast<size_t>(dim_), lr);
+    } else {
+      ops.sgd_update_row(data_.data() + base, grad.data(), gscale,
+                         static_cast<size_t>(dim_), lr);
+    }
   }
 
   /// Raw parameter access (serialization, tests).
-  const std::vector<float>& data() const { return data_; }
-  std::vector<float>& mutable_data() { return data_; }
+  const AlignedVector<float>& data() const { return data_; }
+  AlignedVector<float>& mutable_data() { return data_; }
 
   void Serialize(BinaryWriter& writer) const;
   Status Deserialize(BinaryReader& reader);
@@ -89,16 +113,14 @@ class EmbeddingTable {
  private:
   int64_t rows_ = 0;
   int64_t dim_ = 0;
-  std::vector<float> data_;
-  std::vector<float> adagrad_;
+  AlignedVector<float> data_;
+  AlignedVector<float> adagrad_;
 };
 
-/// Dot product of two equal-length spans.
+/// Dot product of two equal-length spans (kernel-dispatched).
 inline double Dot(std::span<const float> a, std::span<const float> b) {
   KGC_DCHECK(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += static_cast<double>(a[i]) * b[i];
-  return sum;
+  return vec::Dot(a.data(), b.data(), a.size());
 }
 
 /// L2 norm of a span.

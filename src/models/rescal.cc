@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/vecmath.h"
+
 namespace kgc {
 
 Rescal::Rescal(int32_t num_entities, int32_t num_relations,
@@ -20,97 +22,86 @@ Rescal::Rescal(int32_t num_entities, int32_t num_relations,
 
 double Rescal::Score(EntityId h, RelationId r, EntityId t) const {
   const auto hv = entities_.Row(h);
-  const auto tv = entities_.Row(t);
   const auto w = matrices_.Row(r);
-  const int32_t dim = params_.dim;
-  double sum = 0.0;
-  for (int32_t i = 0; i < dim; ++i) {
-    double row = 0.0;
-    const size_t base = static_cast<size_t>(i * dim);
-    for (int32_t j = 0; j < dim; ++j) {
-      row += static_cast<double>(w[base + static_cast<size_t>(j)]) *
-             tv[static_cast<size_t>(j)];
-    }
-    sum += static_cast<double>(hv[static_cast<size_t>(i)]) * row;
+  const size_t dim = static_cast<size_t>(params_.dim);
+  // q = h^T W exactly as in ScoreTails, then score = q . t.
+  auto q = vec::GetScratch(dim, 0);
+  for (size_t j = 0; j < dim; ++j) q[j] = 0.0f;
+  for (size_t i = 0; i < dim; ++i) {
+    vec::Axpy(hv[i], w.data() + i * dim, q.data(), dim);
   }
-  return sum;
+  float score = 0.0f;
+  vec::Ops().dot_rows(q.data(), entities_.Row(t).data(), 1, dim, dim, &score);
+  return static_cast<double>(score);
 }
 
 void Rescal::ApplyGradient(const Triple& triple, float d_loss_d_score,
                            float lr) {
-  const int32_t dim = params_.dim;
+  const size_t dim = static_cast<size_t>(params_.dim);
   const auto hv = entities_.Row(triple.head);
   const auto tv = entities_.Row(triple.tail);
   const auto w = matrices_.Row(triple.relation);
+  const auto& ops = vec::Ops();
 
   // Cache W t and W^T h before mutating anything.
-  std::vector<float> wt(static_cast<size_t>(dim), 0.0f);
-  std::vector<float> wth(static_cast<size_t>(dim), 0.0f);
-  for (int32_t i = 0; i < dim; ++i) {
-    const size_t base = static_cast<size_t>(i * dim);
-    for (int32_t j = 0; j < dim; ++j) {
-      const float wij = w[base + static_cast<size_t>(j)];
-      wt[static_cast<size_t>(i)] += wij * tv[static_cast<size_t>(j)];
-      wth[static_cast<size_t>(j)] += wij * hv[static_cast<size_t>(i)];
-    }
+  auto wt = vec::GetScratch(dim, 0);
+  auto wth = vec::GetScratch(dim, 1);
+  ops.dot_rows(tv.data(), w.data(), dim, dim, dim, wt.data());
+  for (size_t j = 0; j < dim; ++j) wth[j] = 0.0f;
+  for (size_t i = 0; i < dim; ++i) {
+    vec::Axpy(hv[i], w.data() + i * dim, wth.data(), dim);
   }
 
   const float decay = static_cast<float>(params_.l2_reg);
-  for (int32_t i = 0; i < dim; ++i) {
-    const size_t k = static_cast<size_t>(i);
-    entities_.Update(triple.head, i,
-                     d_loss_d_score * wt[k] + decay * hv[k], lr);
-    entities_.Update(triple.tail, i,
-                     d_loss_d_score * wth[k] + decay * tv[k], lr);
+  auto g = vec::GetScratch(dim, 2);
+  for (size_t i = 0; i < dim; ++i) {
+    g[i] = d_loss_d_score * wt[i] + decay * hv[i];
   }
-  for (int32_t i = 0; i < dim; ++i) {
-    for (int32_t j = 0; j < dim; ++j) {
-      const float gw = d_loss_d_score * hv[static_cast<size_t>(i)] *
-                           tv[static_cast<size_t>(j)] +
-                       decay * w[static_cast<size_t>(i * dim + j)];
-      matrices_.Update(triple.relation, i * dim + j, gw, lr);
+  entities_.UpdateRow(triple.head, g, lr);
+  // The tail gradient reads the (possibly just-updated) head row alias.
+  for (size_t i = 0; i < dim; ++i) {
+    g[i] = d_loss_d_score * wth[i] + decay * tv[i];
+  }
+  entities_.UpdateRow(triple.tail, g, lr);
+  // Matrix gradient reads the entity rows after their updates (the
+  // historical update order).
+  auto gw = vec::GetScratch(dim * dim, 3);
+  for (size_t i = 0; i < dim; ++i) {
+    const size_t base = i * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      gw[base + j] = d_loss_d_score * hv[i] * tv[j] + decay * w[base + j];
     }
   }
+  matrices_.UpdateRow(triple.relation, gw, lr);
 }
 
 void Rescal::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const int32_t dim = params_.dim;
+  const size_t dim = static_cast<size_t>(params_.dim);
   const auto hv = entities_.Row(h);
   const auto w = matrices_.Row(r);
   // q = h^T W, then score(e) = q . e.
-  std::vector<float> q(static_cast<size_t>(dim), 0.0f);
-  for (int32_t i = 0; i < dim; ++i) {
-    const size_t base = static_cast<size_t>(i * dim);
-    const float hi = hv[static_cast<size_t>(i)];
-    for (int32_t j = 0; j < dim; ++j) {
-      q[static_cast<size_t>(j)] += hi * w[base + static_cast<size_t>(j)];
-    }
+  auto q = vec::GetScratch(dim, 0);
+  for (size_t j = 0; j < dim; ++j) q[j] = 0.0f;
+  for (size_t i = 0; i < dim; ++i) {
+    vec::Axpy(hv[i], w.data() + i * dim, q.data(), dim);
   }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    out[static_cast<size_t>(e)] = static_cast<float>(Dot(q, entities_.Row(e)));
-  }
+  vec::Ops().dot_rows(q.data(), entities_.raw(),
+                      static_cast<size_t>(num_entities_), dim, dim,
+                      out.data());
 }
 
 void Rescal::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const int32_t dim = params_.dim;
+  const size_t dim = static_cast<size_t>(params_.dim);
   const auto tv = entities_.Row(t);
   const auto w = matrices_.Row(r);
   // q = W t, then score(e) = e . q.
-  std::vector<float> q(static_cast<size_t>(dim), 0.0f);
-  for (int32_t i = 0; i < dim; ++i) {
-    const size_t base = static_cast<size_t>(i * dim);
-    double sum = 0.0;
-    for (int32_t j = 0; j < dim; ++j) {
-      sum += static_cast<double>(w[base + static_cast<size_t>(j)]) *
-             tv[static_cast<size_t>(j)];
-    }
-    q[static_cast<size_t>(i)] = static_cast<float>(sum);
-  }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    out[static_cast<size_t>(e)] = static_cast<float>(Dot(entities_.Row(e), q));
-  }
+  auto q = vec::GetScratch(dim, 0);
+  const auto& ops = vec::Ops();
+  ops.dot_rows(tv.data(), w.data(), dim, dim, dim, q.data());
+  ops.dot_rows(q.data(), entities_.raw(), static_cast<size_t>(num_entities_),
+               dim, dim, out.data());
 }
 
 void Rescal::Serialize(BinaryWriter& writer) const {

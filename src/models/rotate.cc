@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/vecmath.h"
+
 namespace kgc {
 
 RotatE::RotatE(int32_t num_entities, int32_t num_relations,
@@ -20,18 +22,19 @@ RotatE::RotatE(int32_t num_entities, int32_t num_relations,
 
 double RotatE::Score(EntityId h, RelationId r, EntityId t) const {
   const auto hv = entities_.Row(h);
-  const auto tv = entities_.Row(t);
   const auto theta = phases_.Row(r);
   const size_t d = static_cast<size_t>(params_.dim);
-  double sum = 0.0;
+  // Built exactly like the ScoreTails query so the two agree bit-exactly.
+  auto q = vec::GetScratch(2 * d, 0);
   for (size_t j = 0; j < d; ++j) {
-    const double c = std::cos(theta[j]);
-    const double s = std::sin(theta[j]);
-    const double dx = hv[j] * c - hv[d + j] * s - tv[j];
-    const double dy = hv[j] * s + hv[d + j] * c - tv[d + j];
-    sum += std::sqrt(dx * dx + dy * dy);
+    const float c = std::cos(theta[j]);
+    const float s = std::sin(theta[j]);
+    q[j] = hv[j] * c - hv[d + j] * s;
+    q[d + j] = hv[j] * s + hv[d + j] * c;
   }
-  return -sum;
+  float dist = 0.0f;
+  vec::Ops().cabs_rows(q.data(), entities_.Row(t).data(), 1, 2 * d, d, &dist);
+  return -static_cast<double>(dist);
 }
 
 void RotatE::ApplyGradient(const Triple& triple, float d_loss_d_score,
@@ -41,6 +44,9 @@ void RotatE::ApplyGradient(const Triple& triple, float d_loss_d_score,
   const auto theta = phases_.Row(triple.relation);
   const size_t d = static_cast<size_t>(params_.dim);
   const float g = d_loss_d_score;
+  auto gh = vec::GetScratch(2 * d, 0);
+  auto gt = vec::GetScratch(2 * d, 1);
+  auto gtheta = vec::GetScratch(d, 2);
   for (size_t j = 0; j < d; ++j) {
     const double c = std::cos(theta[j]);
     const double s = std::sin(theta[j]);
@@ -49,24 +55,26 @@ void RotatE::ApplyGradient(const Triple& triple, float d_loss_d_score,
     const double dx = qx - tv[j];
     const double dy = qy - tv[d + j];
     const double m = std::sqrt(dx * dx + dy * dy);
-    if (m < 1e-12) continue;
+    if (m < 1e-12) {
+      // Zero gradients leave the SGD update a bit-exact no-op, matching the
+      // historical per-element skip.
+      gh[j] = gh[d + j] = gt[j] = gt[d + j] = gtheta[j] = 0.0f;
+      continue;
+    }
     // score_j = -m, so dLoss/ddx = g * (-dx/m).
     const double gdx = -g * dx / m;
     const double gdy = -g * dy / m;
     // ddx/dh_re = c, ddx/dh_im = -s; ddy/dh_re = s, ddy/dh_im = c.
-    const float gh_re = static_cast<float>(gdx * c + gdy * s);
-    const float gh_im = static_cast<float>(-gdx * s + gdy * c);
-    const float gt_re = static_cast<float>(-gdx);
-    const float gt_im = static_cast<float>(-gdy);
+    gh[j] = static_cast<float>(gdx * c + gdy * s);
+    gh[d + j] = static_cast<float>(-gdx * s + gdy * c);
+    gt[j] = static_cast<float>(-gdx);
+    gt[d + j] = static_cast<float>(-gdy);
     // ddx/dtheta = -qy ; ddy/dtheta = qx.
-    const float gtheta = static_cast<float>(gdx * -qy + gdy * qx);
-    const int32_t jj = static_cast<int32_t>(j);
-    entities_.Update(triple.head, jj, gh_re, lr);
-    entities_.Update(triple.head, static_cast<int32_t>(d + j), gh_im, lr);
-    entities_.Update(triple.tail, jj, gt_re, lr);
-    entities_.Update(triple.tail, static_cast<int32_t>(d + j), gt_im, lr);
-    phases_.Update(triple.relation, jj, gtheta, lr);
+    gtheta[j] = static_cast<float>(gdx * -qy + gdy * qx);
   }
+  entities_.UpdateRow(triple.head, gh, lr);
+  entities_.UpdateRow(triple.tail, gt, lr);
+  phases_.UpdateRow(triple.relation, gtheta, lr);
 }
 
 void RotatE::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
@@ -74,23 +82,17 @@ void RotatE::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   const auto hv = entities_.Row(h);
   const auto theta = phases_.Row(r);
   const size_t d = static_cast<size_t>(params_.dim);
-  std::vector<float> q(2 * d);
+  auto q = vec::GetScratch(2 * d, 0);
   for (size_t j = 0; j < d; ++j) {
     const float c = std::cos(theta[j]);
     const float s = std::sin(theta[j]);
     q[j] = hv[j] * c - hv[d + j] * s;
     q[d + j] = hv[j] * s + hv[d + j] * c;
   }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    const auto ev = entities_.Row(e);
-    double sum = 0.0;
-    for (size_t j = 0; j < d; ++j) {
-      const double dx = q[j] - ev[j];
-      const double dy = q[d + j] - ev[d + j];
-      sum += std::sqrt(dx * dx + dy * dy);
-    }
-    out[static_cast<size_t>(e)] = static_cast<float>(-sum);
-  }
+  vec::Ops().cabs_rows(q.data(), entities_.raw(),
+                       static_cast<size_t>(num_entities_), 2 * d, d,
+                       out.data());
+  vec::Negate(out);
 }
 
 void RotatE::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
@@ -99,23 +101,17 @@ void RotatE::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   const auto theta = phases_.Row(r);
   const size_t d = static_cast<size_t>(params_.dim);
   // |h o r - t| = |h - t o r^{-1}| since |r_j| = 1: rotate t backwards.
-  std::vector<float> q(2 * d);
+  auto q = vec::GetScratch(2 * d, 0);
   for (size_t j = 0; j < d; ++j) {
     const float c = std::cos(theta[j]);
     const float s = std::sin(theta[j]);
     q[j] = tv[j] * c + tv[d + j] * s;
     q[d + j] = -tv[j] * s + tv[d + j] * c;
   }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    const auto ev = entities_.Row(e);
-    double sum = 0.0;
-    for (size_t j = 0; j < d; ++j) {
-      const double dx = ev[j] - q[j];
-      const double dy = ev[d + j] - q[d + j];
-      sum += std::sqrt(dx * dx + dy * dy);
-    }
-    out[static_cast<size_t>(e)] = static_cast<float>(-sum);
-  }
+  vec::Ops().cabs_rows(q.data(), entities_.raw(),
+                       static_cast<size_t>(num_entities_), 2 * d, d,
+                       out.data());
+  vec::Negate(out);
 }
 
 void RotatE::Serialize(BinaryWriter& writer) const {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/vecmath.h"
+
 namespace kgc {
 
 TransD::TransD(int32_t num_entities, int32_t num_relations,
@@ -22,23 +24,32 @@ TransD::TransD(int32_t num_entities, int32_t num_relations,
   relation_proj_.InitUniform(rng, 0.1);
 }
 
+// Both sweep directions fit the offset-row kernel with v = r_p,
+// coef[i] = (e_p . e) and coef_scale = -1: the distance per candidate is
+// |q - e - (e_p.e) r_p| element-wise (heads negate the difference, which
+// leaves both L1 and L2 unchanged).
+
 double TransD::Score(EntityId h, RelationId r, EntityId t) const {
   const auto hv = entities_.Row(h);
-  const auto tv = entities_.Row(t);
   const auto hp = entity_proj_.Row(h);
-  const auto tp = entity_proj_.Row(t);
   const auto rv = relations_.Row(r);
   const auto rp = relation_proj_.Row(r);
+  const size_t dim = static_cast<size_t>(params_.dim);
   const double ph = Dot(hp, hv);
-  const double pt = Dot(tp, tv);
-  double sum = 0.0;
-  for (int32_t j = 0; j < params_.dim; ++j) {
-    const size_t k = static_cast<size_t>(j);
-    const double diff =
-        (hv[k] + ph * rp[k]) + rv[k] - (tv[k] + pt * rp[k]);
-    sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
+  auto q = vec::GetScratch(dim, 0);
+  for (size_t j = 0; j < dim; ++j) {
+    q[j] = static_cast<float>(hv[j] + ph * rp[j] + rv[j]);
   }
-  return params_.l1_distance ? -sum : -std::sqrt(sum);
+  const auto& ops = vec::Ops();
+  float coef = 0.0f;
+  ops.rowwise_dot(entity_proj_.Row(t).data(), dim, entities_.Row(t).data(),
+                  dim, 1, dim, &coef);
+  float dist = 0.0f;
+  const auto sweep =
+      params_.l1_distance ? ops.l1_offset_rows : ops.l2_offset_rows;
+  sweep(q.data(), rp.data(), &coef, -1.0f, entities_.Row(t).data(), 1, dim,
+        dim, &dist);
+  return -static_cast<double>(dist);
 }
 
 void TransD::ApplyGradient(const Triple& triple, float d_loss_d_score,
@@ -53,7 +64,7 @@ void TransD::ApplyGradient(const Triple& triple, float d_loss_d_score,
   const double ph = Dot(hp, hv);
   const double pt = Dot(tp, tv);
 
-  std::vector<float> diff(static_cast<size_t>(dim));
+  auto diff = vec::GetScratch(static_cast<size_t>(dim), 0);
   double norm = 0.0;
   for (int32_t j = 0; j < dim; ++j) {
     const size_t k = static_cast<size_t>(j);
@@ -64,7 +75,7 @@ void TransD::ApplyGradient(const Triple& triple, float d_loss_d_score,
   norm = std::sqrt(norm);
   if (!params_.l1_distance && norm < 1e-12) return;
 
-  std::vector<float> g(static_cast<size_t>(dim));
+  auto g = vec::GetScratch(static_cast<size_t>(dim), 1);
   for (int32_t j = 0; j < dim; ++j) {
     const size_t k = static_cast<size_t>(j);
     const double d_score_d_diff =
@@ -74,80 +85,85 @@ void TransD::ApplyGradient(const Triple& triple, float d_loss_d_score,
     g[k] = d_loss_d_score * static_cast<float>(d_score_d_diff);
   }
 
-  const double rg = Dot(rp, g);  // (r_p . g)
+  const double rg = vec::Dot(rp.data(), g.data(), g.size());  // (r_p . g)
+  // dLoss/dh = g + (r_p.g) h_p ; dLoss/dt is the mirrored negation.
+  auto ge = vec::GetScratch(static_cast<size_t>(dim), 2);
   for (int32_t j = 0; j < dim; ++j) {
     const size_t k = static_cast<size_t>(j);
-    // dLoss/dh = g + (r_p.g) h_p ; dLoss/dh_p = (r_p.g) h.
-    entities_.Update(triple.head, j,
-                     g[k] + static_cast<float>(rg) * hp[k], lr);
-    entity_proj_.Update(triple.head, j, static_cast<float>(rg) * hv[k], lr);
-    // dLoss/dt = -(g + (r_p.g) t_p) ; dLoss/dt_p = -(r_p.g) t.
-    entities_.Update(triple.tail, j,
-                     -(g[k] + static_cast<float>(rg) * tp[k]), lr);
-    entity_proj_.Update(triple.tail, j, -static_cast<float>(rg) * tv[k], lr);
-    // dLoss/dr = g ; dLoss/dr_p = ((h_p.h) - (t_p.t)) g.
-    relations_.Update(triple.relation, j, g[k], lr);
-    relation_proj_.Update(triple.relation, j,
-                          static_cast<float>(ph - pt) * g[k], lr);
+    ge[k] = g[k] + static_cast<float>(rg) * hp[k];
   }
+  entities_.UpdateRow(triple.head, ge, lr);
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    ge[k] = g[k] + static_cast<float>(rg) * tp[k];
+  }
+  entities_.UpdateRow(triple.tail, ge, lr, -1.0f);
+  // dLoss/dh_p = (r_p.g) h ; dLoss/dt_p = -(r_p.g) t — read from the
+  // entity rows after their updates (the historical update order).
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    ge[k] = static_cast<float>(rg) * hv[k];
+  }
+  entity_proj_.UpdateRow(triple.head, ge, lr);
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    ge[k] = static_cast<float>(rg) * tv[k];
+  }
+  entity_proj_.UpdateRow(triple.tail, ge, lr, -1.0f);
+  // dLoss/dr = g ; dLoss/dr_p = ((h_p.h) - (t_p.t)) g.
+  relations_.UpdateRow(triple.relation, g, lr);
+  relation_proj_.UpdateRow(triple.relation, g, lr,
+                           static_cast<float>(ph - pt));
   entities_.NormalizeRowL2(triple.head);
   entities_.NormalizeRowL2(triple.tail);
 }
 
 void TransD::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const int32_t dim = params_.dim;
   const auto hv = entities_.Row(h);
   const auto hp = entity_proj_.Row(h);
   const auto rv = relations_.Row(r);
   const auto rp = relation_proj_.Row(r);
+  const size_t dim = static_cast<size_t>(params_.dim);
+  const size_t n = static_cast<size_t>(num_entities_);
   const double ph = Dot(hp, hv);
-  std::vector<float> q(static_cast<size_t>(dim));
-  for (int32_t j = 0; j < dim; ++j) {
-    const size_t k = static_cast<size_t>(j);
-    q[k] = static_cast<float>(hv[k] + ph * rp[k] + rv[k]);
+  auto q = vec::GetScratch(dim, 0);
+  for (size_t j = 0; j < dim; ++j) {
+    q[j] = static_cast<float>(hv[j] + ph * rp[j] + rv[j]);
   }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    const auto ev = entities_.Row(e);
-    const auto ep = entity_proj_.Row(e);
-    const double pe = Dot(ep, ev);
-    double sum = 0.0;
-    for (int32_t j = 0; j < dim; ++j) {
-      const size_t k = static_cast<size_t>(j);
-      const double diff = q[k] - (ev[k] + pe * rp[k]);
-      sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
-    }
-    out[static_cast<size_t>(e)] =
-        static_cast<float>(params_.l1_distance ? -sum : -std::sqrt(sum));
-  }
+  auto coef = vec::GetScratch(n, 1);
+  const auto& ops = vec::Ops();
+  ops.rowwise_dot(entity_proj_.raw(), dim, entities_.raw(), dim, n, dim,
+                  coef.data());
+  const auto sweep =
+      params_.l1_distance ? ops.l1_offset_rows : ops.l2_offset_rows;
+  sweep(q.data(), rp.data(), coef.data(), -1.0f, entities_.raw(), n, dim,
+        dim, out.data());
+  vec::Negate(out);
 }
 
 void TransD::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const int32_t dim = params_.dim;
   const auto tv = entities_.Row(t);
   const auto tp = entity_proj_.Row(t);
   const auto rv = relations_.Row(r);
   const auto rp = relation_proj_.Row(r);
+  const size_t dim = static_cast<size_t>(params_.dim);
+  const size_t n = static_cast<size_t>(num_entities_);
   const double pt = Dot(tp, tv);
-  std::vector<float> q(static_cast<size_t>(dim));
-  for (int32_t j = 0; j < dim; ++j) {
-    const size_t k = static_cast<size_t>(j);
-    q[k] = static_cast<float>(tv[k] + pt * rp[k] - rv[k]);
+  auto q = vec::GetScratch(dim, 0);
+  for (size_t j = 0; j < dim; ++j) {
+    q[j] = static_cast<float>(tv[j] + pt * rp[j] - rv[j]);
   }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    const auto ev = entities_.Row(e);
-    const auto ep = entity_proj_.Row(e);
-    const double pe = Dot(ep, ev);
-    double sum = 0.0;
-    for (int32_t j = 0; j < dim; ++j) {
-      const size_t k = static_cast<size_t>(j);
-      const double diff = (ev[k] + pe * rp[k]) - q[k];
-      sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
-    }
-    out[static_cast<size_t>(e)] =
-        static_cast<float>(params_.l1_distance ? -sum : -std::sqrt(sum));
-  }
+  auto coef = vec::GetScratch(n, 1);
+  const auto& ops = vec::Ops();
+  ops.rowwise_dot(entity_proj_.raw(), dim, entities_.raw(), dim, n, dim,
+                  coef.data());
+  const auto sweep =
+      params_.l1_distance ? ops.l1_offset_rows : ops.l2_offset_rows;
+  sweep(q.data(), rp.data(), coef.data(), -1.0f, entities_.raw(), n, dim,
+        dim, out.data());
+  vec::Negate(out);
 }
 
 void TransD::OnEpochBegin(int epoch) {

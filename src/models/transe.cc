@@ -2,24 +2,9 @@
 
 #include <cmath>
 
+#include "util/vecmath.h"
+
 namespace kgc {
-namespace {
-
-// Distance between q and t under L1 / L2.
-double Distance(std::span<const float> q, std::span<const float> t, bool l1) {
-  double sum = 0.0;
-  if (l1) {
-    for (size_t j = 0; j < q.size(); ++j) sum += std::fabs(q[j] - t[j]);
-    return sum;
-  }
-  for (size_t j = 0; j < q.size(); ++j) {
-    const double d = q[j] - t[j];
-    sum += d * d;
-  }
-  return std::sqrt(sum);
-}
-
-}  // namespace
 
 TransE::TransE(int32_t num_entities, int32_t num_relations,
                const ModelHyperParams& params)
@@ -37,22 +22,18 @@ TransE::TransE(int32_t num_entities, int32_t num_relations,
 double TransE::Score(EntityId h, RelationId r, EntityId t) const {
   const auto hv = entities_.Row(h);
   const auto rv = relations_.Row(r);
-  const auto tv = entities_.Row(t);
-  double sum = 0.0;
+  const size_t dim = static_cast<size_t>(params_.dim);
+  // Built exactly like the ScoreTails query so the two agree bit-exactly.
+  auto q = vec::GetScratch(dim, 0);
+  for (size_t j = 0; j < dim; ++j) q[j] = hv[j] + rv[j];
+  float dist = 0.0f;
+  const auto& ops = vec::Ops();
   if (params_.l1_distance) {
-    for (int32_t j = 0; j < params_.dim; ++j) {
-      const size_t k = static_cast<size_t>(j);
-      sum += std::fabs(hv[k] + rv[k] - tv[k]);
-    }
+    ops.l1_rows(q.data(), entities_.Row(t).data(), 1, dim, dim, &dist);
   } else {
-    for (int32_t j = 0; j < params_.dim; ++j) {
-      const size_t k = static_cast<size_t>(j);
-      const double d = hv[k] + rv[k] - tv[k];
-      sum += d * d;
-    }
-    sum = std::sqrt(sum);
+    ops.l2_rows(q.data(), entities_.Row(t).data(), 1, dim, dim, &dist);
   }
-  return -sum;
+  return -static_cast<double>(dist);
 }
 
 void TransE::ApplyGradient(const Triple& triple, float d_loss_d_score,
@@ -74,17 +55,18 @@ void TransE::ApplyGradient(const Triple& triple, float d_loss_d_score,
     norm = std::sqrt(norm);
     if (norm < 1e-12) return;
   }
+  auto g = vec::GetScratch(static_cast<size_t>(dim), 1);
   for (int32_t j = 0; j < dim; ++j) {
     const size_t k = static_cast<size_t>(j);
     const double diff = hv[k] + rv[k] - tv[k];
     const double d_score_d_diff =
         params_.l1_distance ? -(diff > 0 ? 1.0 : (diff < 0 ? -1.0 : 0.0))
                             : -diff / norm;
-    const float g = d_loss_d_score * static_cast<float>(d_score_d_diff);
-    entities_.Update(triple.head, j, g, lr);
-    relations_.Update(triple.relation, j, g, lr);
-    entities_.Update(triple.tail, j, -g, lr);
+    g[k] = d_loss_d_score * static_cast<float>(d_score_d_diff);
   }
+  entities_.UpdateRow(triple.head, g, lr);
+  relations_.UpdateRow(triple.relation, g, lr);
+  entities_.UpdateRow(triple.tail, g, lr, -1.0f);
   entities_.NormalizeRowL2(triple.head);
   entities_.NormalizeRowL2(triple.tail);
 }
@@ -93,30 +75,28 @@ void TransE::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   const auto hv = entities_.Row(h);
   const auto rv = relations_.Row(r);
-  std::vector<float> q(static_cast<size_t>(params_.dim));
-  for (int32_t j = 0; j < params_.dim; ++j) {
-    const size_t k = static_cast<size_t>(j);
-    q[k] = hv[k] + rv[k];
-  }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    out[static_cast<size_t>(e)] = static_cast<float>(
-        -Distance(q, entities_.Row(e), params_.l1_distance));
-  }
+  const size_t dim = static_cast<size_t>(params_.dim);
+  auto q = vec::GetScratch(dim, 0);
+  for (size_t j = 0; j < dim; ++j) q[j] = hv[j] + rv[j];
+  const auto& ops = vec::Ops();
+  const auto sweep = params_.l1_distance ? ops.l1_rows : ops.l2_rows;
+  sweep(q.data(), entities_.raw(), static_cast<size_t>(num_entities_), dim,
+        dim, out.data());
+  vec::Negate(out);
 }
 
 void TransE::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   const auto rv = relations_.Row(r);
   const auto tv = entities_.Row(t);
-  std::vector<float> q(static_cast<size_t>(params_.dim));
-  for (int32_t j = 0; j < params_.dim; ++j) {
-    const size_t k = static_cast<size_t>(j);
-    q[k] = tv[k] - rv[k];  // score(e) = -dist(e - (t - r))
-  }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    out[static_cast<size_t>(e)] = static_cast<float>(
-        -Distance(entities_.Row(e), q, params_.l1_distance));
-  }
+  const size_t dim = static_cast<size_t>(params_.dim);
+  auto q = vec::GetScratch(dim, 0);
+  for (size_t j = 0; j < dim; ++j) q[j] = tv[j] - rv[j];  // -dist(e - (t - r))
+  const auto& ops = vec::Ops();
+  const auto sweep = params_.l1_distance ? ops.l1_rows : ops.l2_rows;
+  sweep(q.data(), entities_.raw(), static_cast<size_t>(num_entities_), dim,
+        dim, out.data());
+  vec::Negate(out);
 }
 
 void TransE::OnEpochBegin(int epoch) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/vecmath.h"
+
 namespace kgc {
 
 TransH::TransH(int32_t num_entities, int32_t num_relations,
@@ -28,20 +30,26 @@ void TransH::Project(std::span<const float> e, std::span<const float> w,
   }
 }
 
+// Both sweep directions reduce to the same offset-row kernel: the distance
+// between a fixed query q and the projected entity e - (w.e) w is
+// |q + (w.e) w - e| element-wise, so coef[i] = w.e_i and coef_scale = +1.
+
 double TransH::Score(EntityId h, RelationId r, EntityId t) const {
-  const auto hv = entities_.Row(h);
-  const auto tv = entities_.Row(t);
-  const auto dv = translations_.Row(r);
   const auto wv = normals_.Row(r);
-  const double wh = Dot(wv, hv);
-  const double wt = Dot(wv, tv);
-  double sum = 0.0;
-  for (int32_t j = 0; j < params_.dim; ++j) {
-    const size_t k = static_cast<size_t>(j);
-    const double diff = (hv[k] - wh * wv[k]) + dv[k] - (tv[k] - wt * wv[k]);
-    sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
-  }
-  return params_.l1_distance ? -sum : -std::sqrt(sum);
+  const auto dv = translations_.Row(r);
+  const size_t dim = static_cast<size_t>(params_.dim);
+  auto q = vec::GetScratch(dim, 0);
+  Project(entities_.Row(h), wv, q);
+  for (size_t j = 0; j < dim; ++j) q[j] += dv[j];
+  const auto& ops = vec::Ops();
+  float coef = 0.0f;
+  ops.dot_rows(wv.data(), entities_.Row(t).data(), 1, dim, dim, &coef);
+  float dist = 0.0f;
+  const auto sweep =
+      params_.l1_distance ? ops.l1_offset_rows : ops.l2_offset_rows;
+  sweep(q.data(), wv.data(), &coef, 1.0f, entities_.Row(t).data(), 1, dim,
+        dim, &dist);
+  return -static_cast<double>(dist);
 }
 
 void TransH::ApplyGradient(const Triple& triple, float d_loss_d_score,
@@ -55,7 +63,7 @@ void TransH::ApplyGradient(const Triple& triple, float d_loss_d_score,
   const double wt = Dot(wv, tv);
 
   // diff = h - (w.h)w + d - t + (w.t)w ; score = -dist(diff).
-  std::vector<float> diff(static_cast<size_t>(dim));
+  auto diff = vec::GetScratch(static_cast<size_t>(dim), 0);
   double norm = 0.0;
   for (int32_t j = 0; j < dim; ++j) {
     const size_t k = static_cast<size_t>(j);
@@ -67,7 +75,7 @@ void TransH::ApplyGradient(const Triple& triple, float d_loss_d_score,
   if (!params_.l1_distance && norm < 1e-12) return;
 
   // g[j] = dLoss/d diff_j.
-  std::vector<float> g(static_cast<size_t>(dim));
+  auto g = vec::GetScratch(static_cast<size_t>(dim), 1);
   for (int32_t j = 0; j < dim; ++j) {
     const size_t k = static_cast<size_t>(j);
     const double d_score_d_diff =
@@ -77,20 +85,25 @@ void TransH::ApplyGradient(const Triple& triple, float d_loss_d_score,
     g[k] = d_loss_d_score * static_cast<float>(d_score_d_diff);
   }
 
-  const double wg = Dot(wv, g);
-  // u = t - h enters the w-gradient: diff(w) = (w.(t-h)) w + const.
-  // dLoss/dw_k = (t-h)_k (w.g) + (w.(t-h)) g_k.
+  const double wg = vec::Dot(wv.data(), g.data(), g.size());
   const double wu = wt - wh;
+  // dLoss/dh = g - (w.g) w; dLoss/dt is its negation; dLoss/dd = g.
+  auto gh = vec::GetScratch(static_cast<size_t>(dim), 2);
   for (int32_t j = 0; j < dim; ++j) {
     const size_t k = static_cast<size_t>(j);
-    // dLoss/dh = g - (w.g) w; dLoss/dt = -(g - (w.g) w); dLoss/dd = g.
-    const float gh = g[k] - static_cast<float>(wg) * wv[k];
-    entities_.Update(triple.head, j, gh, lr);
-    entities_.Update(triple.tail, j, -gh, lr);
-    translations_.Update(triple.relation, j, g[k], lr);
-    const float gw = static_cast<float>((tv[k] - hv[k]) * wg + wu * g[k]);
-    normals_.Update(triple.relation, j, gw, lr);
+    gh[k] = g[k] - static_cast<float>(wg) * wv[k];
   }
+  entities_.UpdateRow(triple.head, gh, lr);
+  entities_.UpdateRow(triple.tail, gh, lr, -1.0f);
+  translations_.UpdateRow(triple.relation, g, lr);
+  // dLoss/dw_k = (t-h)_k (w.g) + (w.(t-h)) g_k, read from the entity rows
+  // after their updates above (matching the historical update order).
+  auto gw = vec::GetScratch(static_cast<size_t>(dim), 3);
+  for (int32_t j = 0; j < dim; ++j) {
+    const size_t k = static_cast<size_t>(j);
+    gw[k] = static_cast<float>((tv[k] - hv[k]) * wg + wu * g[k]);
+  }
+  normals_.UpdateRow(triple.relation, gw, lr);
   entities_.NormalizeRowL2(triple.head);
   entities_.NormalizeRowL2(triple.tail);
   normals_.NormalizeRowL2(triple.relation);
@@ -100,46 +113,38 @@ void TransH::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   const auto wv = normals_.Row(r);
   const auto dv = translations_.Row(r);
-  std::vector<float> q(static_cast<size_t>(params_.dim));
+  const size_t dim = static_cast<size_t>(params_.dim);
+  const size_t n = static_cast<size_t>(num_entities_);
+  auto q = vec::GetScratch(dim, 0);
   Project(entities_.Row(h), wv, q);
-  for (int32_t j = 0; j < params_.dim; ++j) {
-    q[static_cast<size_t>(j)] += dv[static_cast<size_t>(j)];
-  }
-  std::vector<float> tp(static_cast<size_t>(params_.dim));
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    Project(entities_.Row(e), wv, tp);
-    double sum = 0.0;
-    for (int32_t j = 0; j < params_.dim; ++j) {
-      const size_t k = static_cast<size_t>(j);
-      const double diff = q[k] - tp[k];
-      sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
-    }
-    out[static_cast<size_t>(e)] =
-        static_cast<float>(params_.l1_distance ? -sum : -std::sqrt(sum));
-  }
+  for (size_t j = 0; j < dim; ++j) q[j] += dv[j];
+  auto coef = vec::GetScratch(n, 1);
+  const auto& ops = vec::Ops();
+  ops.dot_rows(wv.data(), entities_.raw(), n, dim, dim, coef.data());
+  const auto sweep =
+      params_.l1_distance ? ops.l1_offset_rows : ops.l2_offset_rows;
+  sweep(q.data(), wv.data(), coef.data(), 1.0f, entities_.raw(), n, dim, dim,
+        out.data());
+  vec::Negate(out);
 }
 
 void TransH::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   const auto wv = normals_.Row(r);
   const auto dv = translations_.Row(r);
-  std::vector<float> q(static_cast<size_t>(params_.dim));
+  const size_t dim = static_cast<size_t>(params_.dim);
+  const size_t n = static_cast<size_t>(num_entities_);
+  auto q = vec::GetScratch(dim, 0);
   Project(entities_.Row(t), wv, q);
-  for (int32_t j = 0; j < params_.dim; ++j) {
-    q[static_cast<size_t>(j)] -= dv[static_cast<size_t>(j)];
-  }
-  std::vector<float> hp(static_cast<size_t>(params_.dim));
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    Project(entities_.Row(e), wv, hp);
-    double sum = 0.0;
-    for (int32_t j = 0; j < params_.dim; ++j) {
-      const size_t k = static_cast<size_t>(j);
-      const double diff = hp[k] - q[k];
-      sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
-    }
-    out[static_cast<size_t>(e)] =
-        static_cast<float>(params_.l1_distance ? -sum : -std::sqrt(sum));
-  }
+  for (size_t j = 0; j < dim; ++j) q[j] -= dv[j];
+  auto coef = vec::GetScratch(n, 1);
+  const auto& ops = vec::Ops();
+  ops.dot_rows(wv.data(), entities_.raw(), n, dim, dim, coef.data());
+  const auto sweep =
+      params_.l1_distance ? ops.l1_offset_rows : ops.l2_offset_rows;
+  sweep(q.data(), wv.data(), coef.data(), 1.0f, entities_.raw(), n, dim, dim,
+        out.data());
+  vec::Negate(out);
 }
 
 void TransH::OnEpochBegin(int epoch) {

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cmath>
 
+#include "util/vecmath.h"
+
 namespace kgc {
 namespace {
 
@@ -41,48 +43,43 @@ TransR::TransR(int32_t num_entities, int32_t num_relations,
 
 void TransR::ProjectEntity(RelationId r, EntityId e,
                            std::span<float> out) const {
+  // out[i] = dot(row i of M_r, e): a matvec is a dot_rows sweep over the
+  // matrix rows with the entity vector as the query.
   const auto m = matrices_.Row(r);
   const auto ev = entities_.Row(e);
-  const int32_t dim = params_.dim;
-  for (int32_t i = 0; i < dim; ++i) {
-    double sum = 0.0;
-    const size_t row = static_cast<size_t>(i * dim);
-    for (int32_t j = 0; j < dim; ++j) {
-      sum += static_cast<double>(m[row + static_cast<size_t>(j)]) *
-             ev[static_cast<size_t>(j)];
-    }
-    out[static_cast<size_t>(i)] = static_cast<float>(sum);
-  }
+  const size_t dim = static_cast<size_t>(params_.dim);
+  vec::Ops().dot_rows(ev.data(), m.data(), dim, dim, dim, out.data());
 }
 
 double TransR::Score(EntityId h, RelationId r, EntityId t) const {
-  const int32_t dim = params_.dim;
-  std::vector<float> hp(static_cast<size_t>(dim));
-  std::vector<float> tp(static_cast<size_t>(dim));
+  const size_t dim = static_cast<size_t>(params_.dim);
+  auto hp = vec::GetScratch(dim, 0);
+  auto tp = vec::GetScratch(dim, 1);
   ProjectEntity(r, h, hp);
   ProjectEntity(r, t, tp);
   const auto rv = relations_.Row(r);
-  double sum = 0.0;
-  for (int32_t j = 0; j < dim; ++j) {
-    const size_t k = static_cast<size_t>(j);
-    const double diff = hp[k] + rv[k] - tp[k];
-    sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
-  }
-  return params_.l1_distance ? -sum : -std::sqrt(sum);
+  auto q = vec::GetScratch(dim, 2);
+  for (size_t j = 0; j < dim; ++j) q[j] = hp[j] + rv[j];
+  const auto& ops = vec::Ops();
+  const auto sweep = params_.l1_distance ? ops.l1_rows : ops.l2_rows;
+  float dist = 0.0f;
+  sweep(q.data(), tp.data(), 1, dim, dim, &dist);
+  return -static_cast<double>(dist);
 }
 
 void TransR::ApplyGradient(const Triple& triple, float d_loss_d_score,
                            float lr) {
   const int32_t dim = params_.dim;
-  std::vector<float> hp(static_cast<size_t>(dim));
-  std::vector<float> tp(static_cast<size_t>(dim));
+  const size_t dsz = static_cast<size_t>(dim);
+  auto hp = vec::GetScratch(dsz, 0);
+  auto tp = vec::GetScratch(dsz, 1);
   ProjectEntity(triple.relation, triple.head, hp);
   ProjectEntity(triple.relation, triple.tail, tp);
   const auto rv = relations_.Row(triple.relation);
   const auto hv = entities_.Row(triple.head);
   const auto tv = entities_.Row(triple.tail);
 
-  std::vector<float> diff(static_cast<size_t>(dim));
+  auto diff = vec::GetScratch(dsz, 2);
   double norm = 0.0;
   for (int32_t j = 0; j < dim; ++j) {
     const size_t k = static_cast<size_t>(j);
@@ -92,7 +89,7 @@ void TransR::ApplyGradient(const Triple& triple, float d_loss_d_score,
   norm = std::sqrt(norm);
   if (!params_.l1_distance && norm < 1e-12) return;
 
-  std::vector<float> g(static_cast<size_t>(dim));
+  auto g = vec::GetScratch(dsz, 3);
   for (int32_t j = 0; j < dim; ++j) {
     const size_t k = static_cast<size_t>(j);
     const double d_score_d_diff =
@@ -105,26 +102,26 @@ void TransR::ApplyGradient(const Triple& triple, float d_loss_d_score,
   // dLoss/dr = g; dLoss/dh = M^T g; dLoss/dt = -M^T g;
   // dLoss/dM[i][j] = g_i (h_j - t_j).
   const auto m = matrices_.Row(triple.relation);
-  std::vector<float> mt_g(static_cast<size_t>(dim), 0.0f);
+  auto mt_g = vec::GetScratch(dsz, 4);
+  for (float& x : mt_g) x = 0.0f;
+  for (int32_t i = 0; i < dim; ++i) {
+    const size_t row = static_cast<size_t>(i * dim);
+    vec::Axpy(g[static_cast<size_t>(i)], m.data() + row, mt_g.data(), dsz);
+  }
+  relations_.UpdateRow(triple.relation, g, lr);
+  entities_.UpdateRow(triple.head, mt_g, lr);
+  entities_.UpdateRow(triple.tail, mt_g, lr, -1.0f);
+  // The matrix gradient reads the entity rows after their updates above
+  // (the historical update order).
+  auto gm = vec::GetScratch(dsz * dsz, 5);
   for (int32_t i = 0; i < dim; ++i) {
     const size_t row = static_cast<size_t>(i * dim);
     for (int32_t j = 0; j < dim; ++j) {
-      mt_g[static_cast<size_t>(j)] +=
-          m[row + static_cast<size_t>(j)] * g[static_cast<size_t>(i)];
+      const size_t k = static_cast<size_t>(j);
+      gm[row + k] = g[static_cast<size_t>(i)] * (hv[k] - tv[k]);
     }
   }
-  for (int32_t j = 0; j < dim; ++j) {
-    relations_.Update(triple.relation, j, g[static_cast<size_t>(j)], lr);
-    entities_.Update(triple.head, j, mt_g[static_cast<size_t>(j)], lr);
-    entities_.Update(triple.tail, j, -mt_g[static_cast<size_t>(j)], lr);
-  }
-  for (int32_t i = 0; i < dim; ++i) {
-    for (int32_t j = 0; j < dim; ++j) {
-      const float gm = g[static_cast<size_t>(i)] *
-                       (hv[static_cast<size_t>(j)] - tv[static_cast<size_t>(j)]);
-      matrices_.Update(triple.relation, i * dim + j, gm, lr);
-    }
-  }
+  matrices_.UpdateRow(triple.relation, gm, lr);
   entities_.NormalizeRowL2(triple.head);
   entities_.NormalizeRowL2(triple.tail);
   ++version_;
@@ -152,50 +149,32 @@ const std::vector<float>& TransR::ProjectedEntities(RelationId r) const {
 
 void TransR::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const int32_t dim = params_.dim;
+  const size_t dim = static_cast<size_t>(params_.dim);
   const std::vector<float>& projected = ProjectedEntities(r);
   const auto rv = relations_.Row(r);
-  std::vector<float> q(static_cast<size_t>(dim));
-  const float* hp = projected.data() +
-                    static_cast<size_t>(h) * static_cast<size_t>(dim);
-  for (int32_t j = 0; j < dim; ++j) {
-    q[static_cast<size_t>(j)] = hp[j] + rv[static_cast<size_t>(j)];
-  }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    const float* tp = projected.data() +
-                      static_cast<size_t>(e) * static_cast<size_t>(dim);
-    double sum = 0.0;
-    for (int32_t j = 0; j < dim; ++j) {
-      const double diff = q[static_cast<size_t>(j)] - tp[j];
-      sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
-    }
-    out[static_cast<size_t>(e)] =
-        static_cast<float>(params_.l1_distance ? -sum : -std::sqrt(sum));
-  }
+  auto q = vec::GetScratch(dim, 0);
+  const float* hp = projected.data() + static_cast<size_t>(h) * dim;
+  for (size_t j = 0; j < dim; ++j) q[j] = hp[j] + rv[j];
+  const auto& ops = vec::Ops();
+  const auto sweep = params_.l1_distance ? ops.l1_rows : ops.l2_rows;
+  sweep(q.data(), projected.data(), static_cast<size_t>(num_entities_), dim,
+        dim, out.data());
+  vec::Negate(out);
 }
 
 void TransR::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const int32_t dim = params_.dim;
+  const size_t dim = static_cast<size_t>(params_.dim);
   const std::vector<float>& projected = ProjectedEntities(r);
   const auto rv = relations_.Row(r);
-  std::vector<float> q(static_cast<size_t>(dim));
-  const float* tp = projected.data() +
-                    static_cast<size_t>(t) * static_cast<size_t>(dim);
-  for (int32_t j = 0; j < dim; ++j) {
-    q[static_cast<size_t>(j)] = tp[j] - rv[static_cast<size_t>(j)];
-  }
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    const float* hp = projected.data() +
-                      static_cast<size_t>(e) * static_cast<size_t>(dim);
-    double sum = 0.0;
-    for (int32_t j = 0; j < dim; ++j) {
-      const double diff = hp[j] - q[static_cast<size_t>(j)];
-      sum += params_.l1_distance ? std::fabs(diff) : diff * diff;
-    }
-    out[static_cast<size_t>(e)] =
-        static_cast<float>(params_.l1_distance ? -sum : -std::sqrt(sum));
-  }
+  auto q = vec::GetScratch(dim, 0);
+  const float* tp = projected.data() + static_cast<size_t>(t) * dim;
+  for (size_t j = 0; j < dim; ++j) q[j] = tp[j] - rv[j];
+  const auto& ops = vec::Ops();
+  const auto sweep = params_.l1_distance ? ops.l1_rows : ops.l2_rows;
+  sweep(q.data(), projected.data(), static_cast<size_t>(num_entities_), dim,
+        dim, out.data());
+  vec::Negate(out);
 }
 
 void TransR::OnEpochBegin(int epoch) {

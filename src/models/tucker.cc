@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/vecmath.h"
+
 namespace kgc {
 
 TuckER::TuckER(int32_t num_entities, int32_t num_relations,
@@ -31,16 +33,14 @@ void TuckER::ContractHeadRelation(std::span<const float> h,
                                   std::span<const float> r,
                                   std::span<float> u) const {
   const auto w = core_.Row(0);
-  for (int32_t c = 0; c < dim_e_; ++c) u[static_cast<size_t>(c)] = 0.0f;
+  const size_t de = static_cast<size_t>(dim_e_);
+  for (size_t c = 0; c < de; ++c) u[c] = 0.0f;
   for (int32_t a = 0; a < dim_e_; ++a) {
     const float ha = h[static_cast<size_t>(a)];
     if (ha == 0.0f) continue;
     for (int32_t b = 0; b < dim_r_; ++b) {
       const float hr = ha * r[static_cast<size_t>(b)];
-      const size_t base = CoreIndex(a, b, 0);
-      for (int32_t c = 0; c < dim_e_; ++c) {
-        u[static_cast<size_t>(c)] += hr * w[base + static_cast<size_t>(c)];
-      }
+      vec::Axpy(hr, w.data() + CoreIndex(a, b, 0), u.data(), de);
     }
   }
 }
@@ -49,26 +49,26 @@ void TuckER::ContractRelationTail(std::span<const float> r,
                                   std::span<const float> t,
                                   std::span<float> v) const {
   const auto w = core_.Row(0);
+  const size_t de = static_cast<size_t>(dim_e_);
+  const size_t dr = static_cast<size_t>(dim_r_);
+  // For each a the b-rows of W are contiguous: one dot_rows sweep gives
+  // inner_b = sum_c W_abc t_c, then v_a = r . inner.
+  auto inner = vec::GetScratch(dr, 1);
   for (int32_t a = 0; a < dim_e_; ++a) {
-    double sum = 0.0;
-    for (int32_t b = 0; b < dim_r_; ++b) {
-      const float rb = r[static_cast<size_t>(b)];
-      const size_t base = CoreIndex(a, b, 0);
-      double inner = 0.0;
-      for (int32_t c = 0; c < dim_e_; ++c) {
-        inner += static_cast<double>(w[base + static_cast<size_t>(c)]) *
-                 t[static_cast<size_t>(c)];
-      }
-      sum += rb * inner;
-    }
-    v[static_cast<size_t>(a)] = static_cast<float>(sum);
+    vec::Ops().dot_rows(t.data(), w.data() + CoreIndex(a, 0, 0), dr, de, de,
+                        inner.data());
+    v[static_cast<size_t>(a)] =
+        static_cast<float>(vec::Dot(r.data(), inner.data(), dr));
   }
 }
 
 double TuckER::Score(EntityId h, RelationId r, EntityId t) const {
-  std::vector<float> u(static_cast<size_t>(dim_e_));
+  auto u = vec::GetScratch(static_cast<size_t>(dim_e_), 0);
   ContractHeadRelation(entities_.Row(h), relations_.Row(r), u);
-  return Dot(u, entities_.Row(t));
+  const size_t de = static_cast<size_t>(dim_e_);
+  float score = 0.0f;
+  vec::Ops().dot_rows(u.data(), entities_.Row(t).data(), 1, de, de, &score);
+  return static_cast<double>(score);
 }
 
 void TuckER::ApplyGradient(const Triple& triple, float d_loss_d_score,
@@ -78,6 +78,8 @@ void TuckER::ApplyGradient(const Triple& triple, float d_loss_d_score,
   const auto tv = entities_.Row(triple.tail);
   const float g = d_loss_d_score;
   const float decay = static_cast<float>(params_.l2_reg);
+  const size_t de = static_cast<size_t>(dim_e_);
+  const size_t dr = static_cast<size_t>(dim_r_);
 
   // Gradients need the original values; compute all contractions first.
   // One fused pass over W per direction keeps this the throughput-critical
@@ -86,25 +88,23 @@ void TuckER::ApplyGradient(const Triple& triple, float d_loss_d_score,
   //                                    q_b = sum_a h_a inner_ab,
   // and the core gradient W_abc -= lr g h_a r_b t_c is applied with direct
   // array arithmetic (the core never uses AdaGrad).
-  std::vector<float> u(static_cast<size_t>(dim_e_));        // dScore/dt
-  std::vector<float> v(static_cast<size_t>(dim_e_), 0.0f);  // dScore/dh
-  std::vector<float> q(static_cast<size_t>(dim_r_), 0.0f);  // dScore/dr
+  auto u = vec::GetScratch(de, 0);  // dScore/dt
+  auto v = vec::GetScratch(de, 2);  // dScore/dh
+  auto q = vec::GetScratch(dr, 3);  // dScore/dr
   ContractHeadRelation(hv, rv, u);
   {
     const auto w = core_.Row(0);
+    auto inner = vec::GetScratch(dr, 4);
+    for (size_t b = 0; b < dr; ++b) q[b] = 0.0f;
     for (int32_t a = 0; a < dim_e_; ++a) {
       const float ha = hv[static_cast<size_t>(a)];
-      double va = 0.0;
-      for (int32_t b = 0; b < dim_r_; ++b) {
-        const float* row = w.data() + CoreIndex(a, b, 0);
-        double inner = 0.0;
-        for (int32_t c = 0; c < dim_e_; ++c) {
-          inner += static_cast<double>(row[c]) * tv[static_cast<size_t>(c)];
-        }
-        va += static_cast<double>(rv[static_cast<size_t>(b)]) * inner;
-        q[static_cast<size_t>(b)] += static_cast<float>(ha * inner);
+      vec::Ops().dot_rows(tv.data(), w.data() + CoreIndex(a, 0, 0), dr, de,
+                          de, inner.data());
+      v[static_cast<size_t>(a)] =
+          static_cast<float>(vec::Dot(rv.data(), inner.data(), dr));
+      for (size_t b = 0; b < dr; ++b) {
+        q[b] += static_cast<float>(ha * inner[b]);
       }
-      v[static_cast<size_t>(a)] = static_cast<float>(va);
     }
   }
 
@@ -116,40 +116,37 @@ void TuckER::ApplyGradient(const Triple& triple, float d_loss_d_score,
       if (ha == 0.0f) continue;
       for (int32_t b = 0; b < dim_r_; ++b) {
         const float scale = lr * g * ha * rv[static_cast<size_t>(b)];
-        float* row = w + CoreIndex(a, b, 0);
-        for (int32_t c = 0; c < dim_e_; ++c) {
-          row[c] -= scale * tv[static_cast<size_t>(c)];
-        }
+        vec::Axpy(-scale, tv.data(), w + CoreIndex(a, b, 0), de);
       }
     }
   }
-  for (int32_t a = 0; a < dim_e_; ++a) {
-    const size_t k = static_cast<size_t>(a);
-    entities_.Update(triple.head, a, g * v[k] + decay * hv[k], lr);
-    entities_.Update(triple.tail, a, g * u[k] + decay * tv[k], lr);
-  }
-  for (int32_t b = 0; b < dim_r_; ++b) {
-    const size_t k = static_cast<size_t>(b);
-    relations_.Update(triple.relation, b, g * q[k] + decay * rv[k], lr);
-  }
+  auto ge = vec::GetScratch(de, 5);
+  for (size_t a = 0; a < de; ++a) ge[a] = g * v[a] + decay * hv[a];
+  entities_.UpdateRow(triple.head, ge, lr);
+  // The tail gradient reads the (possibly just-updated) head row alias.
+  for (size_t a = 0; a < de; ++a) ge[a] = g * u[a] + decay * tv[a];
+  entities_.UpdateRow(triple.tail, ge, lr);
+  auto gr = vec::GetScratch(dr, 4);
+  for (size_t b = 0; b < dr; ++b) gr[b] = g * q[b] + decay * rv[b];
+  relations_.UpdateRow(triple.relation, gr, lr);
 }
 
 void TuckER::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  std::vector<float> u(static_cast<size_t>(dim_e_));
+  const size_t de = static_cast<size_t>(dim_e_);
+  auto u = vec::GetScratch(de, 0);
   ContractHeadRelation(entities_.Row(h), relations_.Row(r), u);
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    out[static_cast<size_t>(e)] = static_cast<float>(Dot(u, entities_.Row(e)));
-  }
+  vec::Ops().dot_rows(u.data(), entities_.raw(),
+                      static_cast<size_t>(num_entities_), de, de, out.data());
 }
 
 void TuckER::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  std::vector<float> v(static_cast<size_t>(dim_e_));
+  const size_t de = static_cast<size_t>(dim_e_);
+  auto v = vec::GetScratch(de, 0);
   ContractRelationTail(relations_.Row(r), entities_.Row(t), v);
-  for (EntityId e = 0; e < num_entities_; ++e) {
-    out[static_cast<size_t>(e)] = static_cast<float>(Dot(v, entities_.Row(e)));
-  }
+  vec::Ops().dot_rows(v.data(), entities_.raw(),
+                      static_cast<size_t>(num_entities_), de, de, out.data());
 }
 
 void TuckER::Serialize(BinaryWriter& writer) const {

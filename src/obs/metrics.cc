@@ -63,7 +63,8 @@ Registry::Registry() {
   for (const char* name :
        {kTrainerEpochs, kTrainerExamples, kTrainerNegatives,
         kTrainerCheckpointSaves, kTrainerResumes, kRankerSweeps,
-        kRankerTriplesRanked, kRankerScoreEvals, kRedundancyPairsCompared,
+        kRankerTriplesRanked, kRankerScoreEvals, kRankerQueryCacheHits,
+        kRankerQueryCacheMisses, kRedundancyPairsCompared,
         kRedundancyPairsFlagged, kRedundancyTriplesClassified,
         kAmieCandidates, kAmieRulesKept, kCacheModelHits, kCacheModelMisses,
         kCacheRankHits, kCacheRankMisses, kCacheQuarantined,

@@ -145,6 +145,9 @@ inline constexpr char kTrainerEpochSeconds[] = "kgc.trainer.epoch_seconds";
 inline constexpr char kRankerSweeps[] = "kgc.ranker.sweeps";
 inline constexpr char kRankerTriplesRanked[] = "kgc.ranker.triples_ranked";
 inline constexpr char kRankerScoreEvals[] = "kgc.ranker.score_evals";
+inline constexpr char kRankerQueryCacheHits[] = "kgc.ranker.query_cache_hits";
+inline constexpr char kRankerQueryCacheMisses[] =
+    "kgc.ranker.query_cache_misses";
 inline constexpr char kRankerShardSeconds[] = "kgc.ranker.shard_seconds";
 inline constexpr char kRedundancyPairsCompared[] =
     "kgc.redundancy.pairs_compared";

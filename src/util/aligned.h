@@ -1,0 +1,60 @@
+// Over-aligned heap storage for kernel-friendly arrays.
+//
+// The scoring kernels (util/vecmath.h) stream over contiguous embedding
+// rows; 64-byte alignment keeps every vector load inside one cache line
+// and matches the widest SIMD register the dispatch can select. The
+// allocator is a thin wrapper over C++17 aligned operator new, so an
+// AlignedVector behaves exactly like std::vector — same growth, same
+// iterator/debug semantics — just with a stronger alignment guarantee on
+// data().
+
+#ifndef KGC_UTIL_ALIGNED_H_
+#define KGC_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace kgc {
+
+/// Alignment used for all kernel-visible float storage.
+inline constexpr size_t kKernelAlignment = 64;
+
+template <typename T, size_t Alignment = kKernelAlignment>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T), "alignment weaker than the type's");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  bool operator==(const AlignedAllocator&) const { return true; }
+  bool operator!=(const AlignedAllocator&) const { return false; }
+};
+
+/// std::vector with 64-byte-aligned storage. Element access, growth and
+/// value semantics are unchanged; only data()'s alignment is stronger.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, kKernelAlignment>>;
+
+}  // namespace kgc
+
+#endif  // KGC_UTIL_ALIGNED_H_

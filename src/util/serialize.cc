@@ -42,7 +42,7 @@ void BinaryWriter::WriteDoubleVector(const std::vector<double>& values) {
   Append(values.data(), values.size() * sizeof(double));
 }
 
-void BinaryWriter::WriteFloatVector(const std::vector<float>& values) {
+void BinaryWriter::WriteFloatVector(std::span<const float> values) {
   WriteU64(values.size());
   Append(values.data(), values.size() * sizeof(float));
 }

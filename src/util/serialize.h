@@ -13,6 +13,7 @@
 #define KGC_UTIL_SERIALIZE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,7 +32,7 @@ class BinaryWriter {
   void WriteFloat(float value);
   void WriteString(const std::string& value);
   void WriteDoubleVector(const std::vector<double>& values);
-  void WriteFloatVector(const std::vector<float>& values);
+  void WriteFloatVector(std::span<const float> values);
 
   const std::vector<uint8_t>& buffer() const { return buffer_; }
 

@@ -1,0 +1,11 @@
+// Generic (baseline-ISA) compilation of the shared kernel bodies. Built
+// with -ffp-contract=off; see vecmath.h for the bit-exactness contract.
+
+#define KGC_VECMATH_NAMESPACE generic_path
+#include "util/vecmath_kernels.inc"
+
+namespace kgc::vec {
+
+const KernelOps* GetGenericOpsImpl() { return generic_path::GetOps("generic"); }
+
+}  // namespace kgc::vec

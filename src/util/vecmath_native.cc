@@ -1,0 +1,27 @@
+// -march-enabled compilation of the shared kernel bodies. CMake compiles
+// this TU with -march=x86-64-v3 (and -ffp-contract=off) when the toolchain
+// supports it, defining KGC_HAVE_NATIVE_KERNELS; otherwise the TU degrades
+// to a stub so the dispatcher links unconditionally.
+
+#ifdef KGC_HAVE_NATIVE_KERNELS
+
+#define KGC_VECMATH_NAMESPACE native_path
+#include "util/vecmath_kernels.inc"
+
+namespace kgc::vec {
+
+const KernelOps* GetNativeOpsImpl() { return native_path::GetOps("native"); }
+
+}  // namespace kgc::vec
+
+#else  // !KGC_HAVE_NATIVE_KERNELS
+
+#include "util/vecmath.h"
+
+namespace kgc::vec {
+
+const KernelOps* GetNativeOpsImpl() { return nullptr; }
+
+}  // namespace kgc::vec
+
+#endif  // KGC_HAVE_NATIVE_KERNELS

@@ -6,7 +6,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <utility>
 #include <string>
 #include <thread>
 #include <vector>
@@ -221,7 +223,17 @@ TEST(DeterminismTest, CountersBitIdenticalAcrossThreadCounts) {
         << "counter " << serial.counters[i].name
         << " differs between 1 and 4 threads";
   }
-  // And the work counters actually counted something.
+  // And the work counters actually counted something. score_evals counts
+  // the sweeps the query-deduplicated ranker actually performed: one per
+  // unique (relation, head) tail query plus one per unique (relation, tail)
+  // head query, each over num_entities candidates.
+  std::set<std::pair<RelationId, EntityId>> tail_queries;
+  std::set<std::pair<RelationId, EntityId>> head_queries;
+  for (const Triple& t : kg.dataset.test()) {
+    tail_queries.emplace(t.relation, t.head);
+    head_queries.emplace(t.relation, t.tail);
+  }
+  const uint64_t unique_queries = tail_queries.size() + head_queries.size();
   for (const obs::CounterSample& c : serial.counters) {
     if (c.name == obs::kRankerTriplesRanked) {
       EXPECT_EQ(c.value, kg.dataset.test().size());
@@ -230,9 +242,14 @@ TEST(DeterminismTest, CountersBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(c.value, kg.dataset.test().size());
     }
     if (c.name == obs::kRankerScoreEvals) {
-      EXPECT_EQ(c.value, 2u * static_cast<uint64_t>(
-                                  kg.dataset.num_entities()) *
-                             kg.dataset.test().size());
+      EXPECT_EQ(c.value, unique_queries * static_cast<uint64_t>(
+                                              kg.dataset.num_entities()));
+    }
+    if (c.name == obs::kRankerQueryCacheMisses) {
+      EXPECT_EQ(c.value, unique_queries);
+    }
+    if (c.name == obs::kRankerQueryCacheHits) {
+      EXPECT_EQ(c.value, 2u * kg.dataset.test().size() - unique_queries);
     }
   }
   obs::Registry::Get().ResetAllForTest();

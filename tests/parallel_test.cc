@@ -263,6 +263,48 @@ TEST(ParallelDeterminismTest, RankTriplesIsThreadCountInvariant) {
   }
 }
 
+TEST(ParallelDeterminismTest, QueryDedupIsBitIdenticalAcrossThreadCounts) {
+  // A duplicate-heavy test split: few anchors and relations, so most test
+  // triples share a ScoreTails/ScoreHeads query with an earlier one. The
+  // deduplicated sweep must reproduce the non-deduplicated ranks bit for
+  // bit, at every thread count.
+  const int32_t num_entities = 25;
+  Vocab vocab;
+  for (int32_t i = 0; i < num_entities; ++i) {
+    vocab.InternEntity("e" + std::to_string(i));
+  }
+  for (int r = 0; r < 2; ++r) vocab.InternRelation("r" + std::to_string(r));
+  TripleList train;
+  TripleList test;
+  for (EntityId h = 0; h < 3; ++h) {
+    for (RelationId r = 0; r < 2; ++r) {
+      for (EntityId t = 5; t < 15; ++t) {
+        ((h + static_cast<int>(r) + t) % 4 == 0 ? train : test)
+            .push_back({h, r, t});
+      }
+    }
+  }
+  const Dataset dataset("dup", std::move(vocab), std::move(train), {},
+                        std::move(test));
+  const HashPredictor predictor(num_entities);
+
+  RankerOptions baseline_options;
+  baseline_options.threads = 1;
+  baseline_options.dedup_queries = false;
+  const auto baseline =
+      RankTriples(predictor, dataset, dataset.test(), baseline_options);
+  ASSERT_FALSE(baseline.empty());
+  for (bool dedup : {false, true}) {
+    for (int threads : {1, 2, 4}) {
+      RankerOptions options;
+      options.threads = threads;
+      options.dedup_queries = dedup;
+      ExpectSameRanks(
+          baseline, RankTriples(predictor, dataset, dataset.test(), options));
+    }
+  }
+}
+
 TEST(ParallelDeterminismTest, RankTriplesHandlesEmptyTestSplit) {
   Vocab vocab;
   for (int32_t i = 0; i < 5; ++i) {

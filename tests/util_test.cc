@@ -243,7 +243,8 @@ TEST(SerializeTest, RoundTripPrimitives) {
   writer.WriteDouble(2.5);
   writer.WriteString("hello");
   writer.WriteDoubleVector({1.0, 2.0});
-  writer.WriteFloatVector({3.0f});
+  const std::vector<float> floats{3.0f};
+  writer.WriteFloatVector(floats);
 
   BinaryReader reader(writer.buffer());
   EXPECT_EQ(*reader.ReadU32(), 7u);
