@@ -1,11 +1,13 @@
 #include "bench/bench_common.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "util/deadline.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
@@ -19,6 +21,63 @@ bool ConsumeFlag(const std::string& arg, const char* prefix,
   if (!arg.starts_with(prefix)) return false;
   *value = arg.substr(std::string(prefix).size());
   return true;
+}
+
+// The telemetry bracket the crash hooks flush. One per process: bench
+// binaries construct exactly one BenchTelemetry, and the hooks are only
+// meaningful for it.
+BenchTelemetry* g_active_telemetry = nullptr;
+
+struct SignalName {
+  int signal;
+  const char* name;
+};
+constexpr SignalName kFatalSignals[] = {
+    {SIGSEGV, "SIGSEGV"}, {SIGBUS, "SIGBUS"}, {SIGFPE, "SIGFPE"},
+    {SIGILL, "SIGILL"},   {SIGABRT, "SIGABRT"}, {SIGTERM, "SIGTERM"},
+    {SIGINT, "SIGINT"},
+};
+
+// Fatal-signal hook: attribute the run, flush report + trace, then die
+// with the original signal so the parent (tools/kgc_suite) still sees the
+// true exit status. Rendering JSON is not async-signal-safe; on a crash
+// path a best-effort report beats none, and the re-raise below bounds the
+// damage to losing the report line.
+void CrashSignalHandler(int signal) {
+  const char* name = "unknown";
+  for (const SignalName& s : kFatalSignals) {
+    if (s.signal == signal) name = s.name;
+  }
+  obs::SetRunExitCause(std::string("signal:") + name);
+  if (g_active_telemetry != nullptr) {
+    g_active_telemetry->Finish(128 + signal);
+  }
+  std::signal(signal, SIG_DFL);
+  std::raise(signal);
+}
+
+// atexit fallback: a library called std::exit without going through
+// RunBench (the deadline handler does exactly that). Finish is idempotent,
+// so the normal path — where RunBench already finished — is a no-op.
+void FlushReportAtExit() {
+  if (g_active_telemetry == nullptr) return;
+  const std::string cause = obs::RunExitCause();
+  if (cause.empty()) obs::SetRunExitCause("early_exit");
+  const int exit_code =
+      cause.starts_with("deadline:") ? kDeadlineExitCode : -1;
+  g_active_telemetry->Finish(exit_code);
+}
+
+void InstallCrashHooks(BenchTelemetry* telemetry) {
+  g_active_telemetry = telemetry;
+  static const bool installed = [] {
+    for (const SignalName& s : kFatalSignals) {
+      std::signal(s.signal, CrashSignalHandler);
+    }
+    std::atexit(FlushReportAtExit);
+    return true;
+  }();
+  (void)installed;
 }
 
 }  // namespace
@@ -47,11 +106,17 @@ BenchTelemetry::BenchTelemetry(const char* name, int* argc, char** argv)
   *argc = kept;
   argv[kept] = nullptr;
   if (!report_path_.empty()) obs::EnableSpanRollups();
+  InstallCrashHooks(this);
 }
 
 int BenchTelemetry::Finish(int exit_code) {
   if (finished_) return exit_code;
   finished_ = true;
+  // After a completed Finish the crash hooks must not touch this object
+  // again: it lives on RunBench's stack, which is gone by atexit time.
+  // (On the std::exit / signal paths the stack is never unwound, so the
+  // pointer is still valid when the hooks fire.)
+  g_active_telemetry = nullptr;
   if (!report_path_.empty()) {
     obs::RunInfo info;
     info.name = name_;

@@ -34,6 +34,13 @@ namespace kgc::bench {
 /// `Finish(exit_code)` appends the machine-readable run report — when a
 /// report path came from --report or KGC_METRICS — and flushes the trace,
 /// then returns `exit_code` unchanged so it can wrap a return statement.
+///
+/// Construction also installs crash hooks: fatal-signal handlers (SEGV,
+/// ABRT, TERM, ...) and an atexit fallback that flush the run report with
+/// the real exit cause (`exit_cause`: "signal:SIGABRT",
+/// "deadline:<phase>", ...) when the binary dies before reaching the
+/// normal Finish call — so every run, crashed or not, leaves exactly one
+/// attributed report line.
 class BenchTelemetry {
  public:
   BenchTelemetry(const char* name, int* argc, char** argv);

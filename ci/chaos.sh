@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Chaos smoke test: runs a reduced bench suite twice through the kgc_suite
+# supervisor -- once clean, once with a randomized KGC_FAULTS spec injected
+# into every table's first attempt -- and asserts that
+#
+#   1. every table in BOTH manifests finishes with status "ok" (the
+#      supervisor's retry/backoff path absorbs the injected faults), and
+#   2. each table's stdout is bit-identical between the clean and the
+#      chaos run (recovery never changes results, only timing).
+#
+# The fault spec is drawn from CHAOS_SEED (default: random). On failure the
+# script prints the seed so the exact run can be replayed:
+#
+#   CHAOS_SEED=12345 ci/chaos.sh
+#
+# Usage: ci/chaos.sh [build-dir]      (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SUITE="${BUILD_DIR}/tools/kgc_suite"
+
+# Cheap tables that still cross real phase boundaries: table1/fig4/sec421
+# are pure dataset analyses; fig1 trains and ranks, so stall/crash
+# failpoints (which fire at phase boundaries) actually trigger.
+TABLES="bench_table1_dataset_stats,bench_fig4_redundancy_cases"
+TABLES+=",bench_sec421_reverse_leakage,bench_fig1_fmrr_drop"
+
+if [[ ! -x "${SUITE}" ]]; then
+  echo "== building kgc_suite and the reduced table set =="
+  cmake -B "${BUILD_DIR}" -S .
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target kgc_suite \
+        bench_table1_dataset_stats bench_fig4_redundancy_cases \
+        bench_sec421_reverse_leakage bench_fig1_fmrr_drop
+fi
+
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "${WORK_DIR}"' EXIT
+
+# Randomize the fault mix, but keep it replayable via CHAOS_SEED.
+CHAOS_SEED="${CHAOS_SEED:-${RANDOM}}"
+RANDOM="${CHAOS_SEED}"
+STALL_MS=$((20 + RANDOM % 100))
+FAULT_POOL=(
+  "crash:times=1"
+  "stall:times=2:ms=${STALL_MS}"
+  "torn_write:times=1"
+  "crash:times=1,stall:times=1:ms=${STALL_MS}"
+  "mkdir_fail:times=1,torn_write:times=1"
+)
+FAULTS="${FAULT_POOL[$((RANDOM % ${#FAULT_POOL[@]}))]}"
+echo "== chaos seed ${CHAOS_SEED}: KGC_FAULTS='${FAULTS}' =="
+
+run_suite() {  # run_suite <name> [extra kgc_suite flags...]
+  local name="$1"; shift
+  echo "== ${name} suite run =="
+  "${SUITE}" --bench-dir="${BUILD_DIR}/bench" --tables="${TABLES}" \
+             --out-dir="${WORK_DIR}/${name}" \
+             --cache-dir="${WORK_DIR}/${name}-cache" \
+             --epoch-scale=0.1 "$@"
+}
+
+run_suite clean
+run_suite chaos --chaos-faults="${FAULTS}" --retries=3
+
+check_manifest() {  # every table line in the manifest must be status ok
+  local manifest="$1"
+  if grep '"kgc.suite_manifest.v1"' "${manifest}" \
+      | grep -v '"table":"_suite"' | grep -qv '"status":"ok"'; then
+    echo "FAIL: degraded tables in ${manifest} (seed ${CHAOS_SEED}):"
+    grep -v '"status":"ok"' "${manifest}"
+    exit 1
+  fi
+}
+
+echo "== checking manifests =="
+check_manifest "${WORK_DIR}/clean/suite_manifest.jsonl"
+check_manifest "${WORK_DIR}/chaos/suite_manifest.jsonl"
+
+echo "== comparing per-table output (clean vs chaos) =="
+IFS=',' read -ra TABLE_LIST <<< "${TABLES}"
+for table in "${TABLE_LIST[@]}"; do
+  if ! diff -q "${WORK_DIR}/clean/${table}.out" \
+              "${WORK_DIR}/chaos/${table}.out"; then
+    echo "FAIL: ${table} output diverged under chaos (seed ${CHAOS_SEED})"
+    diff "${WORK_DIR}/clean/${table}.out" "${WORK_DIR}/chaos/${table}.out" \
+      | head -20
+    exit 1
+  fi
+done
+
+echo "== chaos run passed (seed ${CHAOS_SEED}) =="

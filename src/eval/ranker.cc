@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
@@ -65,6 +66,7 @@ std::vector<TripleRanks> RankTriples(const LinkPredictor& predictor,
   const size_t num_entities = static_cast<size_t>(predictor.num_entities());
   KGC_CHECK_EQ(predictor.num_entities(), dataset.num_entities());
 
+  DeadlinePhase deadline_phase("rank");
   obs::TraceSpan sweep_span("rank_triples");
   sweep_span.AddArgInt("triples", static_cast<long long>(test.size()));
   sweep_span.AddArgStr("predictor", predictor.name());
@@ -167,8 +169,13 @@ std::vector<TripleRanks> RankTriples(const LinkPredictor& predictor,
       shard_seconds.Observe(shard_watch.ElapsedSeconds());
     });
   };
+  // Each pass is a deadline boundary: an over-budget sweep exits between
+  // the joined parallel passes, never inside one. Ranks are recomputed
+  // from the cached model on retry, so there is nothing to checkpoint.
   run_pass(/*tails=*/true);
+  PhaseBoundary("rank_pass");
   run_pass(/*tails=*/false);
+  PhaseBoundary("rank_done");
   return results;
 }
 

@@ -1,0 +1,137 @@
+#include "harness/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace kgc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char* SignalName(int sig) {
+  switch (sig) {
+    case SIGTERM: return "SIGTERM";
+    case SIGKILL: return "SIGKILL";
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGINT: return "SIGINT";
+    default: return nullptr;
+  }
+}
+
+// Child-side stream redirect; async-signal-safe calls only (we are between
+// fork and exec). Returns false on failure.
+bool RedirectTo(const std::string& path, int fd) {
+  if (path.empty()) return true;
+  const int file =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (file < 0) return false;
+  const bool ok = ::dup2(file, fd) >= 0;
+  ::close(file);
+  return ok;
+}
+
+}  // namespace
+
+std::string SubprocessResult::Describe() const {
+  std::string inner;
+  if (term_signal != 0) {
+    if (const char* name = SignalName(term_signal)) {
+      inner = StrFormat("signal:%s", name);
+    } else {
+      inner = StrFormat("signal:%d", term_signal);
+    }
+  } else {
+    inner = StrFormat("exit:%d", exit_code);
+  }
+  return timed_out ? StrFormat("watchdog(%s)", inner.c_str()) : inner;
+}
+
+StatusOr<SubprocessResult> RunSubprocess(const SubprocessOptions& options) {
+  if (options.argv.empty()) {
+    return Status::InvalidArgument("RunSubprocess: empty argv");
+  }
+  // Build the C argv before forking: no allocation between fork and exec.
+  std::vector<char*> argv;
+  argv.reserve(options.argv.size() + 1);
+  for (const std::string& arg : options.argv) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::Internal(StrFormat("fork failed: %s", strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child. setenv allocates, which is formally unsafe post-fork in a
+    // multithreaded parent but is the standard posix_spawn-less idiom; the
+    // supervisor keeps its pre-fork state simple (no locks held around
+    // RunSubprocess calls).
+    for (const std::string& name : options.unset_env) {
+      ::unsetenv(name.c_str());
+    }
+    for (const auto& [name, value] : options.env) {
+      ::setenv(name.c_str(), value.c_str(), /*overwrite=*/1);
+    }
+    if (!RedirectTo(options.stdout_path, STDOUT_FILENO) ||
+        !RedirectTo(options.stderr_path, STDERR_FILENO)) {
+      ::_exit(126);
+    }
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed (missing binary, not executable, ...)
+  }
+
+  // Parent: poll with WNOHANG so the watchdog clock keeps running.
+  const auto start = Clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  SubprocessResult result;
+  bool sent_term = false;
+  double kill_at = 0.0;
+  for (;;) {
+    int wstatus = 0;
+    const pid_t done = ::waitpid(pid, &wstatus, WNOHANG);
+    if (done == pid) {
+      result.seconds = elapsed();
+      if (WIFSIGNALED(wstatus)) {
+        result.term_signal = WTERMSIG(wstatus);
+      } else {
+        result.exit_code = WEXITSTATUS(wstatus);
+      }
+      return result;
+    }
+    if (done < 0 && errno != EINTR) {
+      return Status::Internal(
+          StrFormat("waitpid failed: %s", strerror(errno)));
+    }
+    if (options.timeout_seconds > 0 && !sent_term &&
+        elapsed() > options.timeout_seconds) {
+      result.timed_out = true;
+      sent_term = true;
+      kill_at = elapsed() + std::max(0.0, options.term_grace_seconds);
+      ::kill(pid, SIGTERM);
+    }
+    if (sent_term && elapsed() > kill_at) {
+      ::kill(pid, SIGKILL);
+      kill_at = 1e30;  // send it once
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace kgc

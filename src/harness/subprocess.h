@@ -1,0 +1,65 @@
+// Subprocess execution with a watchdog: the isolation primitive under
+// tools/kgc_suite.
+//
+// Each bench table runs in its own process so a crash, hang, or injected
+// fault in one table cannot take down the suite — the supervisor observes
+// the exit status and decides (retry, quarantine, degrade). The watchdog
+// escalates gently: after `timeout_seconds` the child gets SIGTERM (its
+// BenchTelemetry signal hook flushes an attributed run report), and only
+// after `term_grace_seconds` more does SIGKILL end a child that ignored
+// the term. All artifact writes in the tree are crash-safe
+// (util/file_util.h AtomicWriteFile), so even the SIGKILL path cannot
+// leave a torn file — at worst a stale `.tmp` that the next writer
+// replaces.
+
+#ifndef KGC_HARNESS_SUBPROCESS_H_
+#define KGC_HARNESS_SUBPROCESS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgc {
+
+struct SubprocessOptions {
+  /// Program + arguments; argv[0] is the executable path.
+  std::vector<std::string> argv;
+  /// Environment overrides applied in the child before exec.
+  std::vector<std::pair<std::string, std::string>> env;
+  /// Variables removed from the child environment (e.g. KGC_FAULTS on a
+  /// retry, so a first-attempt chaos spec does not re-fire forever).
+  std::vector<std::string> unset_env;
+  /// Redirect targets; empty inherits the parent stream. Files are
+  /// truncated.
+  std::string stdout_path;
+  std::string stderr_path;
+  /// Watchdog: wall-clock budget for the child; <= 0 disables.
+  double timeout_seconds = 0.0;
+  /// SIGTERM-to-SIGKILL escalation delay once the watchdog fires.
+  double term_grace_seconds = 5.0;
+};
+
+struct SubprocessResult {
+  /// Child's exit code; meaningful only when term_signal == 0.
+  int exit_code = -1;
+  /// Signal that terminated the child (0 = exited normally).
+  int term_signal = 0;
+  /// The watchdog fired (the child was SIGTERMed and possibly SIGKILLed).
+  bool timed_out = false;
+  double seconds = 0.0;
+
+  bool ok() const { return !timed_out && term_signal == 0 && exit_code == 0; }
+  /// "exit:0", "exit:124", "signal:SIGSEGV", "watchdog(signal:SIGTERM)".
+  std::string Describe() const;
+};
+
+/// Forks, execs, supervises. Status errors cover supervisor-side failures
+/// (fork/exec plumbing); a child that ran and failed is a non-ok
+/// SubprocessResult, not a Status error.
+StatusOr<SubprocessResult> RunSubprocess(const SubprocessOptions& options);
+
+}  // namespace kgc
+
+#endif  // KGC_HARNESS_SUBPROCESS_H_

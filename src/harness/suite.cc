@@ -1,0 +1,242 @@
+#include "harness/suite.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "harness/subprocess.h"
+#include "obs/json.h"
+#include "util/deadline.h"
+#include "util/file_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgc {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Moves aside every cache artifact written at or after `since` — the
+// suspect set when a table keeps failing: whatever IT (or its failing
+// predecessor attempt) wrote may be poisoned. Quarantine markers and
+// write-temp leftovers are skipped. Returns the number quarantined.
+int QuarantineRecentArtifacts(const std::string& cache_dir,
+                              fs::file_time_type since,
+                              const std::string& table) {
+  if (cache_dir.empty()) return 0;
+  std::error_code ec;
+  fs::recursive_directory_iterator it(cache_dir, ec);
+  if (ec) return 0;
+  // Collect first: QuarantineCorrupt renames while we iterate otherwise.
+  std::vector<std::string> suspects;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const std::string path = entry.path().string();
+    if (EndsWith(path, ".corrupt") || EndsWith(path, ".tmp")) continue;
+    const fs::file_time_type mtime = entry.last_write_time(ec);
+    if (ec || mtime < since) continue;
+    suspects.push_back(path);
+  }
+  std::sort(suspects.begin(), suspects.end());
+  for (const std::string& path : suspects) {
+    QuarantineCorrupt(
+        path, Status::Internal(StrFormat(
+                  "suspect artifact: written during repeated failures of %s",
+                  table.c_str())));
+  }
+  return static_cast<int>(suspects.size());
+}
+
+std::string ManifestLine(const TableRun& run) {
+  return StrFormat(
+      "{\"schema\":\"kgc.suite_manifest.v1\",\"table\":\"%s\","
+      "\"status\":\"%s\",\"attempts\":%d,\"exit\":\"%s\",\"seconds\":%s,"
+      "\"quarantined\":%d,\"stdout\":\"%s\"}\n",
+      obs::JsonEscape(run.table).c_str(), obs::JsonEscape(run.status).c_str(),
+      run.attempts, obs::JsonEscape(run.exit_detail).c_str(),
+      obs::JsonDouble(run.seconds).c_str(), run.quarantined,
+      obs::JsonEscape(run.stdout_path).c_str());
+}
+
+}  // namespace
+
+bool SuiteResult::all_ok() const {
+  return std::all_of(tables.begin(), tables.end(),
+                     [](const TableRun& t) { return t.ok(); });
+}
+
+int SuiteResult::num_failed() const {
+  return static_cast<int>(std::count_if(
+      tables.begin(), tables.end(),
+      [](const TableRun& t) { return !t.ok(); }));
+}
+
+std::vector<std::string> DefaultBenchTables() {
+  // Mirrors bench/CMakeLists.txt: every kgc_add_bench target, suite order.
+  return {
+      "bench_table1_dataset_stats",
+      "bench_fig1_fmrr_drop",
+      "bench_sec421_reverse_leakage",
+      "bench_fig4_redundancy_cases",
+      "bench_table2_cartesian_survivors",
+      "bench_table3_cartesian_predictor",
+      "bench_table5_fb15k",
+      "bench_table6_wn18",
+      "bench_table7_outperform_redundancy",
+      "bench_table8_best_model_counts",
+      "bench_fig5_fig6_heatmaps",
+      "bench_fig7_category_breakdown",
+      "bench_table9_table10_category_hits",
+      "bench_table11_yago",
+      "bench_fig8_table12_yago_categories",
+      "bench_table13_fhits1_simple_model",
+      "bench_ablation_cleaning_threshold",
+      "bench_ablation_negative_sampling",
+      "bench_ext_other_tasks",
+  };
+}
+
+StatusOr<SuiteResult> RunSuite(const SuiteOptions& options) {
+  if (options.tables.empty()) {
+    return Status::InvalidArgument("RunSuite: no tables to run");
+  }
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument("RunSuite: max_attempts must be >= 1");
+  }
+  KGC_RETURN_IF_ERROR(MakeDirectories(options.out_dir));
+  if (!options.cache_dir.empty()) {
+    KGC_RETURN_IF_ERROR(MakeDirectories(options.cache_dir));
+  }
+  SuiteResult suite;
+  suite.manifest_path = options.manifest_path.empty()
+                            ? options.out_dir + "/suite_manifest.jsonl"
+                            : options.manifest_path;
+  std::FILE* manifest = std::fopen(suite.manifest_path.c_str(), "w");
+  if (manifest == nullptr) {
+    return Status::IoError("cannot open manifest " + suite.manifest_path);
+  }
+
+  for (const std::string& table : options.tables) {
+    TableRun run;
+    run.table = table;
+    run.stdout_path = options.out_dir + "/" + table + ".out";
+    const std::string binary = options.bench_dir + "/" + table;
+    if (!FileExists(binary)) {
+      run.status = "failed";
+      run.exit_detail = "missing binary";
+      LogError("suite: %s: missing binary %s", table.c_str(),
+               binary.c_str());
+      std::fputs(ManifestLine(run).c_str(), manifest);
+      std::fflush(manifest);
+      suite.tables.push_back(run);
+      continue;
+    }
+
+    const fs::file_time_type table_start = fs::file_time_type::clock::now();
+    int hard_failures = 0;  // crashes/kills, not orderly deadline exits
+    for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        const double backoff = std::min(
+            options.backoff_cap_seconds,
+            options.backoff_base_seconds * static_cast<double>(1 << (attempt - 1)));
+        if (backoff > 0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        }
+      }
+      SubprocessOptions sub;
+      sub.argv = {binary,
+                  "--report=" + options.out_dir + "/" + table +
+                      ".report.jsonl"};
+      sub.stdout_path = run.stdout_path;
+      sub.stderr_path = options.out_dir + "/" + table + ".err";
+      sub.timeout_seconds = options.timeout_seconds;
+      sub.term_grace_seconds = options.term_grace_seconds;
+      if (!options.cache_dir.empty()) {
+        sub.env.push_back({"KGC_CACHE_DIR", options.cache_dir});
+      }
+      if (options.phase_timeout_seconds > 0) {
+        sub.env.push_back({"KGC_PHASE_TIMEOUT_S",
+                           StrFormat("%g", options.phase_timeout_seconds)});
+      }
+      if (!options.epoch_scale.empty()) {
+        sub.env.push_back({"KGC_EPOCH_SCALE", options.epoch_scale});
+      }
+      if (options.threads > 0) {
+        sub.env.push_back({"KGC_THREADS", StrFormat("%d", options.threads)});
+      }
+      // Chaos faults model transient damage: first attempt only. Retries
+      // explicitly clear KGC_FAULTS so the same deterministic spec cannot
+      // re-fire on every attempt (and any spec inherited from the
+      // supervisor's own environment stays out of the children).
+      if (!options.chaos_faults.empty() && attempt == 0) {
+        sub.env.push_back({"KGC_FAULTS", options.chaos_faults});
+      } else {
+        sub.unset_env.push_back("KGC_FAULTS");
+      }
+
+      auto result = RunSubprocess(sub);
+      run.attempts = attempt + 1;
+      if (!result.ok()) {
+        std::fclose(manifest);
+        return result.status();
+      }
+      run.seconds += result->seconds;
+      run.exit_detail = result->Describe();
+      if (result->ok()) {
+        run.status = "ok";
+        break;
+      }
+      const bool orderly_timeout =
+          result->term_signal == 0 && result->exit_code == kDeadlineExitCode;
+      run.status = orderly_timeout ? "timeout" : "failed";
+      LogWarning("suite: %s attempt %d/%d failed (%s)%s", table.c_str(),
+                 attempt + 1, options.max_attempts,
+                 run.exit_detail.c_str(),
+                 attempt + 1 < options.max_attempts ? "; retrying" : "");
+      if (!orderly_timeout) {
+        // A deadline exit is orderly — checkpoints were saved, nothing can
+        // be torn, the retry resumes. A crash or kill is not: after the
+        // second one, suspect the cache artifacts this table touched and
+        // route them through the quarantine path before retrying.
+        ++hard_failures;
+        if (hard_failures >= 2 && attempt + 1 < options.max_attempts) {
+          const int n = QuarantineRecentArtifacts(options.cache_dir,
+                                                  table_start, table);
+          run.quarantined += n;
+          if (n > 0) {
+            LogWarning("suite: %s: quarantined %d suspect cache artifacts",
+                       table.c_str(), n);
+          }
+        }
+      }
+    }
+    std::fputs(ManifestLine(run).c_str(), manifest);
+    std::fflush(manifest);
+    suite.tables.push_back(run);
+  }
+
+  TableRun summary;
+  summary.table = "_suite";
+  summary.status = suite.all_ok() ? "ok" : "failed";
+  summary.attempts = static_cast<int>(suite.tables.size());
+  summary.exit_detail =
+      StrFormat("%d/%zu tables ok", static_cast<int>(suite.tables.size()) -
+                                        suite.num_failed(),
+                suite.tables.size());
+  for (const TableRun& t : suite.tables) {
+    summary.seconds += t.seconds;
+    summary.quarantined += t.quarantined;
+  }
+  std::fputs(ManifestLine(summary).c_str(), manifest);
+  std::fclose(manifest);
+  return suite;
+}
+
+}  // namespace kgc

@@ -1,0 +1,111 @@
+// Suite supervision: retry, backoff, quarantine escalation, degradation.
+//
+// RunSuite drives a list of bench tables as isolated subprocesses
+// (harness/subprocess.h) and turns their raw exit statuses into suite
+// policy:
+//
+//   - Watchdog: each attempt gets a wall-clock budget; a stuck child is
+//     SIGTERMed (grace) then SIGKILLed. Independently, children get
+//     KGC_PHASE_TIMEOUT_S so a slow-but-alive phase exits *itself* with
+//     kDeadlineExitCode after saving a resumable checkpoint — the orderly
+//     "timeout" path that the supervisor prefers over its own kill.
+//   - Retry with exponential backoff: failed attempts are retried up to
+//     max_attempts with base * 2^k sleeps (capped). A chaos fault spec
+//     (KGC_FAULTS) is applied to the FIRST attempt only and explicitly
+//     cleared on retries — injected faults model transient damage, and a
+//     deterministic spec would otherwise re-fire identically forever.
+//   - Quarantine escalation: when a table fails repeatedly and at least
+//     once non-orderly (crash/kill, not a deadline exit), the shared cache
+//     artifacts written since the table started are moved aside via
+//     QuarantineCorrupt (the PR 1 `.corrupt` path) before the next retry,
+//     so a poisoned artifact cannot fail every retry from the cache.
+//   - Graceful degradation: a table that exhausts retries is recorded as
+//     "failed" (or "timeout") in the manifest and the suite moves on;
+//     remaining tables still complete.
+//
+// The manifest is JSONL, one object per table plus a trailing "_suite"
+// summary, schema "kgc.suite_manifest.v1":
+//
+//   {"schema":"kgc.suite_manifest.v1","table":"bench_table5_fb15k",
+//    "status":"ok","attempts":2,"exit":"exit:0","seconds":1.9,
+//    "quarantined":0,"stdout":"out/bench_table5_fb15k.out"}
+//
+// It is appended and flushed table by table, so a killed supervisor leaves
+// a readable prefix.
+
+#ifndef KGC_HARNESS_SUITE_H_
+#define KGC_HARNESS_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgc {
+
+struct SuiteOptions {
+  /// Directory holding the bench binaries (e.g. "<build>/bench").
+  std::string bench_dir;
+  /// Table binaries to run, in order.
+  std::vector<std::string> tables;
+  /// Per-table stdout/stderr captures and run reports land here.
+  std::string out_dir = "kgc_suite_out";
+  /// Shared artifact cache handed to children as KGC_CACHE_DIR ("" =
+  /// children use their own default).
+  std::string cache_dir;
+  /// Manifest path ("" = <out_dir>/suite_manifest.jsonl).
+  std::string manifest_path;
+  /// Per-attempt watchdog budget in seconds; <= 0 disables.
+  double timeout_seconds = 0.0;
+  /// SIGTERM-to-SIGKILL grace once the watchdog fires.
+  double term_grace_seconds = 5.0;
+  /// Per-phase cooperative deadline for children (KGC_PHASE_TIMEOUT_S);
+  /// <= 0 leaves the child's environment untouched.
+  double phase_timeout_seconds = 0.0;
+  /// Attempts per table (1 = no retries).
+  int max_attempts = 3;
+  /// Exponential backoff between attempts: base * 2^k, capped.
+  double backoff_base_seconds = 0.5;
+  double backoff_cap_seconds = 8.0;
+  /// KGC_FAULTS spec injected into each table's FIRST attempt only.
+  std::string chaos_faults;
+  /// KGC_EPOCH_SCALE passthrough ("" = inherit).
+  std::string epoch_scale;
+  /// KGC_THREADS for children; 0 = inherit.
+  int threads = 0;
+};
+
+struct TableRun {
+  std::string table;
+  /// "ok" | "timeout" (deadline exit persisted) | "failed".
+  std::string status;
+  int attempts = 0;
+  /// SubprocessResult::Describe() of the last attempt, or a supervisor
+  /// note ("missing binary").
+  std::string exit_detail;
+  double seconds = 0.0;  ///< total across attempts
+  int quarantined = 0;   ///< cache artifacts quarantined between retries
+  std::string stdout_path;
+
+  bool ok() const { return status == "ok"; }
+};
+
+struct SuiteResult {
+  std::vector<TableRun> tables;
+  std::string manifest_path;
+
+  bool all_ok() const;
+  int num_failed() const;
+};
+
+/// The bench tables the full suite runs, in canonical order (every
+/// kgc_add_bench binary except the google-benchmark microbench).
+std::vector<std::string> DefaultBenchTables();
+
+/// Runs the suite. Status errors are supervisor-side problems (cannot
+/// create out_dir / manifest); table failures are reported in SuiteResult.
+StatusOr<SuiteResult> RunSuite(const SuiteOptions& options);
+
+}  // namespace kgc
+
+#endif  // KGC_HARNESS_SUITE_H_

@@ -1,0 +1,96 @@
+#include "kg/dataset_validator.h"
+
+#include <charconv>
+
+#include "util/string_util.h"
+
+namespace kgc {
+
+bool IsValidUtf8(std::string_view text) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(text.data());
+  const unsigned char* end = p + text.size();
+  while (p < end) {
+    const unsigned char lead = *p;
+    if (lead < 0x80) {
+      ++p;
+      continue;
+    }
+    int extra;          // continuation bytes expected
+    unsigned long min;  // smallest code point the length may encode
+    unsigned long cp;
+    if ((lead & 0xE0) == 0xC0) {
+      extra = 1, min = 0x80, cp = lead & 0x1FUL;
+    } else if ((lead & 0xF0) == 0xE0) {
+      extra = 2, min = 0x800, cp = lead & 0x0FUL;
+    } else if ((lead & 0xF8) == 0xF0) {
+      extra = 3, min = 0x10000, cp = lead & 0x07UL;
+    } else {
+      return false;  // continuation byte or 0xF8+ lead
+    }
+    if (end - p <= extra) return false;  // truncated sequence
+    for (int i = 1; i <= extra; ++i) {
+      if ((p[i] & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (p[i] & 0x3FUL);
+    }
+    if (cp < min) return false;                      // overlong encoding
+    if (cp >= 0xD800 && cp <= 0xDFFF) return false;  // surrogate
+    if (cp > 0x10FFFF) return false;
+    p += extra + 1;
+  }
+  return true;
+}
+
+Status DatasetValidator::Malformed(size_t line_no,
+                                   const std::string& detail) const {
+  return Status::InvalidArgument(
+      StrFormat("%s:%zu: %s", path_.c_str(), line_no, detail.c_str()));
+}
+
+StatusOr<std::string_view> DatasetValidator::CheckLine(std::string_view line,
+                                                       size_t line_no) const {
+  if (options_.max_line_bytes > 0 && line.size() > options_.max_line_bytes) {
+    return Malformed(line_no,
+                     StrFormat("line of %zu bytes exceeds the %zu-byte limit "
+                               "(truncated download or binary content?)",
+                               line.size(), options_.max_line_bytes));
+  }
+  if (line.find('\0') != std::string_view::npos) {
+    return Malformed(line_no, "embedded NUL byte (binary content?)");
+  }
+  if (!line.empty() && line.back() == '\r') {
+    if (options_.strict) {
+      return Malformed(line_no, "CRLF line ending (strict mode)");
+    }
+    line.remove_suffix(1);
+  }
+  if (options_.strict && !IsValidUtf8(line)) {
+    return Malformed(line_no, "invalid UTF-8 (strict mode)");
+  }
+  return line;
+}
+
+StatusOr<long> DatasetValidator::ParseId(std::string_view field,
+                                         const char* what,
+                                         size_t line_no) const {
+  const std::string_view trimmed = Trim(field);
+  if (trimmed.empty()) {
+    return Malformed(line_no, StrFormat("empty %s field", what));
+  }
+  long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    return Malformed(line_no, StrFormat("%s '%.*s' overflows", what,
+                                        static_cast<int>(trimmed.size()),
+                                        trimmed.data()));
+  }
+  if (ec != std::errc() || ptr != trimmed.data() + trimmed.size()) {
+    return Malformed(line_no,
+                     StrFormat("%s '%.*s' is not an integer", what,
+                               static_cast<int>(trimmed.size()),
+                               trimmed.data()));
+  }
+  return value;
+}
+
+}  // namespace kgc

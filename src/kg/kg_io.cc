@@ -1,46 +1,81 @@
 #include "kg/kg_io.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <functional>
+#include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/file_util.h"
 #include "util/string_util.h"
 
 namespace kgc {
+namespace {
 
-StatusOr<TripleList> LoadTripleFile(const std::string& path, Vocab& vocab) {
+// Every file-level validation rejection bumps kgc.ingest.rejected_files
+// (missing files are NotFound, not a rejection). Loaders route their error
+// returns through here so the counter stays an accurate audit of how many
+// inputs failed validation.
+Status CountRejected(Status status) {
+  if (!status.ok() && status.code() != StatusCode::kNotFound) {
+    static obs::Counter& rejected =
+        obs::Registry::Get().GetCounter(obs::kIngestRejectedFiles);
+    rejected.Increment();
+  }
+  return status;
+}
+
+StatusOr<TripleList> LoadTripleFileImpl(const std::string& path, Vocab& vocab,
+                                        const IngestOptions& ingest) {
   auto lines = ReadLines(path);
   if (!lines.ok()) return lines.status();
+  const DatasetValidator validator(path, ingest);
   TripleList triples;
   triples.reserve(lines->size());
   for (size_t line_no = 0; line_no < lines->size(); ++line_no) {
-    const std::string& line = (*lines)[line_no];
+    auto checked = validator.CheckLine((*lines)[line_no], line_no + 1);
+    if (!checked.ok()) return checked.status();
+    const std::string_view line = *checked;
     if (Trim(line).empty()) continue;
     const std::vector<std::string> fields = Split(line, '\t');
     if (fields.size() != 3) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: expected 3 tab-separated fields, got %zu",
-                    path.c_str(), line_no + 1, fields.size()));
+      return validator.Malformed(
+          line_no + 1, StrFormat("expected 3 tab-separated fields, got %zu",
+                                 fields.size()));
+    }
+    const std::string_view head = Trim(fields[0]);
+    const std::string_view relation = Trim(fields[1]);
+    const std::string_view tail = Trim(fields[2]);
+    if (head.empty() || relation.empty() || tail.empty()) {
+      return validator.Malformed(line_no + 1, "empty symbol name");
     }
     Triple t;
-    t.head = vocab.InternEntity(Trim(fields[0]));
-    t.relation = vocab.InternRelation(Trim(fields[1]));
-    t.tail = vocab.InternEntity(Trim(fields[2]));
+    t.head = vocab.InternEntity(head);
+    t.relation = vocab.InternRelation(relation);
+    t.tail = vocab.InternEntity(tail);
     triples.push_back(t);
   }
   return triples;
 }
 
+}  // namespace
+
+StatusOr<TripleList> LoadTripleFile(const std::string& path, Vocab& vocab,
+                                    const IngestOptions& ingest) {
+  auto triples = LoadTripleFileImpl(path, vocab, ingest);
+  if (!triples.ok()) return CountRejected(triples.status());
+  return triples;
+}
+
 StatusOr<Dataset> LoadDatasetDir(const std::string& dir,
-                                 const std::string& name) {
+                                 const std::string& name,
+                                 const IngestOptions& ingest) {
   Vocab vocab;
-  auto train = LoadTripleFile(dir + "/train.txt", vocab);
+  auto train = LoadTripleFile(dir + "/train.txt", vocab, ingest);
   if (!train.ok()) return train.status();
-  auto valid = LoadTripleFile(dir + "/valid.txt", vocab);
+  auto valid = LoadTripleFile(dir + "/valid.txt", vocab, ingest);
   if (!valid.ok()) return valid.status();
-  auto test = LoadTripleFile(dir + "/test.txt", vocab);
+  auto test = LoadTripleFile(dir + "/test.txt", vocab, ingest);
   if (!test.ok()) return test.status();
   return Dataset(name, std::move(vocab), std::move(*train), std::move(*valid),
                  std::move(*test));
@@ -61,41 +96,74 @@ std::string RenderSplit(const Dataset& dataset, const TripleList& triples) {
   return out;
 }
 
-}  // namespace
-
-namespace {
+// Reads the "<count>" header line of an OpenKE file: strictly parsed,
+// non-negative.
+StatusOr<long> ParseCountHeader(const DatasetValidator& validator,
+                                const std::string& header_line) {
+  auto checked = validator.CheckLine(header_line, 1);
+  if (!checked.ok()) return checked.status();
+  auto declared = validator.ParseId(*checked, "count header", 1);
+  if (!declared.ok()) return declared.status();
+  if (*declared < 0) {
+    return validator.Malformed(
+        1, StrFormat("negative count header %ld", *declared));
+  }
+  return declared;
+}
 
 // Parses an OpenKE "<count>\n<entries...>" symbol file into `table` via
-// `intern`, validating that ids are dense and consistent.
+// `intern`, validating that the header matches the entry count and that
+// ids are dense and unique.
 Status LoadOpenKeSymbols(const std::string& path,
+                         const IngestOptions& ingest,
                          const std::function<int32_t(std::string_view)>&
                              intern) {
   auto lines = ReadLines(path);
   if (!lines.ok()) return lines.status();
+  const DatasetValidator validator(path, ingest);
   if (lines->empty()) {
     return Status::InvalidArgument(path + ": missing count header");
   }
-  const long declared = std::atol((*lines)[0].c_str());
+  auto declared = ParseCountHeader(validator, (*lines)[0]);
+  if (!declared.ok()) return declared.status();
   std::vector<std::pair<std::string, int32_t>> entries;
   for (size_t i = 1; i < lines->size(); ++i) {
-    if (Trim((*lines)[i]).empty()) continue;
-    const std::vector<std::string> fields = Split((*lines)[i], '\t');
+    auto checked = validator.CheckLine((*lines)[i], i + 1);
+    if (!checked.ok()) return checked.status();
+    const std::string_view line = *checked;
+    if (Trim(line).empty()) continue;
+    const std::vector<std::string> fields = Split(line, '\t');
     if (fields.size() != 2) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: expected 'name<TAB>id'", path.c_str(), i + 1));
+      return validator.Malformed(i + 1, "expected 'name<TAB>id'");
     }
-    entries.push_back({std::string(Trim(fields[0])),
-                       static_cast<int32_t>(std::atol(fields[1].c_str()))});
+    const std::string_view name = Trim(fields[0]);
+    if (name.empty()) {
+      return validator.Malformed(i + 1, "empty symbol name");
+    }
+    auto id = validator.ParseId(fields[1], "symbol id", i + 1);
+    if (!id.ok()) return id.status();
+    if (*id < 0 || *id >= *declared) {
+      return validator.Malformed(
+          i + 1, StrFormat("symbol id %ld outside declared range [0, %ld)",
+                           *id, *declared));
+    }
+    entries.push_back({std::string(name), static_cast<int32_t>(*id)});
   }
-  if (static_cast<long>(entries.size()) != declared) {
+  if (static_cast<long>(entries.size()) != *declared) {
     return Status::InvalidArgument(
         StrFormat("%s: header declares %ld entries, found %zu", path.c_str(),
-                  declared, entries.size()));
+                  *declared, entries.size()));
   }
   // Ids must be the dense range [0, n); intern in id order so our ids match.
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });
   for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0 && entries[i].second == entries[i - 1].second) {
+      return Status::InvalidArgument(
+          StrFormat("%s: duplicate id %d ('%s' and '%s')", path.c_str(),
+                    entries[i].second, entries[i - 1].first.c_str(),
+                    entries[i].first.c_str()));
+    }
     if (entries[i].second != static_cast<int32_t>(i)) {
       return Status::InvalidArgument(path + ": ids are not dense from 0");
     }
@@ -108,32 +176,66 @@ Status LoadOpenKeSymbols(const std::string& path,
 }
 
 StatusOr<TripleList> LoadOpenKeTriples(const std::string& path,
+                                       const IngestOptions& ingest,
                                        int32_t num_entities,
                                        int32_t num_relations) {
   auto lines = ReadLines(path);
   if (!lines.ok()) return lines.status();
+  const DatasetValidator validator(path, ingest);
   if (lines->empty()) {
     return Status::InvalidArgument(path + ": missing count header");
   }
+  auto declared = ParseCountHeader(validator, (*lines)[0]);
+  if (!declared.ok()) return declared.status();
   TripleList triples;
   for (size_t i = 1; i < lines->size(); ++i) {
-    if (Trim((*lines)[i]).empty()) continue;
-    const std::vector<std::string> fields = SplitWhitespace((*lines)[i]);
+    auto checked = validator.CheckLine((*lines)[i], i + 1);
+    if (!checked.ok()) return checked.status();
+    const std::string_view line = *checked;
+    if (Trim(line).empty()) continue;
+    const std::vector<std::string> fields = SplitWhitespace(line);
     if (fields.size() != 3) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: expected 'h t r'", path.c_str(), i + 1));
+      return validator.Malformed(i + 1, "expected 'h t r'");
+    }
+    auto head = validator.ParseId(fields[0], "head id", i + 1);
+    if (!head.ok()) return head.status();
+    auto tail = validator.ParseId(fields[1], "tail id", i + 1);  // tail 2nd
+    if (!tail.ok()) return tail.status();
+    auto relation = validator.ParseId(fields[2], "relation id", i + 1);
+    if (!relation.ok()) return relation.status();
+    if (*head < 0 || *head >= num_entities) {
+      return validator.Malformed(
+          i + 1, StrFormat("head id %ld outside entity range [0, %d)", *head,
+                           num_entities));
+    }
+    if (*tail < 0 || *tail >= num_entities) {
+      return validator.Malformed(
+          i + 1, StrFormat("tail id %ld outside entity range [0, %d)", *tail,
+                           num_entities));
+    }
+    if (*relation < 0 || *relation >= num_relations) {
+      // A relation id that would be a valid entity, next to a tail column
+      // that would be a valid relation, is the signature of the common
+      // "h r t" column order; OpenKE files are "h t r".
+      std::string detail =
+          StrFormat("relation id %ld outside relation range [0, %d)",
+                    *relation, num_relations);
+      if (*relation < num_entities && *tail < num_relations) {
+        detail += "; columns look like 'h r t' — OpenKE order is 'h t r' "
+                  "(tail before relation)";
+      }
+      return validator.Malformed(i + 1, detail);
     }
     Triple t;
-    t.head = static_cast<EntityId>(std::atol(fields[0].c_str()));
-    t.tail = static_cast<EntityId>(std::atol(fields[1].c_str()));  // tail 2nd
-    t.relation = static_cast<RelationId>(std::atol(fields[2].c_str()));
-    if (t.head < 0 || t.head >= num_entities || t.tail < 0 ||
-        t.tail >= num_entities || t.relation < 0 ||
-        t.relation >= num_relations) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: id out of range", path.c_str(), i + 1));
-    }
+    t.head = static_cast<EntityId>(*head);
+    t.tail = static_cast<EntityId>(*tail);
+    t.relation = static_cast<RelationId>(*relation);
     triples.push_back(t);
+  }
+  if (static_cast<long>(triples.size()) != *declared) {
+    return Status::InvalidArgument(
+        StrFormat("%s: header declares %ld triples, found %zu", path.c_str(),
+                  *declared, triples.size()));
   }
   return triples;
 }
@@ -141,25 +243,27 @@ StatusOr<TripleList> LoadOpenKeTriples(const std::string& path,
 }  // namespace
 
 StatusOr<Dataset> LoadOpenKeDataset(const std::string& dir,
-                                    const std::string& name) {
+                                    const std::string& name,
+                                    const IngestOptions& ingest) {
   Vocab vocab;
-  KGC_RETURN_IF_ERROR(LoadOpenKeSymbols(
-      dir + "/entity2id.txt",
-      [&vocab](std::string_view s) { return vocab.InternEntity(s); }));
-  KGC_RETURN_IF_ERROR(LoadOpenKeSymbols(
-      dir + "/relation2id.txt",
-      [&vocab](std::string_view s) { return vocab.InternRelation(s); }));
-  auto train = LoadOpenKeTriples(dir + "/train2id.txt", vocab.num_entities(),
-                                 vocab.num_relations());
-  if (!train.ok()) return train.status();
-  auto valid = LoadOpenKeTriples(dir + "/valid2id.txt", vocab.num_entities(),
-                                 vocab.num_relations());
-  if (!valid.ok()) return valid.status();
-  auto test = LoadOpenKeTriples(dir + "/test2id.txt", vocab.num_entities(),
-                                vocab.num_relations());
-  if (!test.ok()) return test.status();
-  return Dataset(name, std::move(vocab), std::move(*train),
-                 std::move(*valid), std::move(*test));
+  KGC_RETURN_IF_ERROR(CountRejected(LoadOpenKeSymbols(
+      dir + "/entity2id.txt", ingest,
+      [&vocab](std::string_view s) { return vocab.InternEntity(s); })));
+  KGC_RETURN_IF_ERROR(CountRejected(LoadOpenKeSymbols(
+      dir + "/relation2id.txt", ingest,
+      [&vocab](std::string_view s) { return vocab.InternRelation(s); })));
+  const std::string splits[] = {"train2id.txt", "valid2id.txt",
+                                "test2id.txt"};
+  TripleList loaded[3];
+  for (int s = 0; s < 3; ++s) {
+    auto triples = LoadOpenKeTriples(dir + "/" + splits[s], ingest,
+                                     vocab.num_entities(),
+                                     vocab.num_relations());
+    if (!triples.ok()) return CountRejected(triples.status());
+    loaded[s] = std::move(*triples);
+  }
+  return Dataset(name, std::move(vocab), std::move(loaded[0]),
+                 std::move(loaded[1]), std::move(loaded[2]));
 }
 
 Status SaveOpenKeDataset(const Dataset& dataset, const std::string& dir) {

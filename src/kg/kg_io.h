@@ -6,6 +6,14 @@
 //
 // Identical to the distribution format of FB15k / WN18 / FB15k-237 etc., so
 // users with the real datasets can load them directly.
+//
+// All loaders validate their input through DatasetValidator
+// (kg/dataset_validator.h): malformed lines, embedded NUL bytes, bad ids
+// and header/count mismatches come back as a descriptive Status, never as a
+// crash or a silently wrong graph. The IngestOptions parameter selects
+// strict vs. lenient handling of recoverable noise (CRLF, non-UTF-8
+// names); the default is lenient, which accepts the published dataset
+// dumps as-is.
 
 #ifndef KGC_KG_KG_IO_H_
 #define KGC_KG_KG_IO_H_
@@ -13,6 +21,7 @@
 #include <string>
 
 #include "kg/dataset.h"
+#include "kg/dataset_validator.h"
 #include "util/status.h"
 
 namespace kgc {
@@ -20,13 +29,16 @@ namespace kgc {
 /// Loads a dataset from a directory with train.txt/valid.txt/test.txt.
 /// Symbols are interned in encounter order.
 StatusOr<Dataset> LoadDatasetDir(const std::string& dir,
-                                 const std::string& name);
+                                 const std::string& name,
+                                 const IngestOptions& ingest = {});
 
 /// Saves a dataset into `dir` (created if missing) in the same layout.
 Status SaveDatasetDir(const Dataset& dataset, const std::string& dir);
 
-/// Parses one split file into `vocab`-interned triples.
-StatusOr<TripleList> LoadTripleFile(const std::string& path, Vocab& vocab);
+/// Parses one split file into `vocab`-interned triples. Rejects lines
+/// without exactly 3 tab-separated fields or with empty symbol names.
+StatusOr<TripleList> LoadTripleFile(const std::string& path, Vocab& vocab,
+                                    const IngestOptions& ingest = {});
 
 /// OpenKE benchmark layout (github.com/thunlp/OpenKE):
 ///
@@ -35,9 +47,14 @@ StatusOr<TripleList> LoadTripleFile(const std::string& path, Vocab& vocab);
 ///   <dir>/train2id.txt      first line = count, then "head tail relation"
 ///   <dir>/valid2id.txt, <dir>/test2id.txt
 ///
-/// Note OpenKE's id files put the TAIL before the RELATION.
+/// Note OpenKE's id files put the TAIL before the RELATION. Every count
+/// header is checked against the actual number of entries, symbol ids must
+/// be dense and unique, and triple ids must be inside the declared vocab —
+/// an out-of-range relation whose columns look transposed gets a hint
+/// about the tail/relation column order.
 StatusOr<Dataset> LoadOpenKeDataset(const std::string& dir,
-                                    const std::string& name);
+                                    const std::string& name,
+                                    const IngestOptions& ingest = {});
 
 /// Saves a dataset in the OpenKE layout.
 Status SaveOpenKeDataset(const Dataset& dataset, const std::string& dir);

@@ -6,6 +6,7 @@
 #include "kg/relation_stats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/deadline.h"
 #include "util/file_util.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -186,6 +187,7 @@ TrainStats TrainModel(KgeModel& model, const Dataset& dataset,
   const TripleList& triples = dataset.train();
   KGC_CHECK(!triples.empty());
 
+  DeadlinePhase deadline_phase("train");
   obs::TraceSpan train_span("train_model");
   train_span.AddArgStr("model", model.name());
   train_span.AddArgStr("dataset", dataset.name().c_str());
@@ -326,6 +328,26 @@ TrainStats TrainModel(KgeModel& model, const Dataset& dataset,
         epoch + 1 - start_epoch >= options.abort_after_epoch) {
       stats.seconds = watch.ElapsedSeconds();
       return stats;  // simulated kill: checkpoint (if any) stays behind
+    }
+    // Cooperative watchdog: the end of an epoch is the trainer's phase
+    // boundary. On expiry, persist a resume point at exactly this epoch
+    // (the every-N schedule may not have) so the orderly timeout exit
+    // loses nothing, then hand off to the deadline handler.
+    if (PhaseCheck("train_epoch") && !final_epoch) {
+      if (checkpointing) {
+        const Status saved = SaveCheckpoint(model, options, epoch + 1,
+                                            stats.final_loss, rng, order);
+        if (saved.ok()) {
+          checkpoint_saves.Increment();
+        } else {
+          LogWarning("deadline checkpoint save failed: %s",
+                     saved.ToString().c_str());
+        }
+      }
+      stats.deadline_hit = true;
+      stats.seconds = watch.ElapsedSeconds();
+      HandleDeadlineExpiry("train_epoch");
+      return stats;  // only reached under a test deadline handler
     }
   }
   if (checkpointing) {

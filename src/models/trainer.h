@@ -50,6 +50,11 @@ struct TrainStats {
   int epochs_run = 0;    ///< total completed epochs, including resumed ones
   /// Epochs restored from a checkpoint (0 = fresh run).
   int resumed_from_epoch = 0;
+  /// The phase deadline (util/deadline.h) expired mid-training. A resume
+  /// checkpoint was saved first (when checkpointing is configured), so a
+  /// retry continues from here bit-exactly. Only observable under a test
+  /// deadline handler — the default handler exits the process.
+  bool deadline_hit = false;
 };
 
 /// Trains `model` on the training split of `dataset` in place.

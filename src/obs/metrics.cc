@@ -68,7 +68,8 @@ Registry::Registry() {
         kRedundancyPairsFlagged, kRedundancyTriplesClassified,
         kAmieCandidates, kAmieRulesKept, kCacheModelHits, kCacheModelMisses,
         kCacheRankHits, kCacheRankMisses, kCacheQuarantined,
-        kCacheStoreUnusable, kFaultsInjected}) {
+        kCacheStoreUnusable, kFaultsInjected, kDeadlineExpired,
+        kIngestRejectedFiles}) {
     counters_.emplace(name, std::make_unique<Counter>());
   }
   gauges_.emplace(kTrainerLastLoss, std::make_unique<Gauge>());

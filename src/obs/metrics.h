@@ -164,6 +164,8 @@ inline constexpr char kCacheRankMisses[] = "kgc.cache.rank_misses";
 inline constexpr char kCacheQuarantined[] = "kgc.cache.quarantined";
 inline constexpr char kCacheStoreUnusable[] = "kgc.cache.store_unusable";
 inline constexpr char kFaultsInjected[] = "kgc.faults.injected";
+inline constexpr char kDeadlineExpired[] = "kgc.deadline.expired";
+inline constexpr char kIngestRejectedFiles[] = "kgc.ingest.rejected_files";
 
 class Registry {
  public:

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <ctime>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "obs/json.h"
@@ -22,7 +23,20 @@ std::string NowIso8601Utc() {
   return buf;
 }
 
+std::mutex g_exit_cause_mutex;
+std::string g_exit_cause;  // guarded by g_exit_cause_mutex
+
 }  // namespace
+
+void SetRunExitCause(const std::string& cause) {
+  std::lock_guard<std::mutex> lock(g_exit_cause_mutex);
+  g_exit_cause = cause;
+}
+
+std::string RunExitCause() {
+  std::lock_guard<std::mutex> lock(g_exit_cause_mutex);
+  return g_exit_cause;
+}
 
 std::string RenderRunReport(const RunInfo& info) {
   const MetricsSnapshot snapshot = Registry::Get().Snapshot();
@@ -38,6 +52,14 @@ std::string RenderRunReport(const RunInfo& info) {
   out << ",\"threads\":" << info.threads;
   out << ",\"wall_seconds\":" << JsonDouble(info.wall_seconds);
   out << ",\"exit_code\":" << info.exit_code;
+  std::string cause = info.exit_cause;
+  if (cause.empty()) cause = RunExitCause();
+  if (cause.empty()) {
+    cause = info.exit_code == 0
+                ? "ok"
+                : "exit:" + std::to_string(info.exit_code);
+  }
+  out << ",\"exit_cause\":\"" << JsonEscape(cause) << "\"";
 
   out << ",\"counters\":{";
   for (size_t i = 0; i < snapshot.counters.size(); ++i) {

@@ -22,7 +22,17 @@ struct RunInfo {
   int threads = 0;        ///< resolved worker count (0 = unknown)
   double wall_seconds = 0.0;
   int exit_code = 0;
+  /// Why the run ended: "ok", "exit:<n>", "deadline:<phase>",
+  /// "signal:<name>", "early_exit". Derived from exit_code (or the
+  /// recorded process exit cause, see SetRunExitCause) when empty.
+  std::string exit_cause;
 };
+
+/// Records why the process is exiting so abnormal-exit report hooks (the
+/// bench harness's signal/atexit handlers) can attribute the run. The last
+/// write wins; thread-safe.
+void SetRunExitCause(const std::string& cause);
+std::string RunExitCause();
 
 /// Renders the run report — metrics snapshot + span rollups + `info` — as a
 /// single-line JSON document (no trailing newline).

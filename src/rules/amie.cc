@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/deadline.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -84,6 +85,7 @@ struct RuleCandidate {
 
 std::vector<Rule> MineRules(const TripleStore& train,
                             const AmieOptions& options) {
+  DeadlinePhase deadline_phase("mine");
   obs::TraceSpan span("mine_rules");
   span.AddArgInt("relations", train.num_relations());
   span.AddArgInt("triples", static_cast<long long>(train.size()));
@@ -144,6 +146,10 @@ std::vector<Rule> MineRules(const TripleStore& train,
   for (std::vector<RuleCandidate>& local : unary_local) {
     candidates.insert(candidates.end(), local.begin(), local.end());
   }
+  // Candidate rounds are the miner's deadline boundaries: a timeout lands
+  // between rounds, never inside a sharded sweep. Rules are mined from the
+  // training split alone, so a retry simply re-mines.
+  PhaseBoundary("mine_unary_candidates");
 
   // --- Path rules: r1(x,z) ^ r2(z,y) => rh(x,y). --------------------------
   // Enumerate 2-hop body pairs through each mediator entity; bodies are
@@ -205,6 +211,8 @@ std::vector<Rule> MineRules(const TripleStore& train,
       candidates.push_back(candidate);
     }
   }
+
+  PhaseBoundary("mine_path_candidates");
 
   // --- Support/confidence evaluation, sharded over candidates. ------------
   // The PCA denominator — body pairs whose x has some head-relation fact —

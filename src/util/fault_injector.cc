@@ -17,6 +17,12 @@ bool ParseFaultKind(const std::string& name, FaultKind* kind) {
     *kind = FaultKind::kEnospc;
   } else if (name == "rename_fail") {
     *kind = FaultKind::kRenameFail;
+  } else if (name == "mkdir_fail") {
+    *kind = FaultKind::kMkdirFail;
+  } else if (name == "stall") {
+    *kind = FaultKind::kStall;
+  } else if (name == "crash") {
+    *kind = FaultKind::kCrash;
   } else {
     return false;
   }
@@ -99,7 +105,7 @@ bool FaultInjector::ArmFromSpec(const std::string& spec) {
         times = static_cast<int>(value);
       } else if (kv[0] == "skip") {
         skip = static_cast<int>(value);
-      } else if (kv[0] == "bytes") {
+      } else if (kv[0] == "bytes" || kv[0] == "ms") {
         payload = value;
       } else {
         entry_ok = false;

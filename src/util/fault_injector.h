@@ -8,14 +8,22 @@
 // programmatically; end-to-end runs can arm them through the KGC_FAULTS
 // environment variable (parsed once, on first use):
 //
-//   KGC_FAULTS=<kind>[:times=<n>][:skip=<n>][:bytes=<n>][,<kind>...]
+//   KGC_FAULTS=<kind>[:times=<n>][:skip=<n>][:bytes=<n>][:ms=<n>][,<kind>...]
 //
-//   kind   one of torn_write, short_read, enospc, rename_fail
+//   kind   one of torn_write, short_read, enospc, rename_fail, mkdir_fail,
+//          stall, crash
 //   times  how many matching operations fail (default 1)
 //   skip   how many matching operations succeed first (default 0)
 //   bytes  for torn_write: prefix bytes persisted before the failure
+//   ms     for stall: milliseconds the phase boundary sleeps
 //
 // e.g. KGC_FAULTS=torn_write:bytes=64,short_read:times=2:skip=1
+//
+// `stall` and `crash` fire at phase boundaries (util/deadline.h) rather
+// than in the I/O layer: `stall` sleeps the boundary for `ms` milliseconds
+// (driving watchdog timeouts), `crash` aborts the process mid-phase
+// (driving supervisor crash recovery). `mkdir_fail` fails directory
+// creation in MakeDirectories.
 //
 // All cache I/O runs on the serial training/caching path (parallel workers
 // only compute; see DESIGN.md "Execution engine"), so the registry is
@@ -35,8 +43,11 @@ enum class FaultKind : int {
   kShortRead = 1,   ///< read returns fewer bytes than the file holds
   kEnospc = 2,      ///< write fails up front (device full)
   kRenameFail = 3,  ///< atomic-write rename never happens
+  kMkdirFail = 4,   ///< directory creation fails
+  kStall = 5,       ///< phase boundary sleeps `ms` milliseconds
+  kCrash = 6,       ///< phase boundary aborts the process
 };
-inline constexpr int kNumFaultKinds = 4;
+inline constexpr int kNumFaultKinds = 7;
 
 /// Parses a fault kind name ("torn_write", ...); returns false on unknown.
 bool ParseFaultKind(const std::string& name, FaultKind* kind);

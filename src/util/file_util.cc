@@ -149,7 +149,11 @@ void QuarantineCorrupt(const std::string& path, const Status& why) {
       obs::Registry::Get().GetCounter(obs::kCacheQuarantined);
   quarantined.Increment();
   const std::string quarantine_path = path + ".corrupt";
-  if (std::rename(path.c_str(), quarantine_path.c_str()) == 0) {
+  // The quarantine rename is itself storage I/O, so it honors the same
+  // failpoint as the atomic-write rename; the fallback (delete the corrupt
+  // artifact) keeps the cache healthy even when renames are failing.
+  if (!FaultInjector::Get().ShouldFail(FaultKind::kRenameFail) &&
+      std::rename(path.c_str(), quarantine_path.c_str()) == 0) {
     LogWarning("quarantined corrupt artifact %s -> %s (%s)", path.c_str(),
                quarantine_path.c_str(), why.ToString().c_str());
   } else {
@@ -179,6 +183,9 @@ StatusOr<std::vector<std::string>> ReadLines(const std::string& path) {
 }
 
 Status MakeDirectories(const std::string& path) {
+  if (FaultInjector::Get().ShouldFail(FaultKind::kMkdirFail)) {
+    return Status::IoError("mkdir failed (injected): " + path);
+  }
   std::error_code error;
   std::filesystem::create_directories(path, error);
   if (error) {

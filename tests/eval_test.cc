@@ -8,6 +8,7 @@
 #include "eval/comparison.h"
 #include "eval/metrics.h"
 #include "eval/ranker.h"
+#include "util/deadline.h"
 #include "util/rng.h"
 
 namespace kgc {
@@ -83,6 +84,40 @@ TEST(RankerTest, CustomFilterStore) {
   // Raw: e1, e2, e4 above e3 -> rank 4. Filtered: all three removed -> 1.
   EXPECT_DOUBLE_EQ(ranks[0].tail_raw, 4.0);
   EXPECT_DOUBLE_EQ(ranks[0].tail_filtered, 1.0);
+}
+
+int g_ranker_deadline_hits = 0;
+std::string g_ranker_deadline_phase;
+void RecordRankerDeadline(const char* phase) {
+  ++g_ranker_deadline_hits;
+  g_ranker_deadline_phase = phase;
+}
+
+// An over-budget sweep hits the boundary between the two joined ranking
+// passes — never inside one — and since ranks are recomputed from the
+// cached model on retry, results under a test handler are still complete
+// and identical.
+TEST(RankerTest, DeadlineChecksBetweenPassesLeaveResultsIntact) {
+  const StubPredictor predictor({0.1f, 0.9f, 0.8f, 0.5f, 0.2f});
+  const Dataset dataset = SmallDataset();
+  const auto reference = RankTriples(predictor, dataset, dataset.test());
+
+  SetDeadlineHandlerForTest(RecordRankerDeadline);
+  g_ranker_deadline_hits = 0;
+  // One nanosecond: the stub sweep outruns any human-scale budget, and the
+  // point is only that the boundary observes an already-expired clock.
+  Deadline::Global().SetPhaseBudget(1e-9);
+  const auto ranks = RankTriples(predictor, dataset, dataset.test());
+  Deadline::Global().SetPhaseBudget(0);
+  SetDeadlineHandlerForTest(nullptr);
+
+  EXPECT_GE(g_ranker_deadline_hits, 1);  // rank_pass, then rank_done
+  EXPECT_EQ(g_ranker_deadline_phase, "rank_done");
+  ASSERT_EQ(ranks.size(), reference.size());
+  EXPECT_EQ(ranks[0].tail_raw, reference[0].tail_raw);
+  EXPECT_EQ(ranks[0].tail_filtered, reference[0].tail_filtered);
+  EXPECT_EQ(ranks[0].head_raw, reference[0].head_raw);
+  EXPECT_EQ(ranks[0].head_filtered, reference[0].head_filtered);
 }
 
 TEST(MetricsTest, AccumulatorComputesAllMeasures) {

@@ -15,9 +15,11 @@
 #include "eval/ranker.h"
 #include "models/model_store.h"
 #include "models/trainer.h"
+#include "util/deadline.h"
 #include "util/fault_injector.h"
 #include "util/file_util.h"
 #include "util/serialize.h"
+#include "util/stopwatch.h"
 
 namespace kgc {
 namespace {
@@ -76,6 +78,73 @@ TEST_F(FaultInjectionTest, SpecParsing) {
   EXPECT_FALSE(faults.ShouldFail(FaultKind::kEnospc));
   EXPECT_TRUE(faults.ShouldFail(FaultKind::kEnospc));
   EXPECT_FALSE(faults.ShouldFail(FaultKind::kEnospc));
+}
+
+TEST_F(FaultInjectionTest, StallAndCrashSpecsParse) {
+  FaultInjector& faults = FaultInjector::Get();
+  EXPECT_TRUE(faults.ArmFromSpec("stall:times=2:ms=40,crash:times=1"));
+  EXPECT_EQ(faults.times_remaining(FaultKind::kStall), 2);
+  EXPECT_EQ(faults.times_remaining(FaultKind::kCrash), 1);
+  int64_t payload = 0;
+  EXPECT_TRUE(faults.ShouldFail(FaultKind::kStall, &payload));
+  EXPECT_EQ(payload, 40);
+  faults.DisarmAll();
+  EXPECT_TRUE(faults.ArmFromSpec("mkdir_fail:times=1"));
+  EXPECT_EQ(faults.times_remaining(FaultKind::kMkdirFail), 1);
+}
+
+// --- Phase-boundary failpoints (stall / crash) ---------------------------
+
+TEST_F(FaultInjectionTest, StallFailpointDelaysPhaseBoundaryOnce) {
+  ASSERT_TRUE(FaultInjector::Get().ArmFromSpec("stall:times=1:ms=60"));
+  Stopwatch stalled;
+  PhaseBoundary("stall_here");
+  EXPECT_GE(stalled.ElapsedSeconds(), 0.05);
+  Stopwatch clean;
+  PhaseBoundary("no_stall");  // failpoint exhausted
+  EXPECT_LT(clean.ElapsedSeconds(), 0.05);
+}
+
+TEST_F(FaultInjectionTest, CrashFailpointAbortsAtPhaseBoundary) {
+  EXPECT_DEATH(
+      {
+        FaultInjector::Get().Arm(FaultKind::kCrash, /*times=*/1);
+        PhaseBoundary("boom");
+      },
+      "");
+}
+
+// --- Directory create / quarantine rename paths --------------------------
+
+TEST_F(FaultInjectionTest, MkdirFailureSurfacesAsCleanIoError) {
+  const std::string root = TempPath("kgc_fi_mkdir");
+  std::filesystem::remove_all(root);
+  FaultInjector::Get().Arm(FaultKind::kMkdirFail, /*times=*/1);
+  const Status status = MakeDirectories(root + "/new/deep");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_FALSE(std::filesystem::exists(root + "/new/deep"));
+  // Failpoint exhausted: the same call now succeeds.
+  EXPECT_TRUE(MakeDirectories(root + "/new/deep").ok());
+  std::filesystem::remove_all(root);
+}
+
+TEST_F(FaultInjectionTest, QuarantineRenameFailureFallsBackToRemoval) {
+  const std::string path = TempPath("kgc_fi_qrename.bin");
+  ASSERT_TRUE(WriteStringToFile(path, "bad artifact").ok());
+  FaultInjector::Get().Arm(FaultKind::kRenameFail, /*times=*/1);
+  QuarantineCorrupt(path, Status::Internal("injected quarantine"));
+  // The rename was injected to fail; the artifact must still be gone (the
+  // caller regenerates), just without the .corrupt evidence file.
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + ".corrupt"));
+
+  // And with the failpoint clear, quarantine preserves the evidence.
+  ASSERT_TRUE(WriteStringToFile(path, "bad artifact").ok());
+  QuarantineCorrupt(path, Status::Internal("injected quarantine"));
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(FileExists(path + ".corrupt"));
+  std::remove((path + ".corrupt").c_str());
 }
 
 // --- Atomic writes under injected faults --------------------------------

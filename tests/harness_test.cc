@@ -1,0 +1,306 @@
+// Supervision-tree tests: real subprocesses (tests/harness_worker.cc)
+// driven through RunSubprocess and RunSuite — watchdog escalation, crash
+// attribution, retry-then-succeed, quarantine escalation, orderly deadline
+// timeouts, and graceful suite degradation with a parseable manifest.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/subprocess.h"
+#include "harness/suite.h"
+#include "util/deadline.h"
+#include "util/file_util.h"
+
+#ifndef KGC_HARNESS_WORKER_PATH
+#error "KGC_HARNESS_WORKER_PATH must point at the harness_worker binary"
+#endif
+
+namespace kgc {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* const kWorker = KGC_HARNESS_WORKER_PATH;
+
+std::string ReadAll(const std::string& path) {
+  auto content = ReadFileToString(path);
+  return content.ok() ? *content : std::string();
+}
+
+// Temp directory tree per test: a fake bench dir of mode-named symlinks to
+// the worker, plus out/cache/state dirs.
+class HarnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("kgc_harness_" +
+              std::string(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name())))
+                .string();
+    fs::remove_all(root_);
+    ASSERT_TRUE(MakeDirectories(root_ + "/bench").ok());
+    ASSERT_TRUE(MakeDirectories(root_ + "/state").ok());
+    ::setenv("KGC_WORKER_STATE", (root_ + "/state").c_str(), 1);
+  }
+
+  void TearDown() override {
+    ::unsetenv("KGC_WORKER_STATE");
+    fs::remove_all(root_);
+  }
+
+  // Exposes the worker under a mode-name in the fake bench dir.
+  void AddTable(const std::string& mode) {
+    fs::create_symlink(kWorker, root_ + "/bench/" + mode);
+  }
+
+  SuiteOptions BaseOptions() {
+    SuiteOptions options;
+    options.bench_dir = root_ + "/bench";
+    options.out_dir = root_ + "/out";
+    options.cache_dir = root_ + "/cache";
+    options.max_attempts = 3;
+    options.backoff_base_seconds = 0.01;
+    return options;
+  }
+
+  std::string root_;
+};
+
+// --- RunSubprocess -------------------------------------------------------
+
+TEST_F(HarnessTest, SubprocessCapturesStdoutAndExitCode) {
+  SubprocessOptions options;
+  options.argv = {kWorker, "ok"};
+  options.stdout_path = root_ + "/stdout.txt";
+  auto result = RunSubprocess(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(result->exit_code, 0);
+  EXPECT_EQ(result->Describe(), "exit:0");
+  EXPECT_EQ(ReadAll(options.stdout_path),
+            "worker: deterministic table output\n");
+
+  options.argv = {kWorker, "exit=3"};
+  result = RunSubprocess(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->exit_code, 3);
+  EXPECT_EQ(result->Describe(), "exit:3");
+}
+
+TEST_F(HarnessTest, SubprocessMissingBinaryIsExec127) {
+  SubprocessOptions options;
+  options.argv = {root_ + "/bench/does_not_exist"};
+  auto result = RunSubprocess(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->exit_code, 127);
+}
+
+TEST_F(HarnessTest, SubprocessSignalIsAttributed) {
+  SubprocessOptions options;
+  options.argv = {kWorker, "crash"};
+  options.stderr_path = root_ + "/stderr.txt";
+  auto result = RunSubprocess(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->term_signal, SIGABRT);
+  EXPECT_EQ(result->Describe(), "signal:SIGABRT");
+}
+
+TEST_F(HarnessTest, WatchdogTermsHungChild) {
+  SubprocessOptions options;
+  options.argv = {kWorker, "hang"};
+  options.stderr_path = root_ + "/stderr.txt";
+  options.timeout_seconds = 0.2;
+  options.term_grace_seconds = 5.0;
+  auto result = RunSubprocess(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->timed_out);
+  EXPECT_EQ(result->term_signal, SIGTERM);
+  EXPECT_EQ(result->Describe(), "watchdog(signal:SIGTERM)");
+  EXPECT_LT(result->seconds, 4.0);  // grace not exhausted
+}
+
+TEST_F(HarnessTest, WatchdogKillsTermIgnoringChild) {
+  SubprocessOptions options;
+  options.argv = {kWorker, "hang-hard"};
+  options.stderr_path = root_ + "/stderr.txt";
+  options.timeout_seconds = 0.2;
+  options.term_grace_seconds = 0.2;
+  auto result = RunSubprocess(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->timed_out);
+  EXPECT_EQ(result->term_signal, SIGKILL);
+  EXPECT_EQ(result->Describe(), "watchdog(signal:SIGKILL)");
+}
+
+// The BenchTelemetry crash hook flushes a run report with the real cause
+// even when the worker dies on a signal.
+TEST_F(HarnessTest, CrashedWorkerLeavesAttributedRunReport) {
+  const std::string report = root_ + "/crash.report.jsonl";
+  SubprocessOptions options;
+  options.argv = {kWorker, "crash", "--report=" + report};
+  options.stderr_path = root_ + "/stderr.txt";
+  auto result = RunSubprocess(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->term_signal, SIGABRT);
+  const std::string content = ReadAll(report);
+  EXPECT_NE(content.find("\"exit_cause\":\"signal:SIGABRT\""),
+            std::string::npos)
+      << content;
+}
+
+// An over-budget phase exits through the orderly deadline path: exit code
+// 124 and a "deadline:<phase>" cause in the report.
+TEST_F(HarnessTest, DeadlineExitIsOrderlyAndAttributed) {
+  const std::string report = root_ + "/deadline.report.jsonl";
+  SubprocessOptions options;
+  options.argv = {kWorker, "deadline", "--report=" + report};
+  options.stderr_path = root_ + "/stderr.txt";
+  options.env = {{"KGC_PHASE_TIMEOUT_S", "0.05"}};
+  auto result = RunSubprocess(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->term_signal, 0);
+  EXPECT_EQ(result->exit_code, kDeadlineExitCode);
+  const std::string content = ReadAll(report);
+  EXPECT_NE(content.find("\"exit_cause\":\"deadline:work\""),
+            std::string::npos)
+      << content;
+}
+
+// --- RunSuite ------------------------------------------------------------
+
+TEST_F(HarnessTest, RetryWithBackoffThenSucceed) {
+  AddTable("fail-until=2");
+  SuiteOptions options = BaseOptions();
+  options.tables = {"fail-until=2"};
+  auto suite = RunSuite(options);
+  ASSERT_TRUE(suite.ok());
+  ASSERT_EQ(suite->tables.size(), 1u);
+  const TableRun& run = suite->tables[0];
+  EXPECT_EQ(run.status, "ok");
+  EXPECT_EQ(run.attempts, 2);
+  EXPECT_EQ(run.exit_detail, "exit:0");
+  EXPECT_TRUE(suite->all_ok());
+  EXPECT_EQ(ReadAll(run.stdout_path), "worker: deterministic table output\n");
+}
+
+TEST_F(HarnessTest, DegradedTableDoesNotStopTheSuite) {
+  AddTable("crash");
+  AddTable("ok");
+  SuiteOptions options = BaseOptions();
+  options.tables = {"crash", "ok"};
+  auto suite = RunSuite(options);
+  ASSERT_TRUE(suite.ok());
+  ASSERT_EQ(suite->tables.size(), 2u);
+  EXPECT_EQ(suite->tables[0].status, "failed");
+  EXPECT_EQ(suite->tables[0].attempts, 3);
+  EXPECT_EQ(suite->tables[0].exit_detail, "signal:SIGABRT");
+  EXPECT_EQ(suite->tables[1].status, "ok");
+  EXPECT_FALSE(suite->all_ok());
+  EXPECT_EQ(suite->num_failed(), 1);
+
+  // Manifest: one parseable line per table plus the _suite summary.
+  const std::string manifest = ReadAll(suite->manifest_path);
+  EXPECT_NE(manifest.find("\"schema\":\"kgc.suite_manifest.v1\""),
+            std::string::npos);
+  EXPECT_NE(manifest.find("\"table\":\"crash\",\"status\":\"failed\""),
+            std::string::npos);
+  EXPECT_NE(manifest.find("\"table\":\"ok\",\"status\":\"ok\""),
+            std::string::npos);
+  EXPECT_NE(manifest.find("\"table\":\"_suite\",\"status\":\"failed\""),
+            std::string::npos);
+}
+
+TEST_F(HarnessTest, MissingBinaryIsRecordedAndSkipped) {
+  AddTable("ok");
+  SuiteOptions options = BaseOptions();
+  options.tables = {"no_such_table", "ok"};
+  auto suite = RunSuite(options);
+  ASSERT_TRUE(suite.ok());
+  EXPECT_EQ(suite->tables[0].status, "failed");
+  EXPECT_EQ(suite->tables[0].exit_detail, "missing binary");
+  EXPECT_EQ(suite->tables[0].attempts, 0);
+  EXPECT_EQ(suite->tables[1].status, "ok");
+}
+
+// Repeated hard failures escalate to the quarantine path: cache artifacts
+// the failing table wrote are moved aside before the next retry.
+TEST_F(HarnessTest, RepeatedCrashQuarantinesSuspectArtifacts) {
+  AddTable("poison");
+  SuiteOptions options = BaseOptions();
+  options.tables = {"poison"};
+  auto suite = RunSuite(options);
+  ASSERT_TRUE(suite.ok());
+  const TableRun& run = suite->tables[0];
+  EXPECT_EQ(run.status, "failed");
+  EXPECT_EQ(run.attempts, 3);
+  EXPECT_GE(run.quarantined, 1);
+  EXPECT_TRUE(FileExists(root_ + "/cache/poison.kgcm.corrupt"));
+}
+
+// A table that exits through the cooperative deadline gets the distinct
+// "timeout" status and never triggers quarantine escalation (the exit was
+// orderly; nothing can be torn).
+TEST_F(HarnessTest, DeadlineTimeoutStatusWithoutQuarantine) {
+  AddTable("deadline");
+  SuiteOptions options = BaseOptions();
+  options.tables = {"deadline"};
+  options.max_attempts = 2;
+  options.phase_timeout_seconds = 0.05;
+  auto suite = RunSuite(options);
+  ASSERT_TRUE(suite.ok());
+  const TableRun& run = suite->tables[0];
+  EXPECT_EQ(run.status, "timeout");
+  EXPECT_EQ(run.attempts, 2);
+  EXPECT_EQ(run.exit_detail, "exit:124");
+  EXPECT_EQ(run.quarantined, 0);
+  const std::string manifest = ReadAll(suite->manifest_path);
+  EXPECT_NE(manifest.find("\"table\":\"deadline\",\"status\":\"timeout\""),
+            std::string::npos);
+}
+
+// Chaos faults are first-attempt-only: a crash failpoint fires once at the
+// worker's phase boundary, the retry runs fault-free, and the surviving
+// stdout is bit-identical to a clean run's.
+TEST_F(HarnessTest, ChaosFaultsApplyToFirstAttemptOnly) {
+  AddTable("phase");
+  SuiteOptions clean_options = BaseOptions();
+  clean_options.tables = {"phase"};
+  clean_options.out_dir = root_ + "/out_clean";
+  auto clean = RunSuite(clean_options);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_EQ(clean->tables[0].status, "ok");
+  EXPECT_EQ(clean->tables[0].attempts, 1);
+
+  SuiteOptions chaos_options = BaseOptions();
+  chaos_options.tables = {"phase"};
+  chaos_options.out_dir = root_ + "/out_chaos";
+  chaos_options.chaos_faults = "crash:times=1";
+  auto chaos = RunSuite(chaos_options);
+  ASSERT_TRUE(chaos.ok());
+  ASSERT_EQ(chaos->tables[0].status, "ok");
+  EXPECT_EQ(chaos->tables[0].attempts, 2);  // crashed once, then clean
+
+  EXPECT_EQ(ReadAll(chaos->tables[0].stdout_path),
+            ReadAll(clean->tables[0].stdout_path));
+}
+
+TEST_F(HarnessTest, DefaultTablesMatchBenchSuite) {
+  const std::vector<std::string> tables = DefaultBenchTables();
+  EXPECT_EQ(tables.size(), 19u);
+  for (const std::string& t : tables) {
+    EXPECT_EQ(t.rfind("bench_", 0), 0u) << t;
+    EXPECT_EQ(t.find("micro"), std::string::npos) << t;  // not a table
+  }
+}
+
+}  // namespace
+}  // namespace kgc

@@ -1,0 +1,135 @@
+// Test worker for the harness suite: a miniature bench binary whose
+// behavior is selected per run, so harness_test can drive real subprocess
+// crash / hang / retry / deadline scenarios end to end through the same
+// BenchTelemetry bracket the real tables use.
+//
+// The mode is the first non-flag argument, or — because tools/kgc_suite
+// invokes tables with no custom arguments — the basename of argv[0], so a
+// test builds a fake bench directory out of symlinks named after modes:
+//
+//   ok              deterministic line on stdout, exit 0
+//   exit=N          exit with code N
+//   fail-until=N    fail (exit 1) until the N-th invocation, counting in
+//                   $KGC_WORKER_STATE/<mode>.count (transient-fault model)
+//   crash           abort() (exercises the BenchTelemetry signal hook)
+//   hang            sleep forever; SIGTERM ends it (watchdog TERM path)
+//   hang-hard       sleep forever ignoring SIGTERM (watchdog KILL path)
+//   poison          write $KGC_CACHE_DIR/poison.kgcm, then abort() — a
+//                   repeatedly-failing table whose cache artifact should
+//                   be quarantined by the supervisor
+//   phase           cross one deadline phase boundary, then behave as ok
+//                   (gives KGC_FAULTS stall/crash failpoints a place to
+//                   fire)
+//   deadline        enter a phase and oversleep it; with
+//                   KGC_PHASE_TIMEOUT_S set this exits with
+//                   kDeadlineExitCode through the orderly deadline path
+
+#include <signal.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "util/deadline.h"
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace {
+
+std::string g_mode;
+
+int CountInvocation(const std::string& mode) {
+  const char* state = std::getenv("KGC_WORKER_STATE");
+  const std::string path =
+      std::string(state != nullptr ? state : "/tmp") + "/" + mode + ".count";
+  int count = 0;
+  if (std::FILE* f = std::fopen(path.c_str(), "r")) {
+    if (std::fscanf(f, "%d", &count) != 1) count = 0;
+    std::fclose(f);
+  }
+  ++count;
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "%d\n", count);
+    std::fclose(f);
+  }
+  return count;
+}
+
+int RunWorker() {
+  const std::string& mode = g_mode;
+  if (mode == "ok") {
+    std::printf("worker: deterministic table output\n");
+    return 0;
+  }
+  if (kgc::StartsWith(mode, "exit=")) {
+    return std::atoi(mode.c_str() + 5);
+  }
+  if (kgc::StartsWith(mode, "fail-until=")) {
+    const int need = std::atoi(mode.c_str() + 11);
+    const int invocation = CountInvocation(mode);
+    if (invocation < need) {
+      std::fprintf(stderr, "worker: transient failure %d/%d\n", invocation,
+                   need);
+      return 1;
+    }
+    std::printf("worker: deterministic table output\n");
+    return 0;
+  }
+  if (mode == "crash") {
+    std::abort();
+  }
+  if (mode == "hang" || mode == "hang-hard") {
+    if (mode == "hang-hard") ::signal(SIGTERM, SIG_IGN);
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  if (mode == "poison") {
+    const char* cache = std::getenv("KGC_CACHE_DIR");
+    if (cache != nullptr) {
+      const std::string artifact = std::string(cache) + "/poison.kgcm";
+      const std::string bytes = "poisoned artifact";
+      (void)kgc::AtomicWriteFile(artifact, bytes.data(), bytes.size());
+    }
+    std::abort();
+  }
+  if (mode == "phase") {
+    kgc::DeadlinePhase phase("work");
+    kgc::PhaseBoundary("work");
+    std::printf("worker: deterministic table output\n");
+    return 0;
+  }
+  if (mode == "deadline") {
+    kgc::DeadlinePhase phase("work");
+    const double budget = kgc::Deadline::Global().phase_budget();
+    const double sleep_s = budget > 0 ? budget * 2 + 0.05 : 0.0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    kgc::PhaseBoundary("work");  // exits kDeadlineExitCode when over budget
+    std::printf("worker: deadline not armed\n");
+    return 0;
+  }
+  std::fprintf(stderr, "worker: unknown mode '%s'\n", mode.c_str());
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Mode: first non-flag argument (direct RunSubprocess tests), falling
+  // back to the basename of argv[0] (suite invocations via symlink).
+  for (int i = 1; i < argc; ++i) {
+    if (!kgc::StartsWith(argv[i], "--")) {
+      g_mode = argv[i];
+      break;
+    }
+  }
+  if (g_mode.empty()) {
+    const std::string self = argv[0];
+    const size_t slash = self.find_last_of('/');
+    g_mode = slash == std::string::npos ? self : self.substr(slash + 1);
+  }
+  return kgc::bench::RunBench(argc, argv, "harness_worker", RunWorker);
+}

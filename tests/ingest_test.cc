@@ -1,0 +1,298 @@
+// Malformed-dataset ingestion tests: every corrupt fixture must come back
+// as a descriptive Status — never a crash, UB, or a silently wrong graph.
+// Covers the DatasetValidator byte checks (CRLF, NUL, overlong lines,
+// UTF-8), strict integer id parsing, and the OpenKE structural checks
+// (header/count mismatches, out-of-range and duplicate ids, tail/relation
+// column-swap detection).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "kg/dataset_validator.h"
+#include "kg/kg_io.h"
+#include "obs/metrics.h"
+#include "util/file_util.h"
+
+namespace kgc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IngestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("kgc_ingest_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    ASSERT_TRUE(MakeDirectories(dir_).ok());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // Writes raw bytes exactly (no newline normalization, no atomic write).
+  std::string WriteFixture(const std::string& name,
+                           const std::string& bytes) {
+    const std::string path = dir_ + "/" + name;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(f, nullptr);
+    EXPECT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+    return path;
+  }
+
+  // A minimal valid OpenKE directory the tests then damage one file of.
+  void WriteValidOpenKe() {
+    WriteFixture("entity2id.txt", "3\na\t0\nb\t1\nc\t2\n");
+    WriteFixture("relation2id.txt", "2\nr0\t0\nr1\t1\n");
+    WriteFixture("train2id.txt", "2\n0 1 0\n1 2 1\n");
+    WriteFixture("valid2id.txt", "1\n0 2 0\n");
+    WriteFixture("test2id.txt", "1\n2 0 1\n");
+  }
+
+  std::string dir_;
+};
+
+// --- DatasetValidator primitives ----------------------------------------
+
+TEST(DatasetValidatorTest, Utf8Validation) {
+  EXPECT_TRUE(IsValidUtf8("plain ascii"));
+  EXPECT_TRUE(IsValidUtf8("caf\xc3\xa9"));           // 2-byte
+  EXPECT_TRUE(IsValidUtf8("\xe6\xbc\xa2"));          // 3-byte
+  EXPECT_TRUE(IsValidUtf8("\xf0\x9f\x98\x80"));      // 4-byte
+  EXPECT_FALSE(IsValidUtf8("\xc3"));                 // truncated
+  EXPECT_FALSE(IsValidUtf8("\x80garbage"));          // stray continuation
+  EXPECT_FALSE(IsValidUtf8("\xc0\xaf"));             // overlong '/'
+  EXPECT_FALSE(IsValidUtf8("\xed\xa0\x80"));         // surrogate
+  EXPECT_FALSE(IsValidUtf8("\xf5\x80\x80\x80"));     // > U+10FFFF lead
+  EXPECT_FALSE(IsValidUtf8("latin1 caf\xe9"));       // bare 0xE9
+}
+
+TEST(DatasetValidatorTest, StrictIdParsingRejectsWhatAtolAccepted) {
+  const DatasetValidator v("f.txt", IngestOptions{});
+  EXPECT_EQ(*v.ParseId("42", "id", 1), 42);
+  EXPECT_EQ(*v.ParseId("  7 ", "id", 1), 7);
+  EXPECT_EQ(*v.ParseId("-3", "id", 1), -3);
+  // atol("12abc") == 12, atol("") == 0, atol("x") == 0 — all silent.
+  EXPECT_FALSE(v.ParseId("12abc", "id", 1).ok());
+  EXPECT_FALSE(v.ParseId("", "id", 1).ok());
+  EXPECT_FALSE(v.ParseId("x", "id", 1).ok());
+  EXPECT_FALSE(v.ParseId("1.5", "id", 1).ok());
+  EXPECT_FALSE(v.ParseId("999999999999999999999999", "id", 1).ok());
+  const Status status = v.ParseId("12abc", "entity id", 4).status();
+  EXPECT_NE(status.message().find("f.txt:4"), std::string::npos);
+  EXPECT_NE(status.message().find("entity id"), std::string::npos);
+}
+
+// --- Triple files (tab-separated layout) --------------------------------
+
+TEST_F(IngestTest, LenientStripsCrlfStrictRejectsIt) {
+  const std::string path =
+      WriteFixture("train.txt", "a\tr\tb\r\nb\tr\tc\r\n");
+  Vocab lenient_vocab;
+  auto lenient = LoadTripleFile(path, lenient_vocab);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_EQ(lenient->size(), 2u);
+  // The '\r' is stripped, not interned into the tail symbol.
+  EXPECT_EQ(lenient_vocab.EntityName((*lenient)[0].tail), "b");
+
+  IngestOptions strict;
+  strict.strict = true;
+  Vocab strict_vocab;
+  auto rejected = LoadTripleFile(path, strict_vocab, strict);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("CRLF"), std::string::npos);
+}
+
+TEST_F(IngestTest, RejectsEmbeddedNulByte) {
+  const std::string path =
+      WriteFixture("train.txt", std::string("a\tr\tb\0x\n", 8));
+  Vocab vocab;
+  auto result = LoadTripleFile(path, vocab);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("NUL"), std::string::npos);
+}
+
+TEST_F(IngestTest, RejectsOverlongLine) {
+  const std::string path = WriteFixture(
+      "train.txt", "a\tr\t" + std::string(100, 'x') + "\n");
+  IngestOptions options;
+  options.max_line_bytes = 32;
+  Vocab vocab;
+  auto result = LoadTripleFile(path, vocab, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("exceeds"), std::string::npos);
+}
+
+TEST_F(IngestTest, RejectsWrongFieldCountAndEmptySymbols) {
+  Vocab vocab;
+  auto two_fields =
+      LoadTripleFile(WriteFixture("two.txt", "a\tr\n"), vocab);
+  EXPECT_FALSE(two_fields.ok());
+  EXPECT_NE(two_fields.status().message().find("expected 3"),
+            std::string::npos);
+
+  // "a<TAB><TAB>b" has 3 fields but an empty relation — previously
+  // interned "" as a real symbol.
+  auto empty_symbol =
+      LoadTripleFile(WriteFixture("empty.txt", "a\t\tb\n"), vocab);
+  EXPECT_FALSE(empty_symbol.ok());
+  EXPECT_NE(empty_symbol.status().message().find("empty symbol"),
+            std::string::npos);
+}
+
+TEST_F(IngestTest, StrictRejectsInvalidUtf8LenientPassesItThrough) {
+  const std::string path =
+      WriteFixture("train.txt", "caf\xe9\tr\tb\n");  // latin-1 é
+  Vocab lenient_vocab;
+  EXPECT_TRUE(LoadTripleFile(path, lenient_vocab).ok());
+
+  IngestOptions strict;
+  strict.strict = true;
+  Vocab strict_vocab;
+  auto rejected = LoadTripleFile(path, strict_vocab, strict);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("UTF-8"), std::string::npos);
+}
+
+// --- OpenKE layout -------------------------------------------------------
+
+TEST_F(IngestTest, OpenKeValidDirectoryLoads) {
+  WriteValidOpenKe();
+  auto dataset = LoadOpenKeDataset(dir_, "t");
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->num_entities(), 3);
+  EXPECT_EQ(dataset->num_relations(), 2);
+  EXPECT_EQ(dataset->train().size(), 2u);
+}
+
+TEST_F(IngestTest, OpenKeSymbolHeaderCountMismatchRejected) {
+  WriteValidOpenKe();
+  WriteFixture("entity2id.txt", "4\na\t0\nb\t1\nc\t2\n");  // declares 4, has 3
+  auto dataset = LoadOpenKeDataset(dir_, "t");
+  EXPECT_FALSE(dataset.ok());
+  EXPECT_NE(dataset.status().message().find("declares 4 entries, found 3"),
+            std::string::npos);
+}
+
+TEST_F(IngestTest, OpenKeTripleHeaderCountMismatchRejected) {
+  WriteValidOpenKe();
+  WriteFixture("train2id.txt", "5\n0 1 0\n1 2 1\n");  // declares 5, has 2
+  auto dataset = LoadOpenKeDataset(dir_, "t");
+  EXPECT_FALSE(dataset.ok());
+  EXPECT_NE(dataset.status().message().find("declares 5 triples, found 2"),
+            std::string::npos);
+}
+
+TEST_F(IngestTest, OpenKeNegativeOrGarbageHeaderRejected) {
+  WriteValidOpenKe();
+  WriteFixture("train2id.txt", "-2\n0 1 0\n1 2 1\n");
+  EXPECT_FALSE(LoadOpenKeDataset(dir_, "t").ok());
+  WriteFixture("train2id.txt", "two\n0 1 0\n1 2 1\n");
+  EXPECT_FALSE(LoadOpenKeDataset(dir_, "t").ok());
+}
+
+TEST_F(IngestTest, OpenKeSymbolIdBeyondDeclaredRangeRejected) {
+  WriteValidOpenKe();
+  WriteFixture("entity2id.txt", "3\na\t0\nb\t1\nc\t7\n");  // id 7, declared 3
+  auto dataset = LoadOpenKeDataset(dir_, "t");
+  EXPECT_FALSE(dataset.ok());
+  EXPECT_NE(dataset.status().message().find(
+                "symbol id 7 outside declared range [0, 3)"),
+            std::string::npos);
+}
+
+TEST_F(IngestTest, OpenKeDuplicateIdRejected) {
+  WriteValidOpenKe();
+  WriteFixture("entity2id.txt", "3\na\t0\nb\t1\nc\t1\n");
+  auto dataset = LoadOpenKeDataset(dir_, "t");
+  EXPECT_FALSE(dataset.ok());
+  EXPECT_NE(dataset.status().message().find("duplicate id 1"),
+            std::string::npos);
+}
+
+TEST_F(IngestTest, OpenKeTripleIdBeyondVocabRejected) {
+  WriteValidOpenKe();
+  // Entity 9 does not exist in the 3-entity vocab; previously trusted,
+  // which made downstream scoring index out of bounds.
+  WriteFixture("train2id.txt", "2\n0 1 0\n9 2 1\n");
+  auto dataset = LoadOpenKeDataset(dir_, "t");
+  EXPECT_FALSE(dataset.ok());
+  EXPECT_NE(dataset.status().message().find(
+                "head id 9 outside entity range [0, 3)"),
+            std::string::npos);
+}
+
+TEST_F(IngestTest, OpenKeNonIntegerIdRejected) {
+  WriteValidOpenKe();
+  WriteFixture("train2id.txt", "2\n0 1 0\n1 2abc 1\n");  // atol: silent 2
+  EXPECT_FALSE(LoadOpenKeDataset(dir_, "t").ok());
+}
+
+TEST_F(IngestTest, OpenKeColumnSwapGetsAHint) {
+  WriteValidOpenKe();
+  // "h r t" order: relation written in column 2, tail in column 3. Column
+  // 3 (parsed as relation) holds entity id 2 >= num_relations.
+  WriteFixture("train2id.txt", "2\n0 0 1\n1 1 2\n");
+  auto dataset = LoadOpenKeDataset(dir_, "t");
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_NE(dataset.status().message().find("OpenKE order is 'h t r'"),
+            std::string::npos)
+      << dataset.status().ToString();
+}
+
+TEST_F(IngestTest, RejectedFilesCounterCountsValidationFailures) {
+  obs::Counter& rejected =
+      obs::Registry::Get().GetCounter(obs::kIngestRejectedFiles);
+  const uint64_t before = rejected.value();
+  Vocab vocab;
+  EXPECT_FALSE(
+      LoadTripleFile(WriteFixture("bad.txt", "a\tr\n"), vocab).ok());
+  EXPECT_EQ(rejected.value(), before + 1);
+  // Missing files are NotFound, not a validation rejection.
+  Vocab vocab2;
+  EXPECT_FALSE(LoadTripleFile(dir_ + "/absent.txt", vocab2).ok());
+  EXPECT_EQ(rejected.value(), before + 1);
+}
+
+TEST_F(IngestTest, RoundtripSurvivesTheHardenedLoaders) {
+  const std::string text_dir = dir_ + "/text";
+  ASSERT_TRUE(MakeDirectories(text_dir).ok());
+  {
+    std::FILE* f = std::fopen((text_dir + "/train.txt").c_str(), "w");
+    std::fprintf(f, "a\tr0\tb\nb\tr1\tc\n");
+    std::fclose(f);
+    f = std::fopen((text_dir + "/valid.txt").c_str(), "w");
+    std::fprintf(f, "a\tr0\tc\n");
+    std::fclose(f);
+    f = std::fopen((text_dir + "/test.txt").c_str(), "w");
+    std::fprintf(f, "c\tr1\ta\n");
+    std::fclose(f);
+  }
+  auto dataset = LoadDatasetDir(text_dir, "round");
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+
+  const std::string openke_dir = dir_ + "/openke";
+  ASSERT_TRUE(SaveOpenKeDataset(*dataset, openke_dir).ok());
+  auto reloaded = LoadOpenKeDataset(openke_dir, "round");
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->num_entities(), dataset->num_entities());
+  EXPECT_EQ(reloaded->num_relations(), dataset->num_relations());
+  EXPECT_EQ(reloaded->train().size(), dataset->train().size());
+
+  const std::string text_dir2 = dir_ + "/text2";
+  ASSERT_TRUE(SaveDatasetDir(*reloaded, text_dir2).ok());
+  IngestOptions strict;
+  strict.strict = true;  // our own output must satisfy strict mode
+  auto strict_reload = LoadDatasetDir(text_dir2, "round", strict);
+  ASSERT_TRUE(strict_reload.ok()) << strict_reload.status().ToString();
+  EXPECT_EQ(strict_reload->test().size(), dataset->test().size());
+}
+
+}  // namespace
+}  // namespace kgc

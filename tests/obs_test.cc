@@ -278,6 +278,37 @@ TEST(ReportTest, RenderedReportIsSingleLineJson) {
             std::count(json.begin(), json.end(), '}'));
 }
 
+TEST(ReportTest, ExitCauseIsRecordedOrDerived) {
+  obs::SetRunExitCause("");
+  obs::RunInfo info;
+  info.name = "cause_test";
+
+  // No explicit cause, exit 0: derived "ok".
+  info.exit_code = 0;
+  EXPECT_NE(obs::RenderRunReport(info).find("\"exit_cause\":\"ok\""),
+            std::string::npos);
+
+  // No explicit cause, nonzero exit: derived "exit:<n>".
+  info.exit_code = 3;
+  EXPECT_NE(obs::RenderRunReport(info).find("\"exit_cause\":\"exit:3\""),
+            std::string::npos);
+
+  // Explicit per-report cause wins.
+  info.exit_cause = "deadline:train_epoch";
+  EXPECT_NE(obs::RenderRunReport(info).find(
+                "\"exit_cause\":\"deadline:train_epoch\""),
+            std::string::npos);
+
+  // Process-global cause (what crash handlers set) backs an empty field.
+  info.exit_cause.clear();
+  obs::SetRunExitCause("signal:SIGTERM");
+  EXPECT_EQ(obs::RunExitCause(), "signal:SIGTERM");
+  EXPECT_NE(obs::RenderRunReport(info).find(
+                "\"exit_cause\":\"signal:SIGTERM\""),
+            std::string::npos);
+  obs::SetRunExitCause("");
+}
+
 TEST(ReportTest, AppendAccumulatesJsonlLines) {
   const std::string path = testing::TempDir() + "/obs_test_report.jsonl";
   std::remove(path.c_str());

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+
 #include "datagen/presets.h"
 #include "models/trainer.h"
+#include "util/deadline.h"
+#include "util/file_util.h"
 
 namespace kgc {
 namespace {
@@ -49,6 +54,67 @@ TEST(TrainerTest, DefaultOptionsAreSane) {
     const TrainOptions options = DefaultTrainOptions(type);
     EXPECT_GT(options.epochs, 0) << ModelTypeName(type);
     EXPECT_GT(options.negatives, 0) << ModelTypeName(type);
+  }
+}
+
+int g_trainer_deadline_hits = 0;
+void CountTrainerDeadline(const char*) { ++g_trainer_deadline_hits; }
+
+// A phase deadline mid-training exits resumably: the trainer saves a
+// checkpoint *before* handing off to the deadline handler, and the resumed
+// run converges bit-exactly to the uninterrupted result.
+TEST(TrainerTest, DeadlineExitSavesResumableCheckpoint) {
+  const SyntheticKg kg = GenerateTiny(5);
+  ModelHyperParams params = DefaultHyperParams(ModelType::kTransE);
+  params.dim = 8;
+  TrainOptions options;
+  options.epochs = 6;
+  options.seed = 9;
+
+  // Reference: uninterrupted, checkpoint-free run.
+  auto uninterrupted = CreateModel(ModelType::kTransE,
+                                   kg.dataset.num_entities(),
+                                   kg.dataset.num_relations(), params);
+  const TrainStats reference =
+      TrainModel(*uninterrupted, kg.dataset, options);
+
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "kgc_trainer_deadline.ckpt")
+          .string();
+  std::remove(ckpt.c_str());
+  options.checkpoint_path = ckpt;
+  options.checkpoint_every = 1;
+
+  // Interrupted run: the budget is exhausted from the first epoch
+  // boundary on; the test handler observes the expiry instead of exiting.
+  SetDeadlineHandlerForTest(CountTrainerDeadline);
+  g_trainer_deadline_hits = 0;
+  Deadline::Global().SetPhaseBudget(1e-6);
+  TrainStats partial;
+  {
+    auto interrupted = CreateModel(ModelType::kTransE,
+                                   kg.dataset.num_entities(),
+                                   kg.dataset.num_relations(), params);
+    partial = TrainModel(*interrupted, kg.dataset, options);
+  }
+  Deadline::Global().SetPhaseBudget(0);
+  SetDeadlineHandlerForTest(nullptr);
+  EXPECT_TRUE(partial.deadline_hit);
+  EXPECT_EQ(g_trainer_deadline_hits, 1);
+  EXPECT_EQ(partial.epochs_run, 1);   // stopped at the first boundary
+  EXPECT_TRUE(FileExists(ckpt));      // resumable state persisted first
+
+  // Resume without a deadline: bit-identical to the uninterrupted run.
+  auto resumed = CreateModel(ModelType::kTransE, kg.dataset.num_entities(),
+                             kg.dataset.num_relations(), params);
+  const TrainStats stats = TrainModel(*resumed, kg.dataset, options);
+  EXPECT_EQ(stats.resumed_from_epoch, partial.epochs_run);
+  EXPECT_EQ(stats.epochs_run, reference.epochs_run);
+  EXPECT_EQ(stats.final_loss, reference.final_loss);
+  EXPECT_FALSE(FileExists(ckpt));  // consumed on success
+  for (const Triple& t : kg.dataset.test()) {
+    EXPECT_EQ(resumed->Score(t.head, t.relation, t.tail),
+              uninterrupted->Score(t.head, t.relation, t.tail));
   }
 }
 

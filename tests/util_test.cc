@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
 #include "util/crc32.h"
+#include "util/deadline.h"
 #include "util/file_util.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 #include "util/status.h"
@@ -356,6 +360,65 @@ TEST(FileUtilTest, WriteReadLines) {
   EXPECT_EQ((*lines)[1], "b");
   std::remove(path.c_str());
   EXPECT_FALSE(FileExists(path));
+}
+
+// --- Deadline -----------------------------------------------------------
+
+TEST(DeadlineTest, DisabledByDefaultThenExpiresOnBudget) {
+  Deadline& deadline = Deadline::Global();
+  deadline.SetPhaseBudget(0);
+  EXPECT_FALSE(deadline.enabled());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_FALSE(PhaseCheck("idle"));
+  EXPECT_EQ(deadline.last_heartbeat(), "idle");
+
+  deadline.SetPhaseBudget(0.005);
+  deadline.BeginPhase("busy");
+  EXPECT_EQ(deadline.last_heartbeat(), "busy");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_TRUE(PhaseCheck("busy_check"));
+
+  // BeginPhase restarts the clock: each phase gets the full budget.
+  deadline.BeginPhase("fresh");
+  EXPECT_FALSE(deadline.Expired());
+  deadline.SetPhaseBudget(0);
+}
+
+int g_deadline_expiries = 0;
+std::string g_deadline_phase;
+void RecordExpiry(const char* phase) {
+  ++g_deadline_expiries;
+  g_deadline_phase = phase;
+}
+
+TEST(DeadlineTest, TestHandlerInterceptsExpiryInsteadOfExiting) {
+  Deadline& deadline = Deadline::Global();
+  SetDeadlineHandlerForTest(RecordExpiry);
+  g_deadline_expiries = 0;
+  deadline.SetPhaseBudget(0.001);
+  deadline.BeginPhase("slow");
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  PhaseBoundary("slow_step");  // would std::exit(124) without the handler
+  EXPECT_EQ(g_deadline_expiries, 1);
+  EXPECT_EQ(g_deadline_phase, "slow_step");
+  deadline.SetPhaseBudget(0);
+  SetDeadlineHandlerForTest(nullptr);
+}
+
+TEST(DeadlineTest, ChecksAreNoOpsInsideParallelRegions) {
+  Deadline& deadline = Deadline::Global();
+  deadline.SetPhaseBudget(0.001);
+  deadline.BeginPhase("outer");
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(deadline.Expired());
+  // A worker must never observe the expiry: a deadline cannot tear a
+  // parallel region, only the boundary after the join may exit.
+  ParallelFor(8, 4, [&](size_t, size_t, int) {
+    EXPECT_FALSE(PhaseCheck("inside_worker"));
+  });
+  EXPECT_EQ(deadline.last_heartbeat(), "outer");  // no worker heartbeat
+  deadline.SetPhaseBudget(0);
 }
 
 }  // namespace

@@ -1,0 +1,147 @@
+// kgc_suite: supervisor for the bench suite.
+//
+// Runs each bench table as an isolated subprocess with a watchdog, retries
+// transient failures with exponential backoff, escalates repeated crashes
+// to cache quarantine, and records every outcome in a
+// kgc.suite_manifest.v1 JSONL manifest — a table that exhausts its retries
+// is marked "failed" while the rest of the suite completes. See
+// src/harness/suite.h for the policy details.
+//
+// Usage:
+//   kgc_suite --bench-dir=build/bench [--tables=a,b,c] [--out-dir=DIR]
+//             [--cache-dir=DIR] [--manifest=PATH] [--timeout-s=N]
+//             [--phase-timeout-s=N] [--retries=N] [--backoff-s=N]
+//             [--chaos-faults=SPEC] [--epoch-scale=F] [--threads=N]
+//             [--list]
+//
+// Exit code: 0 when every table is "ok", 1 when the suite degraded, 2 on
+// usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/suite.h"
+#include "util/string_util.h"
+
+namespace {
+
+using kgc::SuiteOptions;
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: kgc_suite --bench-dir=DIR [options]\n"
+               "  --tables=a,b,c       tables to run (default: full suite)\n"
+               "  --list               print the default table list and exit\n"
+               "  --out-dir=DIR        captures + manifest (default "
+               "kgc_suite_out)\n"
+               "  --cache-dir=DIR      shared KGC_CACHE_DIR for children\n"
+               "  --manifest=PATH      manifest path (default "
+               "<out-dir>/suite_manifest.jsonl)\n"
+               "  --timeout-s=N        per-attempt watchdog (default off)\n"
+               "  --grace-s=N          SIGTERM->SIGKILL grace (default 5)\n"
+               "  --phase-timeout-s=N  child KGC_PHASE_TIMEOUT_S "
+               "(default off)\n"
+               "  --retries=N          retries after the first attempt "
+               "(default 2)\n"
+               "  --backoff-s=N        base retry backoff (default 0.5)\n"
+               "  --chaos-faults=SPEC  KGC_FAULTS for first attempts only\n"
+               "  --epoch-scale=F      child KGC_EPOCH_SCALE\n"
+               "  --threads=N          child KGC_THREADS\n");
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (!kgc::StartsWith(arg, prefix)) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SuiteOptions options;
+  options.max_attempts = 3;
+  std::string value;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (ParseFlag(arg, "bench-dir", &value)) {
+      options.bench_dir = value;
+    } else if (ParseFlag(arg, "tables", &value)) {
+      for (const std::string& t : kgc::Split(value, ',')) {
+        const std::string name(kgc::Trim(t));
+        if (!name.empty()) options.tables.push_back(name);
+      }
+    } else if (ParseFlag(arg, "out-dir", &value)) {
+      options.out_dir = value;
+    } else if (ParseFlag(arg, "cache-dir", &value)) {
+      options.cache_dir = value;
+    } else if (ParseFlag(arg, "manifest", &value)) {
+      options.manifest_path = value;
+    } else if (ParseFlag(arg, "timeout-s", &value)) {
+      options.timeout_seconds = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "grace-s", &value)) {
+      options.term_grace_seconds = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "phase-timeout-s", &value)) {
+      options.phase_timeout_seconds = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "retries", &value)) {
+      options.max_attempts = std::atoi(value.c_str()) + 1;
+    } else if (ParseFlag(arg, "backoff-s", &value)) {
+      options.backoff_base_seconds = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "chaos-faults", &value)) {
+      options.chaos_faults = value;
+    } else if (ParseFlag(arg, "epoch-scale", &value)) {
+      options.epoch_scale = value;
+    } else if (ParseFlag(arg, "threads", &value)) {
+      options.threads = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr, "kgc_suite: unknown flag '%s'\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (options.tables.empty()) {
+    options.tables = kgc::DefaultBenchTables();
+  }
+  if (list_only) {
+    for (const std::string& t : options.tables) {
+      std::printf("%s\n", t.c_str());
+    }
+    return 0;
+  }
+  if (options.bench_dir.empty()) {
+    std::fprintf(stderr, "kgc_suite: --bench-dir is required\n");
+    PrintUsage();
+    return 2;
+  }
+
+  auto suite = kgc::RunSuite(options);
+  if (!suite.ok()) {
+    std::fprintf(stderr, "kgc_suite: %s\n",
+                 suite.status().ToString().c_str());
+    return 2;
+  }
+  for (const kgc::TableRun& run : suite->tables) {
+    std::printf("%-40s %-8s attempts=%d %s (%.1fs)%s\n", run.table.c_str(),
+                run.status.c_str(), run.attempts, run.exit_detail.c_str(),
+                run.seconds,
+                run.quarantined > 0
+                    ? kgc::StrFormat(" quarantined=%d", run.quarantined)
+                          .c_str()
+                    : "");
+  }
+  std::printf("manifest: %s\n", suite->manifest_path.c_str());
+  if (!suite->all_ok()) {
+    std::printf("suite degraded: %d table(s) not ok\n", suite->num_failed());
+    return 1;
+  }
+  std::printf("suite ok: all %zu tables\n", suite->tables.size());
+  return 0;
+}
