@@ -26,10 +26,12 @@ SUITE="${BUILD_DIR}/tools/kgc_suite"
 TABLES="bench_table1_dataset_stats,bench_fig4_redundancy_cases"
 TABLES+=",bench_sec421_reverse_leakage,bench_fig1_fmrr_drop"
 
-if [[ ! -x "${SUITE}" ]]; then
-  echo "== building kgc_suite and the reduced table set =="
+STREAM="${BUILD_DIR}/tools/kgc_stream"
+
+if [[ ! -x "${SUITE}" || ! -x "${STREAM}" ]]; then
+  echo "== building kgc_suite, kgc_stream and the reduced table set =="
   cmake -B "${BUILD_DIR}" -S .
-  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target kgc_suite \
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target kgc_suite kgc_stream \
         bench_table1_dataset_stats bench_fig4_redundancy_cases \
         bench_sec421_reverse_leakage bench_fig1_fmrr_drop
 fi
@@ -87,6 +89,88 @@ for table in "${TABLE_LIST[@]}"; do
       | head -20
     exit 1
   fi
+done
+
+# ---------------------------------------------------------------------------
+# Snapshot rotation sweep: SIGKILL the rotator at every named failpoint of
+# the publish and rollback protocols, then assert that
+#
+#   1. the crashed process actually died at the failpoint (exit 137),
+#   2. a replay run recovers to a consistent generation and finishes, and
+#   3. the recovered registry's --verify fingerprint (generation, valid
+#      fMRR rendered %.17g, CRC-32 of all model scores) is bit-identical
+#      to an uninterrupted run's.
+
+STREAM_FLAGS=(--batches=3 --epochs=4 --bootstrap-epochs=6 --threads=1 --seed=7)
+
+echo "== snapshot chaos: clean reference run =="
+"${STREAM}" --snapshot-dir="${WORK_DIR}/snap-clean" "${STREAM_FLAGS[@]}" \
+  > /dev/null
+CLEAN_FP="$("${STREAM}" --snapshot-dir="${WORK_DIR}/snap-clean" --verify)"
+echo "   ${CLEAN_FP}"
+
+# skip=1: the bootstrap publish hits each site first and must survive;
+# the crash lands on batch-000's rotation, mid-chain.
+PUBLISH_SITES=(rotate:stage rotate:manifest rotate:rename
+               publish:current publish:log)
+for site in "${PUBLISH_SITES[@]}"; do
+  dir="${WORK_DIR}/snap-$(echo "${site}" | tr ':' '_')"
+  set +e
+  KGC_FAULTS="crash@${site}:skip=1" \
+    "${STREAM}" --snapshot-dir="${dir}" "${STREAM_FLAGS[@]}" \
+    > /dev/null 2>&1
+  rc=$?
+  set -e
+  if [[ ${rc} -ne 137 ]]; then
+    echo "FAIL: crash@${site} did not kill kgc_stream (exit ${rc})"
+    exit 1
+  fi
+  "${STREAM}" --snapshot-dir="${dir}" "${STREAM_FLAGS[@]}" > /dev/null
+  fp="$("${STREAM}" --snapshot-dir="${dir}" --verify)"
+  if [[ "${fp}" != "${CLEAN_FP}" ]]; then
+    echo "FAIL: crash@${site}: recovered registry diverged"
+    echo "  clean:     ${CLEAN_FP}"
+    echo "  recovered: ${fp}"
+    exit 1
+  fi
+  echo "   crash@${site}: recovered bit-identical"
+done
+
+# Rollback path: --epsilon=-2 makes the regression gate reject every
+# candidate, so the rollback failpoints actually fire. The registry must
+# end pinned to the bootstrap generation with the verdicts on record.
+echo "== snapshot chaos: rollback sweep (epsilon=-2) =="
+"${STREAM}" --snapshot-dir="${WORK_DIR}/snap-rb-clean" \
+  "${STREAM_FLAGS[@]}" --epsilon=-2 > /dev/null
+RB_FP="$("${STREAM}" --snapshot-dir="${WORK_DIR}/snap-rb-clean" --verify)"
+
+ROLLBACK_SITES=(rollback:quarantine rollback:cleanup rollback:record)
+for site in "${ROLLBACK_SITES[@]}"; do
+  dir="${WORK_DIR}/snap-$(echo "${site}" | tr ':' '_')"
+  set +e
+  KGC_FAULTS="crash@${site}" \
+    "${STREAM}" --snapshot-dir="${dir}" "${STREAM_FLAGS[@]}" --epsilon=-2 \
+    > /dev/null 2>&1
+  rc=$?
+  set -e
+  if [[ ${rc} -ne 137 ]]; then
+    echo "FAIL: crash@${site} did not kill kgc_stream (exit ${rc})"
+    exit 1
+  fi
+  "${STREAM}" --snapshot-dir="${dir}" "${STREAM_FLAGS[@]}" --epsilon=-2 \
+    > /dev/null
+  fp="$("${STREAM}" --snapshot-dir="${dir}" --verify)"
+  if [[ "${fp}" != "${RB_FP}" ]]; then
+    echo "FAIL: crash@${site}: rollback recovery diverged"
+    echo "  clean:     ${RB_FP}"
+    echo "  recovered: ${fp}"
+    exit 1
+  fi
+  if ! grep -q '"status":"rolled_back"' "${dir}/rotation.log"; then
+    echo "FAIL: crash@${site}: no rolled_back record in rotation.log"
+    exit 1
+  fi
+  echo "   crash@${site}: rolled back, registry consistent"
 done
 
 echo "== chaos run passed (seed ${CHAOS_SEED}) =="

@@ -55,6 +55,15 @@ else
   export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
   export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+  if [[ "${SANITIZERS}" == *address* ]]; then
+    # Promote the chaos suite into the ASan leg: the SIGKILL/recovery
+    # sweeps exercise the rotation and supervisor paths where lifetime
+    # bugs (use-after-free of swapped generations, double-closes in the
+    # crash handlers) would hide from the unit tests.
+    echo "== chaos suite under ASan =="
+    ci/chaos.sh "${BUILD_DIR}"
+  fi
 fi
 
 echo "== sanitize run passed =="

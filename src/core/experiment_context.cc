@@ -172,6 +172,7 @@ const std::vector<TripleRanks>* ExperimentContext::TryLoadRankCache(
   misses.Increment();
   if (!cached.ok() && cached.status().code() != StatusCode::kNotFound) {
     QuarantineCorrupt(path, cached.status());
+    quarantined_rank_keys_.insert(key);
   } else if (cached.ok()) {
     LogWarning("rank cache %s holds %zu entries, expected %zu; recomputing",
                path.c_str(), cached->size(), expected_count);
@@ -185,6 +186,12 @@ void ExperimentContext::StoreRankCache(
   const Status save_status = SaveRanks(RankCachePath(key), ranks);
   if (!save_status.ok()) {
     LogWarning("rank cache save failed: %s", save_status.ToString().c_str());
+    return;
+  }
+  if (quarantined_rank_keys_.erase(key) > 0) {
+    static obs::Counter& regenerated =
+        obs::Registry::Get().GetCounter(obs::kCacheRegenerated);
+    regenerated.Increment();
   }
 }
 

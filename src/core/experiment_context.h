@@ -11,6 +11,7 @@
 #define KGC_CORE_EXPERIMENT_CONTEXT_H_
 
 #include <memory>
+#include <set>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -110,6 +111,11 @@ class ExperimentContext {
   std::unique_ptr<BenchmarkSuite> yago3_;
   std::unordered_map<std::string, std::unique_ptr<KgeModel>> models_;
   std::unordered_map<std::string, std::vector<TripleRanks>> ranks_;
+  // Rank-cache keys quarantined by TryLoadRankCache and not yet re-stored;
+  // the healing StoreRankCache counts as kgc.cache.regenerated. Mutable
+  // because StoreRankCache is const; cache I/O is serial (see
+  // util/fault_injector.h), so no lock is needed.
+  mutable std::set<std::string> quarantined_rank_keys_;
 };
 
 /// Serialization of rank tables (shared with tests).

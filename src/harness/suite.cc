@@ -23,10 +23,9 @@ bool EndsWith(const std::string& text, const std::string& suffix) {
          text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// Moves aside every cache artifact written at or after `since` — the
-// suspect set when a table keeps failing: whatever IT (or its failing
-// predecessor attempt) wrote may be poisoned. Quarantine markers and
-// write-temp leftovers are skipped. Returns the number quarantined.
+}  // namespace
+
+// Public (suite.h): also the escalation hook for snapshot rollbacks.
 int QuarantineRecentArtifacts(const std::string& cache_dir,
                               fs::file_time_type since,
                               const std::string& table) {
@@ -53,6 +52,8 @@ int QuarantineRecentArtifacts(const std::string& cache_dir,
   }
   return static_cast<int>(suspects.size());
 }
+
+namespace {
 
 std::string ManifestLine(const TableRun& run) {
   return StrFormat(

@@ -36,6 +36,7 @@
 #ifndef KGC_HARNESS_SUITE_H_
 #define KGC_HARNESS_SUITE_H_
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -105,6 +106,16 @@ std::vector<std::string> DefaultBenchTables();
 /// Runs the suite. Status errors are supervisor-side problems (cannot
 /// create out_dir / manifest); table failures are reported in SuiteResult.
 StatusOr<SuiteResult> RunSuite(const SuiteOptions& options);
+
+/// Moves aside (QuarantineCorrupt) every cache artifact under `cache_dir`
+/// written at or after `since` — the suspect set when `what` keeps failing:
+/// whatever it (or a failing predecessor attempt) wrote may be poisoned.
+/// Quarantine markers and write-temp leftovers are skipped. Returns the
+/// number quarantined. Used by the suite supervisor between retries and by
+/// the snapshot rotator when a rolled-back generation is escalated.
+int QuarantineRecentArtifacts(const std::string& cache_dir,
+                              std::filesystem::file_time_type since,
+                              const std::string& what);
 
 }  // namespace kgc
 

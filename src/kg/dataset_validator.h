@@ -30,6 +30,16 @@
 
 namespace kgc {
 
+/// Per-source ingestion tally, filled by loaders that support dropping bad
+/// lines (ParseTripleLines in kg/kg_io.h): how many lines arrived, how many
+/// were rejected, and the first rejection's error text (empty if none).
+/// Streaming manifests report these so dropped data is never silent.
+struct IngestSummary {
+  size_t lines_total = 0;
+  size_t lines_rejected = 0;
+  std::string first_error;
+};
+
 /// Tolerance knobs for dataset text ingestion (see file comment).
 struct IngestOptions {
   /// Also reject CRLF line endings and invalid UTF-8 (lenient mode strips
@@ -38,6 +48,14 @@ struct IngestOptions {
   /// Lines longer than this are rejected as corrupt (runaway or binary
   /// content); 0 disables the length check.
   size_t max_line_bytes = size_t{1} << 16;
+  /// Drop malformed lines — counting them in `summary` and the
+  /// kgc.ingest.rejected_lines counter — instead of failing the whole
+  /// parse. Honored by ParseTripleLines; the whole-file loaders always
+  /// abort so a damaged benchmark dump cannot silently shrink.
+  bool drop_bad_lines = false;
+  /// Optional tally the parser fills in (reset at the start of each parse).
+  /// Not owned; may be null.
+  IngestSummary* summary = nullptr;
 };
 
 /// True iff `text` is well-formed UTF-8: rejects truncated and overlong

@@ -25,44 +25,74 @@ Status CountRejected(Status status) {
   return status;
 }
 
-StatusOr<TripleList> LoadTripleFileImpl(const std::string& path, Vocab& vocab,
-                                        const IngestOptions& ingest) {
-  auto lines = ReadLines(path);
-  if (!lines.ok()) return lines.status();
-  const DatasetValidator validator(path, ingest);
-  TripleList triples;
-  triples.reserve(lines->size());
-  for (size_t line_no = 0; line_no < lines->size(); ++line_no) {
-    auto checked = validator.CheckLine((*lines)[line_no], line_no + 1);
-    if (!checked.ok()) return checked.status();
-    const std::string_view line = *checked;
-    if (Trim(line).empty()) continue;
-    const std::vector<std::string> fields = Split(line, '\t');
-    if (fields.size() != 3) {
-      return validator.Malformed(
-          line_no + 1, StrFormat("expected 3 tab-separated fields, got %zu",
-                                 fields.size()));
-    }
-    const std::string_view head = Trim(fields[0]);
-    const std::string_view relation = Trim(fields[1]);
-    const std::string_view tail = Trim(fields[2]);
-    if (head.empty() || relation.empty() || tail.empty()) {
-      return validator.Malformed(line_no + 1, "empty symbol name");
-    }
-    Triple t;
-    t.head = vocab.InternEntity(head);
-    t.relation = vocab.InternRelation(relation);
-    t.tail = vocab.InternEntity(tail);
-    triples.push_back(t);
+// Validates and interns a single raw triple line; a blank line is Ok with
+// nothing pushed. Factored out so ParseTripleLines can count-and-continue
+// past a bad line in drop_bad_lines mode.
+Status ParseOneTripleLine(const DatasetValidator& validator,
+                          const std::string& raw, size_t line_no,
+                          Vocab& vocab, TripleList& triples) {
+  auto checked = validator.CheckLine(raw, line_no);
+  if (!checked.ok()) return checked.status();
+  const std::string_view line = *checked;
+  if (Trim(line).empty()) return Status::Ok();
+  const std::vector<std::string> fields = Split(line, '\t');
+  if (fields.size() != 3) {
+    return validator.Malformed(
+        line_no, StrFormat("expected 3 tab-separated fields, got %zu",
+                           fields.size()));
   }
-  return triples;
+  const std::string_view head = Trim(fields[0]);
+  const std::string_view relation = Trim(fields[1]);
+  const std::string_view tail = Trim(fields[2]);
+  if (head.empty() || relation.empty() || tail.empty()) {
+    return validator.Malformed(line_no, "empty symbol name");
+  }
+  Triple t;
+  t.head = vocab.InternEntity(head);
+  t.relation = vocab.InternRelation(relation);
+  t.tail = vocab.InternEntity(tail);
+  triples.push_back(t);
+  return Status::Ok();
 }
 
 }  // namespace
 
+StatusOr<TripleList> ParseTripleLines(const std::vector<std::string>& lines,
+                                      const std::string& label, Vocab& vocab,
+                                      const IngestOptions& ingest) {
+  const DatasetValidator validator(label, ingest);
+  if (ingest.summary != nullptr) *ingest.summary = IngestSummary{};
+  static obs::Counter& rejected_lines =
+      obs::Registry::Get().GetCounter(obs::kIngestRejectedLines);
+  TripleList triples;
+  triples.reserve(lines.size());
+  for (size_t line_no = 0; line_no < lines.size(); ++line_no) {
+    if (ingest.summary != nullptr) ++ingest.summary->lines_total;
+    const Status line_status =
+        ParseOneTripleLine(validator, lines[line_no], line_no + 1, vocab,
+                           triples);
+    if (line_status.ok()) continue;
+    rejected_lines.Increment();
+    if (ingest.summary != nullptr) {
+      ++ingest.summary->lines_rejected;
+      if (ingest.summary->first_error.empty()) {
+        ingest.summary->first_error = line_status.ToString();
+      }
+    }
+    if (!ingest.drop_bad_lines) return line_status;
+  }
+  return triples;
+}
+
 StatusOr<TripleList> LoadTripleFile(const std::string& path, Vocab& vocab,
                                     const IngestOptions& ingest) {
-  auto triples = LoadTripleFileImpl(path, vocab, ingest);
+  auto lines = ReadLines(path);
+  if (!lines.ok()) return lines.status();
+  // The whole-file loader keeps abort-on-first-error semantics regardless
+  // of drop_bad_lines (see header): a damaged dump must fail loudly.
+  IngestOptions file_ingest = ingest;
+  file_ingest.drop_bad_lines = false;
+  auto triples = ParseTripleLines(*lines, path, vocab, file_ingest);
   if (!triples.ok()) return CountRejected(triples.status());
   return triples;
 }

@@ -19,6 +19,7 @@
 #define KGC_KG_KG_IO_H_
 
 #include <string>
+#include <vector>
 
 #include "kg/dataset.h"
 #include "kg/dataset_validator.h"
@@ -39,6 +40,18 @@ Status SaveDatasetDir(const Dataset& dataset, const std::string& dir);
 /// without exactly 3 tab-separated fields or with empty symbol names.
 StatusOr<TripleList> LoadTripleFile(const std::string& path, Vocab& vocab,
                                     const IngestOptions& ingest = {});
+
+/// Parses in-memory "head<TAB>relation<TAB>tail" lines into
+/// `vocab`-interned triples — the line-level core of LoadTripleFile,
+/// exposed for streaming ingestion where batches arrive without touching
+/// disk. `label` names the source in error prefixes ("batch-0007"). By
+/// default the first malformed line fails the whole parse; with
+/// IngestOptions::drop_bad_lines the line is dropped, counted (in
+/// `ingest.summary` if set, and in kgc.ingest.rejected_lines), and parsing
+/// continues. `ingest.summary` is reset and filled either way.
+StatusOr<TripleList> ParseTripleLines(const std::vector<std::string>& lines,
+                                      const std::string& label, Vocab& vocab,
+                                      const IngestOptions& ingest = {});
 
 /// OpenKE benchmark layout (github.com/thunlp/OpenKE):
 ///

@@ -160,6 +160,8 @@ StatusOr<std::unique_ptr<KgeModel>> ModelStore::Load(
     // Corrupt, truncated or incompatible file: move it aside so the caller
     // retrains into a fresh file and the bad bytes stay inspectable.
     QuarantineCorrupt(path, model.status());
+    std::lock_guard<std::mutex> lock(quarantine_mutex_);
+    quarantined_keys_.insert(key);
   }
   (model.ok() ? hits : misses).Increment();
   return model;
@@ -180,7 +182,16 @@ Status ModelStore::Save(const std::string& key, const KgeModel& model) const {
   writer.WriteDouble(params.margin);
   writer.WriteI32(static_cast<int32_t>(params.loss));
   model.Serialize(writer);
-  return writer.Flush(PathFor(key));
+  const Status status = writer.Flush(PathFor(key));
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(quarantine_mutex_);
+    if (quarantined_keys_.erase(key) > 0) {
+      static obs::Counter& regenerated =
+          obs::Registry::Get().GetCounter(obs::kCacheRegenerated);
+      regenerated.Increment();
+    }
+  }
+  return status;
 }
 
 }  // namespace kgc

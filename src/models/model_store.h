@@ -11,6 +11,8 @@
 #define KGC_MODELS_MODEL_STORE_H_
 
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 
 #include "models/model.h"
@@ -31,7 +33,10 @@ class ModelStore {
 
   /// Loads a cached model; kNotFound if absent or incompatible. A corrupt
   /// file (bad checksum, truncated, malformed header) is moved aside to
-  /// `<path>.corrupt` and reported as an error so the caller retrains.
+  /// `<path>.corrupt` and reported as an error so the caller retrains; the
+  /// key is remembered so the retrained Save counts as a regeneration
+  /// (kgc.cache.regenerated) — the quarantine/regenerate pair in the run
+  /// report shows every corruption was actually healed.
   StatusOr<std::unique_ptr<KgeModel>> Load(const std::string& key) const;
 
   Status Save(const std::string& key, const KgeModel& model) const;
@@ -50,6 +55,11 @@ class ModelStore {
  private:
   std::string dir_;
   bool usable_ = false;
+  // Keys whose cache file was quarantined by Load and not yet re-Saved.
+  // Mutable + mutex-guarded: Load is logically const but must remember the
+  // quarantine so the healing Save can be counted.
+  mutable std::mutex quarantine_mutex_;
+  mutable std::set<std::string> quarantined_keys_;
 };
 
 }  // namespace kgc

@@ -68,12 +68,18 @@ Registry::Registry() {
         kRedundancyPairsFlagged, kRedundancyTriplesClassified,
         kAmieCandidates, kAmieRulesKept, kCacheModelHits, kCacheModelMisses,
         kCacheRankHits, kCacheRankMisses, kCacheQuarantined,
-        kCacheStoreUnusable, kFaultsInjected, kDeadlineExpired,
-        kIngestRejectedFiles}) {
+        kCacheRegenerated, kCacheStoreUnusable, kFaultsInjected,
+        kDeadlineExpired, kIngestRejectedFiles, kIngestRejectedLines,
+        kSnapshotPublished, kSnapshotRollbacks, kSnapshotRecoveries,
+        kSnapshotOrphansSwept, kSnapshotBatchesIngested,
+        kSnapshotBatchesQuarantined, kSnapshotDeltaTriples,
+        kSnapshotColdStarts, kSnapshotReaderSwaps}) {
     counters_.emplace(name, std::make_unique<Counter>());
   }
   gauges_.emplace(kTrainerLastLoss, std::make_unique<Gauge>());
-  for (const char* name : {kTrainerEpochSeconds, kRankerShardSeconds}) {
+  gauges_.emplace(kSnapshotCurrentGeneration, std::make_unique<Gauge>());
+  for (const char* name : {kTrainerEpochSeconds, kRankerShardSeconds,
+                           kSnapshotReaderSwapSeconds}) {
     histograms_.emplace(name,
                         std::make_unique<Histogram>(DefaultLatencyBuckets()));
   }

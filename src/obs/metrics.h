@@ -162,10 +162,29 @@ inline constexpr char kCacheModelMisses[] = "kgc.cache.model_misses";
 inline constexpr char kCacheRankHits[] = "kgc.cache.rank_hits";
 inline constexpr char kCacheRankMisses[] = "kgc.cache.rank_misses";
 inline constexpr char kCacheQuarantined[] = "kgc.cache.quarantined";
+inline constexpr char kCacheRegenerated[] = "kgc.cache.regenerated";
 inline constexpr char kCacheStoreUnusable[] = "kgc.cache.store_unusable";
 inline constexpr char kFaultsInjected[] = "kgc.faults.injected";
 inline constexpr char kDeadlineExpired[] = "kgc.deadline.expired";
 inline constexpr char kIngestRejectedFiles[] = "kgc.ingest.rejected_files";
+inline constexpr char kIngestRejectedLines[] = "kgc.ingest.rejected_lines";
+// Snapshot lifecycle (src/snapshot): generation rotation and live readers.
+inline constexpr char kSnapshotPublished[] =
+    "kgc.snapshot.generations_published";
+inline constexpr char kSnapshotRollbacks[] = "kgc.snapshot.rollbacks";
+inline constexpr char kSnapshotRecoveries[] = "kgc.snapshot.recoveries";
+inline constexpr char kSnapshotOrphansSwept[] = "kgc.snapshot.orphans_swept";
+inline constexpr char kSnapshotBatchesIngested[] =
+    "kgc.snapshot.batches_ingested";
+inline constexpr char kSnapshotBatchesQuarantined[] =
+    "kgc.snapshot.batches_quarantined";
+inline constexpr char kSnapshotDeltaTriples[] = "kgc.snapshot.delta_triples";
+inline constexpr char kSnapshotColdStarts[] = "kgc.snapshot.cold_starts";
+inline constexpr char kSnapshotReaderSwaps[] = "kgc.snapshot.reader_swaps";
+inline constexpr char kSnapshotCurrentGeneration[] =
+    "kgc.snapshot.current_generation";
+inline constexpr char kSnapshotReaderSwapSeconds[] =
+    "kgc.snapshot.reader_swap_seconds";
 
 class Registry {
  public:

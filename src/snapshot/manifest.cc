@@ -1,0 +1,277 @@
+#include "snapshot/manifest.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "obs/json.h"
+#include "util/string_util.h"
+
+namespace kgc {
+namespace {
+
+void AppendString(std::string& out, const char* key,
+                  const std::string& value) {
+  out += StrFormat(",\"%s\":\"%s\"", key, obs::JsonEscape(value).c_str());
+}
+
+void AppendInt(std::string& out, const char* key, int64_t value) {
+  out += StrFormat(",\"%s\":%lld", key, static_cast<long long>(value));
+}
+
+void AppendUint(std::string& out, const char* key, uint64_t value) {
+  out += StrFormat(",\"%s\":%llu", key, static_cast<unsigned long long>(value));
+}
+
+// %.17g: enough digits that the double round-trips bit-exactly, which the
+// chaos harness relies on when diffing a recovered registry against a
+// clean run.
+void AppendDouble(std::string& out, const char* key, double value) {
+  out += StrFormat(",\"%s\":%.17g", key, value);
+}
+
+// Minimal scanner for the flat one-line JSON objects this module itself
+// renders: string and number values only, no nesting. Unknown keys are
+// collected like any other so newer writers stay readable.
+class FlatJsonScanner {
+ public:
+  explicit FlatJsonScanner(const std::string& text) : text_(text) {}
+
+  /// Scans the whole object into key -> raw value (strings unescaped).
+  StatusOr<std::map<std::string, std::string>> Scan() {
+    std::map<std::string, std::string> fields;
+    SkipSpace();
+    if (!Consume('{')) return Malformed("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return fields;
+    while (true) {
+      SkipSpace();
+      auto key = ScanString();
+      if (!key.ok()) return key.status();
+      SkipSpace();
+      if (!Consume(':')) return Malformed("expected ':'");
+      SkipSpace();
+      auto value = ScanValue();
+      if (!value.ok()) return value.status();
+      fields[*key] = *value;
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return fields;
+      return Malformed("expected ',' or '}'");
+    }
+  }
+
+ private:
+  Status Malformed(const std::string& detail) const {
+    return Status::InvalidArgument(
+        StrFormat("bad manifest JSON at byte %zu: %s", pos_, detail.c_str()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<std::string> ScanString() {
+    if (!Consume('"')) return Malformed("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Malformed("truncated \\u");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Malformed("bad \\u digit");
+          }
+          // JsonEscape only emits \u00xx for control bytes; anything wider
+          // is degraded to '?' rather than attempting full UTF-16.
+          out += code < 0x100 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Malformed("unknown escape");
+      }
+    }
+    return Malformed("unterminated string");
+  }
+
+  StatusOr<std::string> ScanValue() {
+    if (pos_ < text_.size() && text_[pos_] == '"') return ScanString();
+    // Number / true / false: take the token up to the next delimiter.
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Malformed("empty value");
+    return text_.substr(start, pos_ - start);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+int64_t FieldInt(const std::map<std::string, std::string>& fields,
+                 const char* key, int64_t fallback = 0) {
+  auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  return static_cast<int64_t>(std::strtoll(it->second.c_str(), nullptr, 10));
+}
+
+uint64_t FieldUint(const std::map<std::string, std::string>& fields,
+                   const char* key) {
+  auto it = fields.find(key);
+  if (it == fields.end()) return 0;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double FieldDouble(const std::map<std::string, std::string>& fields,
+                   const char* key) {
+  auto it = fields.find(key);
+  if (it == fields.end()) return 0.0;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string FieldString(const std::map<std::string, std::string>& fields,
+                        const char* key) {
+  auto it = fields.find(key);
+  return it == fields.end() ? std::string() : it->second;
+}
+
+}  // namespace
+
+std::string RenderManifest(const SnapshotManifest& m) {
+  std::string out = "{\"schema\":\"";
+  out += kSnapshotManifestSchema;
+  out += "\"";
+  AppendInt(out, "generation", m.generation);
+  AppendInt(out, "parent", m.parent);
+  AppendString(out, "status", m.status);
+  AppendString(out, "source_batch", m.source_batch);
+  AppendInt(out, "source_batch_index", m.source_batch_index);
+  AppendString(out, "dataset_name", m.dataset_name);
+  AppendInt(out, "num_entities", m.num_entities);
+  AppendInt(out, "num_relations", m.num_relations);
+  AppendInt(out, "train_triples", m.train_triples);
+  AppendInt(out, "valid_triples", m.valid_triples);
+  AppendInt(out, "test_triples", m.test_triples);
+  AppendInt(out, "delta_triples", m.delta_triples);
+  AppendInt(out, "rejected_lines", m.rejected_lines);
+  AppendInt(out, "warm_start", m.warm_start ? 1 : 0);
+  AppendInt(out, "epochs", m.epochs);
+  AppendUint(out, "train_seed", m.train_seed);
+  AppendString(out, "model", m.model);
+  AppendUint(out, "model_crc32", m.model_crc32);
+  AppendInt(out, "model_bytes", m.model_bytes);
+  AppendUint(out, "data_crc32", m.data_crc32);
+  AppendInt(out, "relations_audited", m.relations_audited);
+  AppendInt(out, "duplicate_pairs", m.duplicate_pairs);
+  AppendInt(out, "reverse_pairs", m.reverse_pairs);
+  AppendInt(out, "symmetric_relations", m.symmetric_relations);
+  AppendInt(out, "cartesian_relations", m.cartesian_relations);
+  AppendDouble(out, "valid_mrr", m.valid_mrr);
+  AppendDouble(out, "parent_valid_mrr", m.parent_valid_mrr);
+  AppendDouble(out, "epsilon", m.epsilon);
+  AppendString(out, "rollback_reason", m.rollback_reason);
+  out += "}";
+  return out;
+}
+
+StatusOr<SnapshotManifest> ParseManifest(const std::string& json) {
+  FlatJsonScanner scanner(json);
+  auto fields = scanner.Scan();
+  if (!fields.ok()) return fields.status();
+  if (FieldString(*fields, "schema") != kSnapshotManifestSchema) {
+    return Status::InvalidArgument("not a " +
+                                   std::string(kSnapshotManifestSchema) +
+                                   " manifest");
+  }
+  SnapshotManifest m;
+  m.generation = FieldInt(*fields, "generation");
+  m.parent = FieldInt(*fields, "parent", -1);
+  m.status = FieldString(*fields, "status");
+  m.source_batch = FieldString(*fields, "source_batch");
+  m.source_batch_index = FieldInt(*fields, "source_batch_index", -1);
+  m.dataset_name = FieldString(*fields, "dataset_name");
+  m.num_entities = FieldInt(*fields, "num_entities");
+  m.num_relations = FieldInt(*fields, "num_relations");
+  m.train_triples = FieldInt(*fields, "train_triples");
+  m.valid_triples = FieldInt(*fields, "valid_triples");
+  m.test_triples = FieldInt(*fields, "test_triples");
+  m.delta_triples = FieldInt(*fields, "delta_triples");
+  m.rejected_lines = FieldInt(*fields, "rejected_lines");
+  m.warm_start = FieldInt(*fields, "warm_start") != 0;
+  m.epochs = FieldInt(*fields, "epochs");
+  m.train_seed = FieldUint(*fields, "train_seed");
+  m.model = FieldString(*fields, "model");
+  m.model_crc32 = static_cast<uint32_t>(FieldUint(*fields, "model_crc32"));
+  m.model_bytes = FieldInt(*fields, "model_bytes");
+  m.data_crc32 = static_cast<uint32_t>(FieldUint(*fields, "data_crc32"));
+  m.relations_audited = FieldInt(*fields, "relations_audited");
+  m.duplicate_pairs = FieldInt(*fields, "duplicate_pairs");
+  m.reverse_pairs = FieldInt(*fields, "reverse_pairs");
+  m.symmetric_relations = FieldInt(*fields, "symmetric_relations");
+  m.cartesian_relations = FieldInt(*fields, "cartesian_relations");
+  m.valid_mrr = FieldDouble(*fields, "valid_mrr");
+  m.parent_valid_mrr = FieldDouble(*fields, "parent_valid_mrr");
+  m.epsilon = FieldDouble(*fields, "epsilon");
+  m.rollback_reason = FieldString(*fields, "rollback_reason");
+  return m;
+}
+
+std::string RenderCurrentPointer(const CurrentPointer& current) {
+  std::string out = "{\"schema\":\"";
+  out += kSnapshotCurrentSchema;
+  out += "\"";
+  AppendInt(out, "generation", current.generation);
+  AppendUint(out, "manifest_crc32", current.manifest_crc32);
+  out += "}";
+  return out;
+}
+
+StatusOr<CurrentPointer> ParseCurrentPointer(const std::string& json) {
+  FlatJsonScanner scanner(json);
+  auto fields = scanner.Scan();
+  if (!fields.ok()) return fields.status();
+  if (FieldString(*fields, "schema") != kSnapshotCurrentSchema) {
+    return Status::InvalidArgument("not a " +
+                                   std::string(kSnapshotCurrentSchema) +
+                                   " pointer");
+  }
+  CurrentPointer current;
+  current.generation = FieldInt(*fields, "generation", -1);
+  current.manifest_crc32 =
+      static_cast<uint32_t>(FieldUint(*fields, "manifest_crc32"));
+  return current;
+}
+
+}  // namespace kgc

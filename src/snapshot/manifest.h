@@ -1,0 +1,111 @@
+// Snapshot generation manifests and the CURRENT pointer.
+//
+// Every published model generation carries a one-line JSON manifest
+// (schema "kgc.snapshot_manifest.v1") recording its lineage (parent
+// generation, source batch), content hashes binding it to the model and
+// dataset bytes on disk, the incremental redundancy-audit verdicts, and the
+// validation-gate evidence (valid-split filtered MRR vs the parent's, and
+// the regression epsilon it was admitted under). Rolled-back candidates get
+// the same record with status "rolled_back" plus the reason, appended to
+// the registry's rotation log so escalations are auditable.
+//
+// The CURRENT pointer (schema "kgc.snapshot_current.v1") is a tiny JSON
+// file naming the live generation and the CRC-32 of its manifest bytes —
+// the single atomically-replaced commit point of the rotation protocol
+// (see snapshot_registry.h).
+//
+// Rendering is flat, single-line, key-sorted-by-construction JSON;
+// doubles use %.17g so a manifest round-trips bit-exactly (the chaos
+// harness diffs recovered state against a clean run byte for byte).
+// Manifests deliberately carry no wall-clock timestamps: a replayed
+// rotation must produce identical bytes.
+
+#ifndef KGC_SNAPSHOT_MANIFEST_H_
+#define KGC_SNAPSHOT_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace kgc {
+
+inline constexpr char kSnapshotManifestSchema[] = "kgc.snapshot_manifest.v1";
+inline constexpr char kSnapshotCurrentSchema[] = "kgc.snapshot_current.v1";
+
+/// One generation's full provenance record.
+struct SnapshotManifest {
+  int64_t generation = 0;
+  /// Parent generation this one was warm-started / derived from; -1 for
+  /// the bootstrap generation.
+  int64_t parent = -1;
+  /// "published" | "rolled_back".
+  std::string status = "published";
+  /// Label of the stream batch that produced this generation ("bootstrap"
+  /// for generation 0).
+  std::string source_batch;
+  /// Monotone index of that batch in the stream; replayed batches with an
+  /// index <= the current generation's are skipped (crash-recovery replay).
+  int64_t source_batch_index = -1;
+
+  std::string dataset_name;
+  int64_t num_entities = 0;
+  int64_t num_relations = 0;
+  int64_t train_triples = 0;
+  int64_t valid_triples = 0;
+  int64_t test_triples = 0;
+  /// Fresh (non-duplicate) triples this batch contributed.
+  int64_t delta_triples = 0;
+  /// Malformed lines dropped by lenient ingestion (IngestSummary).
+  int64_t rejected_lines = 0;
+
+  /// Training provenance.
+  bool warm_start = false;
+  int64_t epochs = 0;
+  uint64_t train_seed = 0;
+  std::string model;  ///< ModelTypeName of the trained model
+
+  /// Content hashes binding the manifest to the artifact bytes.
+  uint32_t model_crc32 = 0;
+  int64_t model_bytes = 0;
+  uint32_t data_crc32 = 0;
+
+  /// Incremental redundancy-audit verdicts over the delta-touched
+  /// relations (counts, not listings — the full catalogs stay in memory).
+  int64_t relations_audited = 0;
+  int64_t duplicate_pairs = 0;
+  int64_t reverse_pairs = 0;
+  int64_t symmetric_relations = 0;
+  int64_t cartesian_relations = 0;
+
+  /// Validation gate: filtered MRR on the valid split, the parent's, and
+  /// the epsilon the decision was made under (publish iff
+  /// valid_mrr >= parent_valid_mrr - epsilon).
+  double valid_mrr = 0.0;
+  double parent_valid_mrr = 0.0;
+  double epsilon = 0.0;
+  /// Human-readable gate verdict for status "rolled_back"; empty otherwise.
+  std::string rollback_reason;
+};
+
+/// The atomically-replaced commit point: which generation is live, and the
+/// CRC-32 of that generation's manifest.json bytes (detects a CURRENT that
+/// survived a crash but points at a generation from a different lineage).
+struct CurrentPointer {
+  int64_t generation = -1;
+  uint32_t manifest_crc32 = 0;
+};
+
+/// Renders a manifest as one line of flat JSON (no trailing newline).
+std::string RenderManifest(const SnapshotManifest& manifest);
+
+/// Parses RenderManifest output. Unknown keys are ignored (forward
+/// compatibility); a wrong schema or malformed JSON is kInvalidArgument.
+StatusOr<SnapshotManifest> ParseManifest(const std::string& json);
+
+std::string RenderCurrentPointer(const CurrentPointer& current);
+StatusOr<CurrentPointer> ParseCurrentPointer(const std::string& json);
+
+}  // namespace kgc
+
+#endif  // KGC_SNAPSHOT_MANIFEST_H_

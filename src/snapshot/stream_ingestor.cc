@@ -1,0 +1,402 @@
+#include "snapshot/stream_ingestor.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <unordered_set>
+#include <utility>
+
+#include "eval/metrics.h"
+#include "eval/ranker.h"
+#include "kg/kg_io.h"
+#include "models/model_store.h"
+#include "obs/metrics.h"
+#include "redundancy/detectors.h"
+#include "util/crc32.h"
+#include "util/file_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgc {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Mixes the stream seed with the generation number (splitmix64 finalizer)
+// so every generation trains with a distinct but replay-stable seed.
+uint64_t MixSeed(uint64_t seed, int64_t generation) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
+                          (static_cast<uint64_t>(generation) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::string SanitizeLabel(std::string label) {
+  for (char& c : label) {
+    if (c == '/' || c == ' ' || c == '\\') c = '_';
+  }
+  return label;
+}
+
+// Filtered MRR of the candidate model over the candidate's valid split —
+// the regression-gate measure.
+double ValidFilteredMrr(const KgeModel& model, const Dataset& candidate,
+                        int threads) {
+  if (candidate.valid().empty()) return 0.0;
+  RankerOptions ranker_options;
+  ranker_options.threads = threads;
+  const std::vector<TripleRanks> ranks =
+      RankTriples(model, candidate, candidate.valid(), ranker_options);
+  return ComputeMetrics(ranks).fmrr;
+}
+
+}  // namespace
+
+StreamIngestor::StreamIngestor(SnapshotRegistry& registry,
+                               StreamIngestorOptions options)
+    : registry_(&registry), options_(std::move(options)) {}
+
+Status StreamIngestor::StageCandidate(Dataset& candidate, bool warm_start,
+                                      SnapshotManifest& manifest) {
+  const std::string staging = registry_->StagingDir(manifest.generation);
+
+  std::unique_ptr<KgeModel> model;
+  const ModelHyperParams params = DefaultHyperParams(options_.model_type);
+  if (warm_start) {
+    // Continue from the parent's trained parameters: the disk round-trip
+    // (rather than cloning the in-memory model) keeps warm starts
+    // deterministic across process restarts — replay reloads the same
+    // bytes.
+    ModelStore parent_store(registry_->GenerationDir(manifest.parent));
+    auto loaded = parent_store.Load("model");
+    if (!loaded.ok()) return loaded.status();
+    model = std::move(*loaded);
+  } else {
+    model = CreateModel(options_.model_type, candidate.num_entities(),
+                        candidate.num_relations(), params);
+  }
+
+  TrainOptions train;
+  train.epochs = static_cast<int>(manifest.epochs);
+  train.seed = manifest.train_seed;
+  train.checkpoint_path = staging + "/train.ckpt";
+  train.checkpoint_every = std::max(1, train.epochs / 4);
+  const TrainStats stats = TrainModel(*model, candidate, train);
+  LogInfo("snapshot: trained generation %lld (%s start, %d epochs, "
+          "final loss %.4f)",
+          static_cast<long long>(manifest.generation),
+          warm_start ? "warm" : "cold", stats.epochs_run, stats.final_loss);
+
+  ModelStore staging_store(staging);
+  if (!staging_store.usable()) {
+    return Status::IoError("cannot stage into " + staging);
+  }
+  KGC_RETURN_IF_ERROR(staging_store.Save("model", *model));
+  KGC_RETURN_IF_ERROR(SaveOpenKeDataset(candidate, staging + "/data"));
+
+  auto model_bytes = ReadFileBytes(staging + "/model.kgcm");
+  if (!model_bytes.ok()) return model_bytes.status();
+  manifest.model_bytes = static_cast<int64_t>(model_bytes->size());
+  manifest.model_crc32 = Crc32(model_bytes->data(), model_bytes->size());
+  auto data_crc = ComputeDataDirCrc(staging + "/data");
+  if (!data_crc.ok()) return data_crc.status();
+  manifest.data_crc32 = *data_crc;
+
+  manifest.model = ModelTypeName(options_.model_type);
+  manifest.warm_start = warm_start;
+  manifest.dataset_name = candidate.name();
+  manifest.num_entities = candidate.num_entities();
+  manifest.num_relations = candidate.num_relations();
+  manifest.train_triples = static_cast<int64_t>(candidate.train().size());
+  manifest.valid_triples = static_cast<int64_t>(candidate.valid().size());
+  manifest.test_triples = static_cast<int64_t>(candidate.test().size());
+  manifest.valid_mrr =
+      ValidFilteredMrr(*model, candidate, options_.threads);
+
+  staged_model_ = std::move(model);
+  return Status::Ok();
+}
+
+void StreamIngestor::QuarantineBatch(const std::vector<std::string>& lines,
+                                     const std::string& label,
+                                     const Status& why) {
+  obs::Registry::Get()
+      .GetCounter(obs::kSnapshotBatchesQuarantined)
+      .Increment();
+  const std::string base =
+      registry_->QuarantineDir() + "/" + SanitizeLabel(label);
+  const Status dir_status = MakeDirectories(registry_->QuarantineDir());
+  if (!dir_status.ok()) {
+    LogWarning("snapshot: cannot quarantine batch %s: %s", label.c_str(),
+               dir_status.ToString().c_str());
+    return;
+  }
+  std::string payload;
+  for (const std::string& line : lines) {
+    payload += line;
+    payload += '\n';
+  }
+  const Status payload_status =
+      WriteStringToFile(base + ".lines", payload);
+  const Status reason_status =
+      WriteStringToFile(base + ".reason", why.ToString() + "\n");
+  if (!payload_status.ok() || !reason_status.ok()) {
+    LogWarning("snapshot: batch quarantine write failed for %s",
+               label.c_str());
+  }
+  LogWarning("snapshot: quarantined batch %s (%s)", label.c_str(),
+             why.ToString().c_str());
+}
+
+void StreamIngestor::AuditDelta(const Dataset& candidate,
+                                const std::vector<RelationId>& touched,
+                                SnapshotManifest& manifest) const {
+  const TripleStore& store = candidate.all_store();
+  const DetectorOptions detector;  // paper defaults: theta = delta = 0.8
+  static obs::Counter& compared =
+      obs::Registry::Get().GetCounter(obs::kRedundancyPairsCompared);
+  static obs::Counter& flagged =
+      obs::Registry::Get().GetCounter(obs::kRedundancyPairsFlagged);
+
+  // Only relations the delta touched are re-audited, but each is compared
+  // against every relation — a new batch can create an overlap with any
+  // old relation. Flagged pairs are keyed (min, max) so a pair where both
+  // sides were touched counts once.
+  std::unordered_set<uint64_t> duplicate_pairs;
+  std::unordered_set<uint64_t> reverse_pairs;
+  std::unordered_set<RelationId> symmetric;
+  int64_t cartesian = 0;
+  for (RelationId r : touched) {
+    const size_t size_r = store.RelationSize(r);
+    if (size_r >= detector.min_relation_size) {
+      const EntitySet& subjects = store.Subjects(r);
+      const EntitySet& objects = store.Objects(r);
+      const double denominator =
+          static_cast<double>(subjects.size()) *
+          static_cast<double>(objects.size());
+      if (denominator > 0 &&
+          static_cast<double>(size_r) / denominator >
+              detector.cartesian_density) {
+        ++cartesian;
+      }
+    }
+    for (RelationId s = 0; s < store.num_relations(); ++s) {
+      const size_t size_s = store.RelationSize(s);
+      if (size_r < detector.min_relation_size ||
+          size_s < detector.min_relation_size) {
+        continue;
+      }
+      compared.Increment();
+      const uint64_t pair_key =
+          PackPair(std::min(r, s), std::max(r, s));
+      if (s != r) {
+        const size_t inter =
+            PairIntersectionSize(store.Pairs(r), store.Pairs(s));
+        if (static_cast<double>(inter) / static_cast<double>(size_r) >
+                detector.theta1 &&
+            static_cast<double>(inter) / static_cast<double>(size_s) >
+                detector.theta2) {
+          if (duplicate_pairs.insert(pair_key).second) flagged.Increment();
+        }
+      }
+      const size_t rev =
+          PairReverseIntersectionSize(store.Pairs(r), store.Pairs(s));
+      if (s == r) {
+        if (static_cast<double>(rev) / static_cast<double>(size_r) >
+            detector.theta1) {
+          symmetric.insert(r);
+        }
+      } else if (static_cast<double>(rev) / static_cast<double>(size_r) >
+                     detector.theta1 &&
+                 static_cast<double>(rev) / static_cast<double>(size_s) >
+                     detector.theta2) {
+        if (reverse_pairs.insert(pair_key).second) flagged.Increment();
+      }
+    }
+  }
+  manifest.relations_audited = static_cast<int64_t>(touched.size());
+  manifest.duplicate_pairs = static_cast<int64_t>(duplicate_pairs.size());
+  manifest.reverse_pairs = static_cast<int64_t>(reverse_pairs.size());
+  manifest.symmetric_relations = static_cast<int64_t>(symmetric.size());
+  manifest.cartesian_relations = cartesian;
+}
+
+StatusOr<IngestReport> StreamIngestor::Bootstrap(const Dataset& base) {
+  if (registry_->current() != nullptr) {
+    return Status::FailedPrecondition(
+        "registry already holds a generation; bootstrap requires an empty "
+        "registry");
+  }
+  const int64_t generation = 0;
+
+  SnapshotManifest manifest;
+  manifest.generation = generation;
+  manifest.parent = -1;
+  manifest.source_batch = "bootstrap";
+  manifest.source_batch_index = -1;
+  manifest.epochs = options_.bootstrap_epochs > 0 ? options_.bootstrap_epochs
+                                                  : options_.epochs;
+  manifest.train_seed = MixSeed(options_.train_seed, generation);
+  manifest.epsilon = options_.epsilon;
+  manifest.delta_triples = static_cast<int64_t>(base.train().size());
+
+  Dataset candidate(base.name(), base.vocab(), base.train(), base.valid(),
+                    base.test());
+
+  KGC_RETURN_IF_ERROR(registry_->BeginGeneration(generation));
+  const fs::file_time_type staged_since = fs::file_time_type::clock::now();
+  (void)staged_since;  // bootstrap is never rolled back (no parent gate)
+  KGC_RETURN_IF_ERROR(StageCandidate(candidate, /*warm_start=*/false,
+                                     manifest));
+
+  std::vector<RelationId> touched;
+  touched.reserve(static_cast<size_t>(candidate.num_relations()));
+  for (RelationId r = 0; r < candidate.num_relations(); ++r) {
+    touched.push_back(r);
+  }
+  AuditDelta(candidate, touched, manifest);
+
+  auto loaded = std::make_shared<LoadedGeneration>();
+  loaded->manifest = manifest;
+  loaded->dataset = std::move(candidate);
+  loaded->model = std::move(staged_model_);
+  KGC_RETURN_IF_ERROR(registry_->Publish(std::move(loaded)));
+
+  IngestReport report;
+  report.outcome = "published";
+  report.generation = generation;
+  report.delta_triples = static_cast<size_t>(manifest.delta_triples);
+  report.valid_mrr = manifest.valid_mrr;
+  return report;
+}
+
+StatusOr<IngestReport> StreamIngestor::IngestBatch(
+    const std::vector<std::string>& lines, const std::string& label,
+    int64_t batch_index) {
+  obs::Registry::Get().GetCounter(obs::kSnapshotBatchesIngested).Increment();
+  std::shared_ptr<const LoadedGeneration> parent = registry_->current();
+  if (parent == nullptr) {
+    return Status::FailedPrecondition(
+        "registry is empty; Bootstrap() a base generation first");
+  }
+
+  IngestReport report;
+  if (batch_index >= 0 &&
+      parent->manifest.source_batch_index >= batch_index) {
+    // Crash-recovery replay: this batch is already folded into the live
+    // generation (or one of its ancestors).
+    report.outcome = "skipped";
+    report.generation = parent->manifest.generation;
+    report.detail = StrFormat("batch %lld already covered by generation %lld",
+                              static_cast<long long>(batch_index),
+                              static_cast<long long>(
+                                  parent->manifest.generation));
+    return report;
+  }
+
+  // 1. Validate. Lenient mode drops and counts; strict mode quarantines
+  // the whole batch on the first bad line.
+  IngestOptions ingest = options_.ingest;
+  if (!ingest.strict) ingest.drop_bad_lines = true;
+  IngestSummary summary;
+  ingest.summary = &summary;
+  Vocab vocab = parent->dataset.vocab();
+  auto parsed = ParseTripleLines(lines, label, vocab, ingest);
+  if (!parsed.ok()) {
+    QuarantineBatch(lines, label, parsed.status());
+    report.outcome = "quarantined";
+    report.rejected_lines = summary.lines_rejected;
+    report.detail = parsed.status().ToString();
+    return report;
+  }
+
+  // 2. Deduplicate against the live graph and within the batch.
+  const TripleStore& known = parent->dataset.all_store();
+  std::unordered_set<Triple, TripleHash> seen;
+  TripleList delta;
+  for (const Triple& t : *parsed) {
+    if (known.Contains(t)) continue;
+    if (!seen.insert(t).second) continue;
+    delta.push_back(t);
+  }
+  report.rejected_lines = summary.lines_rejected;
+  if (delta.empty()) {
+    report.outcome = "empty";
+    report.generation = parent->manifest.generation;
+    report.detail = "no fresh triples after deduplication";
+    return report;
+  }
+  // 3. Split the delta and assemble the candidate dataset.
+  TripleList train = parent->dataset.train();
+  TripleList valid = parent->dataset.valid();
+  std::vector<RelationId> touched;
+  std::unordered_set<RelationId> touched_set;
+  size_t fresh = 0;
+  for (const Triple& t : delta) {
+    ++fresh;
+    if (options_.valid_every > 0 &&
+        fresh % static_cast<size_t>(options_.valid_every) == 0) {
+      valid.push_back(t);
+    } else {
+      train.push_back(t);
+    }
+    if (touched_set.insert(t.relation).second) touched.push_back(t.relation);
+  }
+  const bool warm_start =
+      vocab.num_entities() == parent->dataset.num_entities() &&
+      vocab.num_relations() == parent->dataset.num_relations();
+  if (!warm_start) {
+    obs::Registry::Get().GetCounter(obs::kSnapshotColdStarts).Increment();
+  }
+  Dataset candidate(parent->dataset.name(), std::move(vocab),
+                    std::move(train), std::move(valid),
+                    parent->dataset.test());
+
+  const int64_t generation = parent->manifest.generation + 1;
+  SnapshotManifest manifest;
+  manifest.generation = generation;
+  manifest.parent = parent->manifest.generation;
+  manifest.source_batch = label;
+  manifest.source_batch_index = batch_index;
+  manifest.epochs = options_.epochs;
+  manifest.train_seed = MixSeed(options_.train_seed, generation);
+  manifest.epsilon = options_.epsilon;
+  manifest.delta_triples = static_cast<int64_t>(delta.size());
+  manifest.rejected_lines = static_cast<int64_t>(summary.lines_rejected);
+  manifest.parent_valid_mrr = parent->manifest.valid_mrr;
+
+  // 4. Stage: train (warm when the vocab shape held), audit, hash.
+  KGC_RETURN_IF_ERROR(registry_->BeginGeneration(generation));
+  const fs::file_time_type staged_since = fs::file_time_type::clock::now();
+  KGC_RETURN_IF_ERROR(StageCandidate(candidate, warm_start, manifest));
+  AuditDelta(candidate, touched, manifest);
+
+  report.generation = generation;
+  report.delta_triples = delta.size();
+  report.valid_mrr = manifest.valid_mrr;
+  report.parent_valid_mrr = manifest.parent_valid_mrr;
+
+  // 5. Regression gate.
+  if (manifest.valid_mrr <
+      manifest.parent_valid_mrr - manifest.epsilon) {
+    manifest.status = "rolled_back";
+    manifest.rollback_reason = StrFormat(
+        "valid fMRR %.6f regressed more than epsilon=%g below parent %.6f",
+        manifest.valid_mrr, manifest.epsilon, manifest.parent_valid_mrr);
+    staged_model_.reset();
+    KGC_RETURN_IF_ERROR(registry_->Rollback(manifest, staged_since));
+    report.outcome = "rolled_back";
+    report.detail = manifest.rollback_reason;
+    return report;
+  }
+
+  auto loaded = std::make_shared<LoadedGeneration>();
+  loaded->manifest = manifest;
+  loaded->dataset = std::move(candidate);
+  loaded->model = std::move(staged_model_);
+  KGC_RETURN_IF_ERROR(registry_->Publish(std::move(loaded)));
+  report.outcome = "published";
+  return report;
+}
+
+}  // namespace kgc

@@ -1,0 +1,122 @@
+// Streaming triple ingestion: turns batches of raw triple lines into
+// validated, trained, audited, regression-gated snapshot generations.
+//
+// Per batch (see DESIGN.md "Snapshot lifecycle" for the full state
+// machine):
+//
+//   1. Validate every line through DatasetValidator. Strict mode
+//      quarantines the whole batch on the first bad line (payload +
+//      reason land in <root>/quarantine/ for post-mortems); lenient mode
+//      (IngestOptions::drop_bad_lines) drops and counts bad lines into
+//      the manifest's rejected_lines field.
+//   2. Deduplicate the delta against the live generation's triples (and
+//      within the batch). An empty delta publishes nothing.
+//   3. Warm-start incremental training from the parent generation's model
+//      when the vocabulary shape is unchanged; a batch that grew the
+//      vocab forces a cold start (kgc.snapshot.cold_starts). The training
+//      seed mixes the stream seed with the generation number so a
+//      replayed batch retrains bit-identically.
+//   4. Re-run the redundancy detectors incrementally: only relations the
+//      delta touched are compared (against all relations), and the counts
+//      land in the manifest.
+//   5. Gate on the valid-split filtered MRR: the candidate publishes only
+//      if it does not regress more than `epsilon` below the parent's;
+//      otherwise it is rolled back through the suite-supervisor
+//      quarantine path with the verdict recorded.
+//
+// Replay safety: batches carry a monotone index; after a crash the stream
+// is replayed from the start and IngestBatch skips every batch whose index
+// the live generation already covers, so recovery converges to the same
+// generation chain (and bit-identical scores) as an uninterrupted run.
+
+#ifndef KGC_SNAPSHOT_STREAM_INGESTOR_H_
+#define KGC_SNAPSHOT_STREAM_INGESTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/dataset_validator.h"
+#include "models/model.h"
+#include "models/trainer.h"
+#include "snapshot/snapshot_registry.h"
+#include "util/status.h"
+
+namespace kgc {
+
+struct StreamIngestorOptions {
+  /// Line validation. strict=true quarantines whole batches on any bad
+  /// line; otherwise drop_bad_lines is forced on and rejects are counted.
+  IngestOptions ingest;
+  ModelType model_type = ModelType::kTransE;
+  /// Epochs per incremental round (bootstrap uses bootstrap_epochs if > 0).
+  int epochs = 20;
+  int bootstrap_epochs = 0;
+  uint64_t train_seed = 13;
+  /// Publish gate: candidate publishes iff
+  /// valid_fmrr >= parent_valid_fmrr - epsilon. A negative epsilon forces
+  /// rollback deterministically (used by the chaos harness).
+  double epsilon = 0.05;
+  /// Every valid_every-th fresh triple joins the valid split instead of
+  /// train, so the gate keeps measuring new data; <= 0 sends all to train.
+  int valid_every = 8;
+  /// Ranker threads for the validation sweep (0 = KGC_THREADS default).
+  int threads = 0;
+};
+
+/// Outcome of one batch (also recorded in the generation manifest).
+struct IngestReport {
+  /// "published" | "rolled_back" | "quarantined" | "empty" | "skipped".
+  std::string outcome;
+  /// Generation published or rolled back; -1 when none was staged.
+  int64_t generation = -1;
+  size_t delta_triples = 0;
+  size_t rejected_lines = 0;
+  double valid_mrr = 0.0;
+  double parent_valid_mrr = 0.0;
+  std::string detail;
+
+  bool published() const { return outcome == "published"; }
+};
+
+class StreamIngestor {
+ public:
+  /// The registry must outlive the ingestor.
+  StreamIngestor(SnapshotRegistry& registry, StreamIngestorOptions options);
+
+  /// Publishes generation 0 from a full dataset. The registry must be
+  /// empty; the bootstrap is not regression-gated (there is no parent).
+  StatusOr<IngestReport> Bootstrap(const Dataset& base);
+
+  /// Ingests one batch of raw "head<TAB>relation<TAB>tail" lines. `label`
+  /// names the batch in manifests and quarantine files; `batch_index` is
+  /// its monotone stream position (replay skips covered indexes).
+  StatusOr<IngestReport> IngestBatch(const std::vector<std::string>& lines,
+                                     const std::string& label,
+                                     int64_t batch_index);
+
+  const StreamIngestorOptions& options() const { return options_; }
+
+ private:
+  /// Trains, audits, hashes and stages a candidate into the staging dir;
+  /// fills the manifest's training/audit/hash fields.
+  Status StageCandidate(Dataset& candidate, bool warm_start,
+                        SnapshotManifest& manifest);
+  /// Moves the rejected batch payload + reason into quarantine/.
+  void QuarantineBatch(const std::vector<std::string>& lines,
+                       const std::string& label, const Status& why);
+  /// Counts detector verdicts over the relations the delta touched.
+  void AuditDelta(const Dataset& candidate,
+                  const std::vector<RelationId>& touched,
+                  SnapshotManifest& manifest) const;
+
+  SnapshotRegistry* registry_;
+  StreamIngestorOptions options_;
+  /// Model trained by the last StageCandidate, handed to Publish (or
+  /// dropped on rollback).
+  std::unique_ptr<KgeModel> staged_model_;
+};
+
+}  // namespace kgc
+
+#endif  // KGC_SNAPSHOT_STREAM_INGESTOR_H_

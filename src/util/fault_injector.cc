@@ -53,6 +53,45 @@ void FaultInjector::Disarm(FaultKind kind) {
 
 void FaultInjector::DisarmAll() {
   for (Slot& slot : slots_) slot = Slot{};
+  sites_.clear();
+}
+
+void FaultInjector::ArmSite(const std::string& site, FaultKind kind,
+                            int times, int skip, int64_t payload) {
+  SiteSlot& entry = sites_[site];
+  entry.kind = kind;
+  entry.slot.times = times;
+  entry.slot.skip = skip;
+  entry.slot.payload = payload;
+}
+
+void FaultInjector::DisarmSite(const std::string& site) {
+  sites_.erase(site);
+}
+
+bool FaultInjector::ShouldFailAt(const std::string& site, FaultKind* kind,
+                                 int64_t* payload) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  SiteSlot& entry = it->second;
+  ++entry.slot.seen;
+  if (entry.slot.times <= 0) return false;
+  if (entry.slot.skip > 0) {
+    --entry.slot.skip;
+    return false;
+  }
+  --entry.slot.times;
+  if (kind != nullptr) *kind = entry.kind;
+  if (payload != nullptr) *payload = entry.slot.payload;
+  static obs::Counter& injected =
+      obs::Registry::Get().GetCounter(obs::kFaultsInjected);
+  injected.Increment();
+  return true;
+}
+
+int FaultInjector::site_times_remaining(const std::string& site) const {
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.slot.times;
 }
 
 bool FaultInjector::ShouldFail(FaultKind kind, int64_t* payload) {
@@ -79,48 +118,70 @@ int FaultInjector::times_remaining(FaultKind kind) const {
   return slots_[static_cast<size_t>(kind)].times;
 }
 
+namespace {
+
+// True if `field` is a recognised option assignment ("times=3"). Anything
+// else — including a bare word — belongs to the kind@site token, which may
+// itself contain ':' (site names like "rotate:manifest").
+bool IsOptionField(const std::string& field) {
+  const std::vector<std::string> kv = Split(field, '=');
+  if (kv.size() != 2) return false;
+  return kv[0] == "times" || kv[0] == "skip" || kv[0] == "bytes" ||
+         kv[0] == "ms";
+}
+
+}  // namespace
+
 bool FaultInjector::ArmFromSpec(const std::string& spec) {
   bool all_ok = true;
   for (const std::string& entry : Split(spec, ',')) {
     if (Trim(entry).empty()) continue;
     const std::vector<std::string> fields = Split(Trim(entry), ':');
+    // Options are parsed from the tail: the longest suffix of key=value
+    // fields. The remaining prefix, re-joined with ':', is the kind (or
+    // kind@site) token.
+    size_t head_end = fields.size();
+    while (head_end > 1 && IsOptionField(fields[head_end - 1])) --head_end;
+    std::vector<std::string> head_fields(fields.begin(),
+                                         fields.begin() + head_end);
+    const std::string head = Join(head_fields, ":");
+
+    std::string kind_name = head;
+    std::string site;
+    const size_t at = head.find('@');
+    if (at != std::string::npos) {
+      kind_name = head.substr(0, at);
+      site = head.substr(at + 1);
+    }
     FaultKind kind;
-    if (!ParseFaultKind(fields[0], &kind)) {
-      LogWarning("KGC_FAULTS: unknown fault kind '%s'", fields[0].c_str());
+    if (!ParseFaultKind(kind_name, &kind) ||
+        (at != std::string::npos && site.empty())) {
+      LogWarning("KGC_FAULTS: unknown fault kind '%s'", head.c_str());
       all_ok = false;
       continue;
     }
     int times = 1;
     int skip = 0;
     int64_t payload = 0;
-    bool entry_ok = true;
-    for (size_t i = 1; i < fields.size(); ++i) {
+    for (size_t i = head_end; i < fields.size(); ++i) {
       const std::vector<std::string> kv = Split(fields[i], '=');
-      if (kv.size() != 2) {
-        entry_ok = false;
-        break;
-      }
       const long value = std::strtol(kv[1].c_str(), nullptr, 10);
       if (kv[0] == "times") {
         times = static_cast<int>(value);
       } else if (kv[0] == "skip") {
         skip = static_cast<int>(value);
-      } else if (kv[0] == "bytes" || kv[0] == "ms") {
+      } else {  // bytes or ms
         payload = value;
-      } else {
-        entry_ok = false;
-        break;
       }
     }
-    if (!entry_ok) {
-      LogWarning("KGC_FAULTS: malformed entry '%s'", entry.c_str());
-      all_ok = false;
-      continue;
+    LogWarning("fault injection armed: %s%s%s times=%d skip=%d payload=%lld",
+               kind_name.c_str(), site.empty() ? "" : " at ", site.c_str(),
+               times, skip, static_cast<long long>(payload));
+    if (site.empty()) {
+      Arm(kind, times, skip, payload);
+    } else {
+      ArmSite(site, kind, times, skip, payload);
     }
-    LogWarning("fault injection armed: %s times=%d skip=%d payload=%lld",
-               fields[0].c_str(), times, skip,
-               static_cast<long long>(payload));
-    Arm(kind, times, skip, payload);
   }
   return all_ok;
 }

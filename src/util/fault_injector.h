@@ -8,16 +8,29 @@
 // programmatically; end-to-end runs can arm them through the KGC_FAULTS
 // environment variable (parsed once, on first use):
 //
-//   KGC_FAULTS=<kind>[:times=<n>][:skip=<n>][:bytes=<n>][:ms=<n>][,<kind>...]
+//   KGC_FAULTS=<kind>[@<site>][:times=<n>][:skip=<n>][:bytes=<n>][:ms=<n>]
+//              [,<kind>...]
 //
 //   kind   one of torn_write, short_read, enospc, rename_fail, mkdir_fail,
 //          stall, crash
+//   site   optional named failpoint ("rotate:manifest", "publish:current");
+//          when present the entry arms that site instead of the kind's
+//          global I/O-layer slot. Site names may contain ':' — trailing
+//          key=value fields are parsed as options, everything before them
+//          is the kind@site token.
 //   times  how many matching operations fail (default 1)
 //   skip   how many matching operations succeed first (default 0)
 //   bytes  for torn_write: prefix bytes persisted before the failure
 //   ms     for stall: milliseconds the phase boundary sleeps
 //
 // e.g. KGC_FAULTS=torn_write:bytes=64,short_read:times=2:skip=1
+//      KGC_FAULTS=crash@rotate:manifest,enospc@publish:current:times=2
+//
+// Named sites drive multi-step protocols (snapshot rotation) whose
+// individual steps must each be killable: the protocol code consults
+// ShouldFailAt("rotate:manifest") before the step, and the armed kind
+// decides how it dies — `crash` hard-exits the process mid-protocol,
+// any other kind surfaces as an injected I/O error at that step.
 //
 // `stall` and `crash` fire at phase boundaries (util/deadline.h) rather
 // than in the I/O layer: `stall` sleeps the boundary for `ms` milliseconds
@@ -34,6 +47,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 
 namespace kgc {
@@ -79,6 +93,22 @@ class FaultInjector {
   /// malformed entries are skipped; returns false if any were.
   bool ArmFromSpec(const std::string& spec);
 
+  /// Arms a named failpoint site. The armed `kind` is reported back by
+  /// ShouldFailAt so the protocol code can pick the matching failure mode
+  /// (crash vs I/O error vs stall).
+  void ArmSite(const std::string& site, FaultKind kind, int times = 1,
+               int skip = 0, int64_t payload = 0);
+
+  void DisarmSite(const std::string& site);
+
+  /// True and consumes one armed failure if the named site should fail;
+  /// `kind` / `payload` (may be null) receive what was armed.
+  bool ShouldFailAt(const std::string& site, FaultKind* kind = nullptr,
+                    int64_t* payload = nullptr);
+
+  /// Remaining failures armed for `site` (0 = disarmed or exhausted).
+  int site_times_remaining(const std::string& site) const;
+
  private:
   FaultInjector() = default;
 
@@ -88,7 +118,12 @@ class FaultInjector {
     int64_t payload = 0;
     int64_t seen = 0;
   };
+  struct SiteSlot {
+    FaultKind kind = FaultKind::kEnospc;
+    Slot slot;
+  };
   std::array<Slot, kNumFaultKinds> slots_;
+  std::map<std::string, SiteSlot> sites_;
 };
 
 }  // namespace kgc

@@ -127,6 +127,17 @@ Status AtomicWriteFile(const std::string& path, const void* data,
   return Status::Ok();
 }
 
+Status RenamePath(const std::string& from, const std::string& to) {
+  if (FaultInjector::Get().ShouldFail(FaultKind::kRenameFail)) {
+    return Status::IoError("rename failed (injected): " + to);
+  }
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IoError("rename failed: " + from + " -> " + to);
+  }
+  SyncParentDir(to);
+  return Status::Ok();
+}
+
 Status RetryIo(const std::string& what, int max_attempts,
                const std::function<Status()>& op) {
   Status status;

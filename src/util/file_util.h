@@ -42,6 +42,13 @@ StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
 Status AtomicWriteFile(const std::string& path, const void* data,
                        size_t size);
 
+/// Atomically renames `from` to `to` (same filesystem) and fsyncs the
+/// destination's parent directory so the rename itself is durable. Works on
+/// files and directories alike — it is the commit step of multi-file
+/// protocols (snapshot generation publish). Honors the kRenameFail
+/// failpoint.
+Status RenamePath(const std::string& from, const std::string& to);
+
 /// Runs `op` up to `max_attempts` times, backing off ~1ms * 2^attempt
 /// between tries, while it returns kIoError (other codes — kNotFound,
 /// corrupt-data failures — are returned immediately: retrying cannot fix

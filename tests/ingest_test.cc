@@ -294,5 +294,74 @@ TEST_F(IngestTest, RoundtripSurvivesTheHardenedLoaders) {
   EXPECT_EQ(strict_reload->test().size(), dataset->test().size());
 }
 
+// --- ParseTripleLines: the streaming (per-batch) ingestion entry point --
+
+TEST(ParseTripleLinesTest, AbortsOnFirstBadLineByDefault) {
+  Vocab vocab;
+  IngestSummary summary;
+  IngestOptions options;
+  options.summary = &summary;
+  const std::vector<std::string> lines = {"a\tr\tb", "broken", "c\tr\td"};
+  auto parsed = ParseTripleLines(lines, "batch", vocab, options);
+  ASSERT_FALSE(parsed.ok());
+  // The error is prefixed with the batch label and 1-based line number.
+  EXPECT_NE(parsed.status().ToString().find("batch:2"), std::string::npos);
+  EXPECT_EQ(summary.lines_rejected, 1u);
+  EXPECT_FALSE(summary.first_error.empty());
+}
+
+TEST(ParseTripleLinesTest, DropBadLinesCountsEveryReject) {
+  Vocab vocab;
+  IngestSummary summary;
+  IngestOptions options;
+  options.drop_bad_lines = true;
+  options.summary = &summary;
+  const std::vector<std::string> lines = {
+      "a\tr\tb",     // ok
+      "two\tfields",  // wrong arity
+      "",             // blank: allowed, skipped silently
+      " \t r \t ",    // empty head after trim
+      "c\tr\td",     // ok
+  };
+  auto parsed = ParseTripleLines(lines, "batch", vocab, options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(summary.lines_total, 5u);
+  EXPECT_EQ(summary.lines_rejected, 2u);
+  // first_error pins the first reject for the ingest manifest.
+  EXPECT_NE(summary.first_error.find("batch:2"), std::string::npos);
+  // The two good lines interned 4 entities and 1 relation.
+  EXPECT_EQ(vocab.num_entities(), 4);
+  EXPECT_EQ(vocab.num_relations(), 1);
+}
+
+TEST(ParseTripleLinesTest, SummaryResetsBetweenParses) {
+  Vocab vocab;
+  IngestSummary summary;
+  IngestOptions options;
+  options.drop_bad_lines = true;
+  options.summary = &summary;
+  ASSERT_TRUE(ParseTripleLines({"bad"}, "b0", vocab, options).ok());
+  EXPECT_EQ(summary.lines_rejected, 1u);
+  ASSERT_TRUE(ParseTripleLines({"a\tr\tb"}, "b1", vocab, options).ok());
+  EXPECT_EQ(summary.lines_total, 1u);
+  EXPECT_EQ(summary.lines_rejected, 0u);
+  EXPECT_TRUE(summary.first_error.empty());
+}
+
+TEST(ParseTripleLinesTest, StrictModeRejectsCrlfLenientStrips) {
+  IngestOptions lenient;
+  lenient.drop_bad_lines = false;
+  Vocab vocab;
+  auto ok = ParseTripleLines({"a\tr\tb\r"}, "batch", vocab, lenient);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();  // '\r' stripped
+  EXPECT_EQ(ok->size(), 1u);
+
+  IngestOptions strict;
+  strict.strict = true;
+  Vocab vocab2;
+  EXPECT_FALSE(ParseTripleLines({"a\tr\tb\r"}, "batch", vocab2, strict).ok());
+}
+
 }  // namespace
 }  // namespace kgc
