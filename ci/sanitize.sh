@@ -38,6 +38,9 @@ if [[ "${SANITIZERS}" == *thread* ]]; then
   # dispatch table resolve races on first use). harness_test adds the
   # supervisor's watchdog thread + waitpid polling loop, and ingest_test
   # covers the rejected-files counter shared with parallel loaders.
+  # kg_test and flat_set_test pin the storage substrate: TripleStore's flat
+  # membership sets are probed concurrently (const-only) from every ranking
+  # shard, so the batched probe path must be race-free.
   export KGC_THREADS=4
   # report_signal_unsafe=0: the BenchTelemetry crash handler deliberately
   # flushes the run report from inside a fatal-signal handler (a
@@ -46,7 +49,7 @@ if [[ "${SANITIZERS}" == *thread* ]]; then
   # exit-status attribution checks. Data-race detection is unaffected.
   export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:report_signal_unsafe=0"
   ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-        -R '^(parallel_test|eval_test|redundancy_test|rules_test|core_test|obs_test|vecmath_test|harness_test|ingest_test)$'
+        -R '^(parallel_test|eval_test|redundancy_test|rules_test|core_test|obs_test|vecmath_test|harness_test|ingest_test|kg_test|flat_set_test)$'
 else
   echo "== running tier-1 tests =="
   # halt_on_error keeps CI failures crisp; detect_leaks stays on by default
@@ -63,6 +66,14 @@ else
     # crash handlers) would hide from the unit tests.
     echo "== chaos suite under ASan =="
     ci/chaos.sh "${BUILD_DIR}"
+
+    # Storage-substrate budget gate: the 100k-entity store must stay under
+    # the 64 bytes/triple ceiling and batched probes must not regress
+    # behind the replaced unordered_set substrate (bench_scale exits 1 on
+    # either breach). Under ASan the *memory* assertion still holds
+    # (IndexBytes counts container capacities, not malloc overhead).
+    echo "== bench_scale smoke budget under ASan =="
+    "${BUILD_DIR}/bench/bench_scale" --smoke
   fi
 fi
 

@@ -11,12 +11,6 @@
 namespace kgc {
 namespace {
 
-// A fact in the world, annotated with whether the dataset subsample admits it.
-struct WorldFact {
-  Triple triple;
-  bool admitted = false;
-};
-
 using EntityPair = std::pair<EntityId, EntityId>;
 
 // Shared generation state.
@@ -95,34 +89,43 @@ std::vector<EntityPair> GenerateGenuinePairs(Context& ctx,
   return pairs;
 }
 
-// Emits a world fact, deciding dataset admission with `keep_rate`.
-void Emit(std::vector<WorldFact>& facts, Rng& rng, EntityId h, RelationId r,
-          EntityId t, double keep_rate) {
-  facts.push_back(WorldFact{Triple{h, r, t}, rng.Bernoulli(keep_rate)});
-}
+// Forwards one world fact to the sink, deciding dataset admission with
+// `keep_rate`. The admission draw happens here so the RNG sequence is the
+// same for every sink.
+struct FactEmitter {
+  WorldSink* sink = nullptr;
+  Rng* rng = nullptr;
+  uint64_t world_facts = 0;
+  uint64_t admitted_facts = 0;
 
-}  // namespace
+  void Emit(EntityId h, RelationId r, EntityId t, double keep_rate) {
+    const bool admitted = rng->Bernoulli(keep_rate);
+    ++world_facts;
+    admitted_facts += admitted ? 1 : 0;
+    sink->AddFact(Triple{h, r, t}, admitted);
+  }
+};
 
-SyntheticKg GenerateKg(const GeneratorSpec& spec, uint64_t seed) {
+// The generation core: entities, then per-family relations and facts,
+// streamed into `sink` with `rng` advancing in a fixed draw order.
+WorldCounts GenerateWorldImpl(const GeneratorSpec& spec, Rng& rng,
+                              WorldSink& sink) {
   KGC_CHECK_GT(spec.num_domains, 0);
   KGC_CHECK_GT(spec.domain_size, 0);
   KGC_CHECK_GT(spec.cluster_size, 0);
 
-  Rng rng(seed);
-  SyntheticKg kg;
-  Vocab vocab;
-
-  // --- Entities, domains, clusters. -------------------------------------
+  // --- Entities, domains, clusters (no randomness). -----------------------
   Context ctx;
   ctx.spec = &spec;
   ctx.rng = &rng;
   ctx.domain_entities.resize(static_cast<size_t>(spec.num_domains));
   ctx.domain_clusters.resize(static_cast<size_t>(spec.num_domains));
   int32_t next_cluster = 0;
+  EntityId next_entity = 0;
   for (int32_t d = 0; d < spec.num_domains; ++d) {
     for (int32_t i = 0; i < spec.domain_size; ++i) {
-      const EntityId e =
-          vocab.InternEntity(StrFormat("ent_d%02d_%04d", d, i));
+      const EntityId e = next_entity++;
+      sink.AddEntity(e, StrFormat("ent_d%02d_%04d", d, i));
       ctx.domain_entities[static_cast<size_t>(d)].push_back(e);
       ctx.entity_domain.push_back(d);
       if (i % spec.cluster_size == 0) {
@@ -136,28 +139,29 @@ SyntheticKg GenerateKg(const GeneratorSpec& spec, uint64_t seed) {
   }
 
   // --- Relations. --------------------------------------------------------
-  std::vector<WorldFact> facts;
-  auto add_meta = [&kg](RelationId id, const std::string& name,
-                        RelationArchetype archetype, RelationId base,
-                        bool concatenated) {
+  FactEmitter emitter{&sink, &rng};
+  RelationId next_relation = 0;
+  auto add_relation = [&](const std::string& name,
+                          RelationArchetype archetype, RelationId base,
+                          bool concatenated) {
     RelationMeta meta;
-    meta.id = id;
+    meta.id = next_relation++;
     meta.name = name;
     meta.archetype = archetype;
     meta.base = base;
     meta.concatenated = concatenated;
-    kg.relation_meta.push_back(std::move(meta));
+    sink.AddRelation(meta);
+    return meta.id;
   };
 
   for (const RelationFamilySpec& family : spec.families) {
     KGC_CHECK(!family.name.empty());
     switch (family.archetype) {
       case RelationArchetype::kGenuine: {
-        const RelationId r = vocab.InternRelation(family.name);
-        add_meta(r, family.name, RelationArchetype::kGenuine, -1,
-                 family.concatenated);
+        const RelationId r = add_relation(
+            family.name, RelationArchetype::kGenuine, -1, family.concatenated);
         for (const EntityPair& p : GenerateGenuinePairs(ctx, family.genuine)) {
-          Emit(facts, rng, p.first, r, p.second, family.dataset_keep_rate);
+          emitter.Emit(p.first, r, p.second, family.dataset_keep_rate);
         }
         break;
       }
@@ -165,34 +169,33 @@ SyntheticKg GenerateKg(const GeneratorSpec& spec, uint64_t seed) {
       case RelationArchetype::kReverseBase:
       case RelationArchetype::kReverseOf: {
         // A family spec with either tag produces the full pair.
-        const RelationId r1 = vocab.InternRelation(family.name);
-        const std::string inv_name = family.name + "_inv";
-        const RelationId r2 = vocab.InternRelation(inv_name);
-        add_meta(r1, family.name, RelationArchetype::kReverseBase, r2,
-                 family.concatenated);
-        add_meta(r2, inv_name, RelationArchetype::kReverseOf, r1,
-                 family.concatenated);
-        kg.reverse_property.push_back({r1, r2});
+        const RelationId r1 = next_relation;
+        const RelationId r2 = r1 + 1;
+        add_relation(family.name, RelationArchetype::kReverseBase, r2,
+                     family.concatenated);
+        add_relation(family.name + "_inv", RelationArchetype::kReverseOf, r1,
+                     family.concatenated);
+        sink.AddReversePair(r1, r2);
         for (const EntityPair& p : GenerateGenuinePairs(ctx, family.genuine)) {
           // The world always contains both directions (Freebase added facts
           // as reverse pairs); dataset admission is independent per side.
-          Emit(facts, rng, p.first, r1, p.second, family.dataset_keep_rate);
-          Emit(facts, rng, p.second, r2, p.first, family.dataset_keep_rate);
+          emitter.Emit(p.first, r1, p.second, family.dataset_keep_rate);
+          emitter.Emit(p.second, r2, p.first, family.dataset_keep_rate);
         }
         break;
       }
 
       case RelationArchetype::kSymmetric: {
-        const RelationId r = vocab.InternRelation(family.name);
-        add_meta(r, family.name, RelationArchetype::kSymmetric, -1,
-                 family.concatenated);
+        const RelationId r =
+            add_relation(family.name, RelationArchetype::kSymmetric, -1,
+                         family.concatenated);
         GenuineParams params = family.genuine;
         // Symmetric relations live within one domain.
         params.object_domain = params.subject_domain;
         for (const EntityPair& p : GenerateGenuinePairs(ctx, params)) {
           if (p.first == p.second) continue;
-          Emit(facts, rng, p.first, r, p.second, family.dataset_keep_rate);
-          Emit(facts, rng, p.second, r, p.first, family.dataset_keep_rate);
+          emitter.Emit(p.first, r, p.second, family.dataset_keep_rate);
+          emitter.Emit(p.second, r, p.first, family.dataset_keep_rate);
         }
         break;
       }
@@ -202,20 +205,18 @@ SyntheticKg GenerateKg(const GeneratorSpec& spec, uint64_t seed) {
       case RelationArchetype::kReverseDuplicateOf: {
         const bool reversed =
             family.archetype == RelationArchetype::kReverseDuplicateOf;
-        const RelationId r1 = vocab.InternRelation(family.name);
-        const std::string dup_name =
-            family.name + (reversed ? "_revdup" : "_dup");
-        const RelationId r2 = vocab.InternRelation(dup_name);
-        add_meta(r1, family.name, RelationArchetype::kDuplicateBase, r2,
-                 family.concatenated);
-        add_meta(r2, dup_name,
-                 reversed ? RelationArchetype::kReverseDuplicateOf
-                          : RelationArchetype::kDuplicateOf,
-                 r1, family.concatenated);
+        const RelationId r1 = next_relation;
+        const RelationId r2 = r1 + 1;
+        add_relation(family.name, RelationArchetype::kDuplicateBase, r2,
+                     family.concatenated);
+        add_relation(family.name + (reversed ? "_revdup" : "_dup"),
+                     reversed ? RelationArchetype::kReverseDuplicateOf
+                              : RelationArchetype::kDuplicateOf,
+                     r1, family.concatenated);
         const std::vector<EntityPair> base_pairs =
             GenerateGenuinePairs(ctx, family.genuine);
         for (const EntityPair& p : base_pairs) {
-          Emit(facts, rng, p.first, r1, p.second, family.dataset_keep_rate);
+          emitter.Emit(p.first, r1, p.second, family.dataset_keep_rate);
         }
         // Near-copy: each base pair with probability `duplicate_overlap`.
         std::unordered_set<uint64_t> dup_seen;
@@ -224,7 +225,7 @@ SyntheticKg GenerateKg(const GeneratorSpec& spec, uint64_t seed) {
           const EntityId h = reversed ? p.second : p.first;
           const EntityId t = reversed ? p.first : p.second;
           if (dup_seen.insert(PackPair(h, t)).second) {
-            Emit(facts, rng, h, r2, t, family.dataset_keep_rate);
+            emitter.Emit(h, r2, t, family.dataset_keep_rate);
           }
         }
         // A few pairs unique to the duplicate, so overlap stays below 1.
@@ -240,16 +241,16 @@ SyntheticKg GenerateKg(const GeneratorSpec& spec, uint64_t seed) {
           const EntityId h = reversed ? o : s;
           const EntityId t = reversed ? s : o;
           if (dup_seen.insert(PackPair(h, t)).second) {
-            Emit(facts, rng, h, r2, t, family.dataset_keep_rate);
+            emitter.Emit(h, r2, t, family.dataset_keep_rate);
           }
         }
         break;
       }
 
       case RelationArchetype::kCartesian: {
-        const RelationId r = vocab.InternRelation(family.name);
-        add_meta(r, family.name, RelationArchetype::kCartesian, -1,
-                 family.concatenated);
+        const RelationId r =
+            add_relation(family.name, RelationArchetype::kCartesian, -1,
+                         family.concatenated);
         const auto& subject_pool = ctx.domain_entities[static_cast<size_t>(
             family.genuine.subject_domain)];
         const auto& object_pool = ctx.domain_entities[static_cast<size_t>(
@@ -265,8 +266,8 @@ SyntheticKg GenerateKg(const GeneratorSpec& spec, uint64_t seed) {
         // The world contains the full product; the dataset a dense subset.
         for (size_t si : subject_idx) {
           for (size_t oi : object_idx) {
-            Emit(facts, rng, subject_pool[si], r, object_pool[oi],
-                 family.dataset_keep_rate);
+            emitter.Emit(subject_pool[si], r, object_pool[oi],
+                         family.dataset_keep_rate);
           }
         }
         break;
@@ -274,13 +275,64 @@ SyntheticKg GenerateKg(const GeneratorSpec& spec, uint64_t seed) {
     }
   }
 
-  // --- Assemble world + dataset splits. ----------------------------------
-  TripleList admitted;
-  kg.world.reserve(facts.size());
-  for (const WorldFact& fact : facts) {
-    kg.world.push_back(fact.triple);
-    if (fact.admitted) admitted.push_back(fact.triple);
+  WorldCounts counts;
+  counts.num_entities = next_entity;
+  counts.num_relations = next_relation;
+  counts.world_facts = emitter.world_facts;
+  counts.admitted_facts = emitter.admitted_facts;
+  return counts;
+}
+
+// Sink that materializes the world for GenerateKg: vocab, metadata, world
+// list and the admitted subsample.
+class MaterializingSink : public WorldSink {
+ public:
+  explicit MaterializingSink(SyntheticKg& kg) : kg_(kg) {}
+
+  void AddEntity(EntityId id, const std::string& name) override {
+    const EntityId interned = vocab_.InternEntity(name);
+    KGC_CHECK_EQ(interned, id);
   }
+  void AddRelation(const RelationMeta& meta) override {
+    const RelationId interned = vocab_.InternRelation(meta.name);
+    KGC_CHECK_EQ(interned, meta.id);
+    kg_.relation_meta.push_back(meta);
+  }
+  void AddReversePair(RelationId base, RelationId reverse) override {
+    kg_.reverse_property.push_back({base, reverse});
+  }
+  void AddFact(const Triple& fact, bool admitted) override {
+    kg_.world.push_back(fact);
+    if (admitted) admitted_.push_back(fact);
+  }
+
+  Vocab& vocab() { return vocab_; }
+  TripleList& admitted() { return admitted_; }
+
+ private:
+  SyntheticKg& kg_;
+  Vocab vocab_;
+  TripleList admitted_;
+};
+
+}  // namespace
+
+WorldCounts GenerateWorld(const GeneratorSpec& spec, uint64_t seed,
+                          WorldSink& sink) {
+  Rng rng(seed);
+  return GenerateWorldImpl(spec, rng, sink);
+}
+
+SyntheticKg GenerateKg(const GeneratorSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  SyntheticKg kg;
+  MaterializingSink sink(kg);
+  GenerateWorldImpl(spec, rng, sink);
+
+  // --- Assemble dataset splits from the admitted subsample. ---------------
+  // The split shuffle continues on the same RNG stream the generation core
+  // advanced, so datasets are bit-identical to the pre-streaming generator.
+  TripleList admitted = std::move(sink.admitted());
   rng.Shuffle(admitted);
   const size_t n = admitted.size();
   const size_t num_valid = static_cast<size_t>(
@@ -294,9 +346,19 @@ SyntheticKg GenerateKg(const GeneratorSpec& spec, uint64_t seed) {
                   admitted.begin() + num_valid + num_test);
   TripleList train(admitted.begin() + num_valid + num_test, admitted.end());
 
-  kg.entity_domain = std::move(ctx.entity_domain);
-  kg.entity_cluster = std::move(ctx.entity_cluster);
-  kg.dataset = Dataset(spec.name, std::move(vocab), std::move(train),
+  // Domain / cluster assignment is formulaic (domain-major ids); recompute
+  // it instead of threading the generation context out through the sink.
+  kg.entity_domain.reserve(static_cast<size_t>(spec.num_entities()));
+  kg.entity_cluster.reserve(static_cast<size_t>(spec.num_entities()));
+  int32_t cluster = -1;
+  for (int32_t d = 0; d < spec.num_domains; ++d) {
+    for (int32_t i = 0; i < spec.domain_size; ++i) {
+      if (i % spec.cluster_size == 0) ++cluster;
+      kg.entity_domain.push_back(d);
+      kg.entity_cluster.push_back(cluster);
+    }
+  }
+  kg.dataset = Dataset(spec.name, std::move(sink.vocab()), std::move(train),
                        std::move(valid), std::move(test));
   return kg;
 }

@@ -1,14 +1,62 @@
 // Synthetic knowledge-graph generator.
+//
+// Two entry points share one generation core:
+//   - GenerateKg materializes the whole world in memory (presets, tests,
+//     benches at the paper's scaled-down sizes);
+//   - GenerateWorld streams every entity, relation and fact into a caller
+//     sink as it is produced, holding only per-family working state — the
+//     substrate for million-entity dataset generation, where the world must
+//     go straight to disk (see datagen/streaming.h and tools/kgc_datagen).
+// Both produce bit-identical facts for the same spec and seed: the sink
+// refactor preserved the exact RNG draw order of the original generator.
 
 #ifndef KGC_DATAGEN_GENERATOR_H_
 #define KGC_DATAGEN_GENERATOR_H_
 
 #include <cstdint>
+#include <string>
 
 #include "datagen/spec.h"
 #include "datagen/synthetic_kg.h"
 
 namespace kgc {
+
+/// Receives the synthetic world as it is generated. Calls arrive in a fixed
+/// order: every entity (ascending id), then relations interleaved with their
+/// facts (relation metadata always precedes the relation's first fact).
+class WorldSink {
+ public:
+  virtual ~WorldSink() = default;
+
+  /// One entity, ascending contiguous ids from 0.
+  virtual void AddEntity(EntityId id, const std::string& name) = 0;
+
+  /// One relation's ground-truth metadata, ascending contiguous ids from 0,
+  /// always before any fact of that relation.
+  virtual void AddRelation(const RelationMeta& meta) = 0;
+
+  /// One oracle reverse pair (base, reverse).
+  virtual void AddReversePair(RelationId base, RelationId reverse) = 0;
+
+  /// One world fact, in generation order; `admitted` marks membership in
+  /// the benchmark subsample. Duplicate facts may occur (symmetric
+  /// families), exactly as in the materialized world list.
+  virtual void AddFact(const Triple& fact, bool admitted) = 0;
+};
+
+/// Totals of one streamed generation run.
+struct WorldCounts {
+  int32_t num_entities = 0;
+  int32_t num_relations = 0;
+  uint64_t world_facts = 0;
+  uint64_t admitted_facts = 0;
+};
+
+/// Streams the synthetic world of `spec` into `sink`, deterministically in
+/// `seed`, without materializing it. Peak memory is one family's pair list,
+/// not the world.
+WorldCounts GenerateWorld(const GeneratorSpec& spec, uint64_t seed,
+                          WorldSink& sink);
 
 /// Generates a synthetic knowledge graph from `spec`, deterministically in
 /// `seed`. See spec.h for the semantics of each relation archetype.

@@ -1,5 +1,8 @@
 #include "datagen/presets.h"
 
+#include <algorithm>
+
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -293,6 +296,77 @@ GeneratorSpec TinySpec() {
     family.dataset_keep_rate = 0.85;
     spec.families.push_back(family);
   }
+  return spec;
+}
+
+GeneratorSpec ScaleSpec(int64_t num_entities) {
+  KGC_CHECK_GT(num_entities, 0);
+  GeneratorSpec spec;
+  spec.num_domains = static_cast<int32_t>(
+      std::clamp<int64_t>(num_entities / 16384, 8, 64));
+  spec.domain_size = static_cast<int32_t>(
+      (num_entities + spec.num_domains - 1) / spec.num_domains);
+  spec.name = StrFormat("scale-%lld", static_cast<long long>(num_entities));
+  spec.cluster_size = 32;
+  spec.valid_fraction = 0.01;
+  spec.test_fraction = 0.02;
+
+  ParamStream ps(0x5ca1e000ULL + static_cast<uint64_t>(num_entities));
+
+  // Reverse pairs dominate, as in FB15k. Each family touches one subject
+  // domain at ~0.8 participation and ~3 mean out-degree, i.e. ~4.8 world
+  // facts per subject-domain entity; two families per domain lands the
+  // total near 10 facts/entity before the other archetypes add theirs.
+  const int32_t reverse_families = 2 * spec.num_domains;
+  for (int32_t i = 0; i < reverse_families; ++i) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kReverseBase;
+    family.name = StrFormat("scale/rel%04d", i);
+    family.genuine = MakeGenuine(ps, spec.num_domains, 2.4, 4.0, 0.35);
+    family.dataset_keep_rate = 0.96;
+    family.concatenated = (i % 3) != 0;
+    spec.families.push_back(family);
+  }
+
+  // A sprinkling of duplicates and Cartesian abuse so redundancy detectors
+  // have something to find at scale.
+  for (int32_t i = 0; i < spec.num_domains / 2; ++i) {
+    RelationFamilySpec family;
+    family.archetype = (i % 2 == 0) ? RelationArchetype::kDuplicateOf
+                                    : RelationArchetype::kReverseDuplicateOf;
+    family.name = StrFormat("scale/dup%03d", i);
+    family.genuine = MakeGenuine(ps, spec.num_domains, 2.0, 3.2, 0.35);
+    family.duplicate_overlap = 0.9;
+    family.duplicate_extra = 0.08;
+    family.dataset_keep_rate = 0.96;
+    spec.families.push_back(family);
+  }
+  for (int32_t i = 0; i < 8; ++i) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kCartesian;
+    family.name = StrFormat("scale/cart%02d", i);
+    family.genuine.subject_domain = ps.Pick(spec.num_domains);
+    family.genuine.object_domain =
+        (family.genuine.subject_domain + 1 + ps.Pick(spec.num_domains - 1)) %
+        spec.num_domains;
+    family.cartesian_subjects = 16 + ps.Pick(32);
+    family.cartesian_objects = 4 + ps.Pick(12);
+    family.dataset_keep_rate = 0.86;
+    family.concatenated = (i % 2) == 0;
+    spec.families.push_back(family);
+  }
+
+  // Genuine remainder, one per domain.
+  for (int32_t i = 0; i < spec.num_domains; ++i) {
+    RelationFamilySpec family;
+    family.archetype = RelationArchetype::kGenuine;
+    family.name = StrFormat("scale/genuine%03d", i);
+    family.genuine = MakeGenuine(ps, spec.num_domains, 1.6, 3.4, 0.4);
+    family.genuine.functional = (i % 5) == 0;
+    family.dataset_keep_rate = 0.9;
+    spec.families.push_back(family);
+  }
+
   return spec;
 }
 

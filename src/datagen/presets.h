@@ -40,6 +40,14 @@ SyntheticKg GenerateSynthYago3(uint64_t seed = kDefaultDataSeed);
 GeneratorSpec TinySpec();
 SyntheticKg GenerateTiny(uint64_t seed = kDefaultDataSeed);
 
+/// A size-parameterized FB15k-flavoured spec for scale testing: at least
+/// `num_entities` entities (rounded up to a whole domain) and a family mix
+/// tuned to ~12 world facts per entity, with the same reverse-dominated
+/// relation anatomy as SynthFb15k. Meant for GenerateWorld /
+/// tools/kgc_datagen and bench_scale, where the world must not be
+/// materialized; there is deliberately no one-call GenerateKg wrapper.
+GeneratorSpec ScaleSpec(int64_t num_entities);
+
 }  // namespace kgc
 
 #endif  // KGC_DATAGEN_PRESETS_H_

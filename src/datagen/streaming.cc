@@ -1,0 +1,182 @@
+#include "datagen/streaming.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "util/file_util.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace kgc {
+namespace {
+
+// Seed perturbation of the split-assignment stream, so split draws are
+// independent of the generation stream (which must match GenerateKg's).
+constexpr uint64_t kSplitStreamSalt = 0x53504c49'54535452ULL;  // "SPLITSTR"
+
+// Sink that writes the world to disk as it is generated. Entity lines
+// stream straight out (the count is known from the spec); relation lines
+// and metadata are buffered (dozens, not millions); split bodies go to
+// headerless temp files that are stitched under their count header at
+// Finish(); world shards rotate at shard_triples facts.
+class StreamingSink : public WorldSink {
+ public:
+  StreamingSink(const GeneratorSpec& spec, const StreamDatagenOptions& options)
+      : spec_(spec),
+        options_(options),
+        split_rng_(options.seed ^ kSplitStreamSalt) {}
+
+  Status Open() {
+    Status made = MakeDirectories(options_.out_dir);
+    if (!made.ok()) return made;
+    entities_.open(Path("entity2id.txt"));
+    entities_ << spec_.num_entities() << '\n';
+    for (std::ofstream* body : {&bodies_[0], &bodies_[1], &bodies_[2]}) {
+      const size_t split = static_cast<size_t>(body - &bodies_[0]);
+      body->open(BodyPath(split));
+    }
+    if (!entities_ || !bodies_[0] || !bodies_[1] || !bodies_[2]) {
+      return Status::IoError("streaming datagen: cannot open output files in " +
+                             options_.out_dir);
+    }
+    return Status::Ok();
+  }
+
+  void AddEntity(EntityId id, const std::string& name) override {
+    entities_ << name << '\t' << id << '\n';
+  }
+
+  void AddRelation(const RelationMeta& meta) override {
+    relations_.push_back(meta);
+  }
+
+  void AddReversePair(RelationId, RelationId) override {}
+
+  void AddFact(const Triple& fact, bool admitted) override {
+    if (options_.write_world) {
+      if (world_facts_in_shard_ == 0) RotateWorldShard();
+      WriteIdTriple(world_, fact);
+      if (++world_facts_in_shard_ >= options_.shard_triples) {
+        world_facts_in_shard_ = 0;
+      }
+    }
+    if (!admitted) return;
+    // One draw per admitted fact: [0, valid) -> valid, [valid, valid+test)
+    // -> test, the rest -> train.
+    const double u = split_rng_.UniformDouble();
+    size_t split = kTrain;
+    if (u < spec_.valid_fraction) {
+      split = kValid;
+    } else if (u < spec_.valid_fraction + spec_.test_fraction) {
+      split = kTest;
+    }
+    WriteIdTriple(bodies_[split], fact);
+    ++split_counts_[split];
+  }
+
+  // Stitches split headers, writes the relation files, closes everything.
+  Status Finish(StreamDatagenReport& report) {
+    entities_.close();
+    if (world_.is_open()) world_.close();
+
+    std::ofstream rel(Path("relation2id.txt"));
+    std::ofstream meta(Path("relation_meta.tsv"));
+    rel << relations_.size() << '\n';
+    meta << "id\tname\tarchetype\tbase\tconcatenated\n";
+    for (const RelationMeta& m : relations_) {
+      rel << m.name << '\t' << m.id << '\n';
+      meta << m.id << '\t' << m.name << '\t'
+           << RelationArchetypeName(m.archetype) << '\t' << m.base << '\t'
+           << (m.concatenated ? 1 : 0) << '\n';
+    }
+    rel.close();
+    meta.close();
+    if (!rel || !meta) {
+      return Status::IoError("streaming datagen: relation files failed");
+    }
+
+    static const char* const kSplitFiles[kNumSplits] = {
+        "train2id.txt", "valid2id.txt", "test2id.txt"};
+    for (size_t s = 0; s < kNumSplits; ++s) {
+      bodies_[s].close();
+      if (!bodies_[s]) {
+        return Status::IoError(StrFormat(
+            "streaming datagen: split body %zu failed mid-write", s));
+      }
+      std::ofstream out(Path(kSplitFiles[s]));
+      std::ifstream body(BodyPath(s));
+      out << split_counts_[s] << '\n';
+      if (split_counts_[s] > 0) out << body.rdbuf();
+      body.close();
+      out.close();
+      if (!out) {
+        return Status::IoError(StrFormat("streaming datagen: cannot write %s",
+                                         kSplitFiles[s]));
+      }
+      std::remove(BodyPath(s).c_str());
+    }
+
+    report.num_train = split_counts_[kTrain];
+    report.num_valid = split_counts_[kValid];
+    report.num_test = split_counts_[kTest];
+    report.world_shards = world_shards_;
+    return Status::Ok();
+  }
+
+ private:
+  enum Split : size_t { kTrain = 0, kValid = 1, kTest = 2, kNumSplits = 3 };
+
+  std::string Path(const std::string& file) const {
+    return options_.out_dir + "/" + file;
+  }
+  std::string BodyPath(size_t split) const {
+    return Path(StrFormat(".split-%zu.body", split));
+  }
+
+  // OpenKE id-triple line order: head tail relation.
+  static void WriteIdTriple(std::ofstream& out, const Triple& t) {
+    out << t.head << ' ' << t.tail << ' ' << t.relation << '\n';
+  }
+
+  void RotateWorldShard() {
+    if (world_.is_open()) world_.close();
+    world_.open(Path(StrFormat("world-%05llu.txt",
+                               static_cast<unsigned long long>(world_shards_))));
+    ++world_shards_;
+  }
+
+  const GeneratorSpec& spec_;
+  const StreamDatagenOptions& options_;
+  Rng split_rng_;
+
+  std::ofstream entities_;
+  std::ofstream bodies_[kNumSplits];
+  std::ofstream world_;
+  std::vector<RelationMeta> relations_;
+  uint64_t split_counts_[kNumSplits] = {0, 0, 0};
+  uint64_t world_facts_in_shard_ = 0;
+  uint64_t world_shards_ = 0;
+};
+
+}  // namespace
+
+StatusOr<StreamDatagenReport> StreamDataset(
+    const GeneratorSpec& spec, const StreamDatagenOptions& options) {
+  if (options.out_dir.empty()) {
+    return Status::InvalidArgument("streaming datagen: out_dir is empty");
+  }
+  if (options.shard_triples == 0) {
+    return Status::InvalidArgument("streaming datagen: shard_triples is 0");
+  }
+  StreamingSink sink(spec, options);
+  Status opened = sink.Open();
+  if (!opened.ok()) return opened;
+  StreamDatagenReport report;
+  report.counts = GenerateWorld(spec, options.seed, sink);
+  Status finished = sink.Finish(report);
+  if (!finished.ok()) return finished;
+  return report;
+}
+
+}  // namespace kgc

@@ -1,0 +1,66 @@
+// Streaming dataset generation: the synthetic world goes straight from the
+// generator to disk, sharded, without ever materializing in memory. This is
+// the million-entity path behind tools/kgc_datagen — GenerateKg's in-memory
+// assembly holds the world list plus the admitted subsample plus the split
+// copies, which at 10M+ facts is several redundant gigabytes; the streaming
+// sink's resident state is one relation family's pair list plus file
+// buffers.
+//
+// Output layout (OpenKE, loadable by LoadOpenKeDataset in kg/kg_io.h):
+//
+//   <out_dir>/entity2id.txt      count header, then "name<TAB>id"
+//   <out_dir>/relation2id.txt    count header, then "name<TAB>id"
+//   <out_dir>/train2id.txt       count header, then "head tail relation"
+//   <out_dir>/valid2id.txt, test2id.txt
+//   <out_dir>/relation_meta.tsv  ground-truth archetype per relation
+//   <out_dir>/world-NNNNN.txt    optional world shards, "head tail relation",
+//                                at most shard_triples lines each
+//
+// Split membership is drawn per admitted fact from a dedicated RNG stream,
+// so the streaming splits are deterministic in (spec, seed) but are NOT the
+// same partition GenerateKg produces (which shuffles the whole admitted
+// list — impossible without holding it). The *world facts* are bit-identical
+// to GenerateKg for the same spec and seed; only the split boundaries
+// differ.
+
+#ifndef KGC_DATAGEN_STREAMING_H_
+#define KGC_DATAGEN_STREAMING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "util/status.h"
+
+namespace kgc {
+
+struct StreamDatagenOptions {
+  /// Output directory; created if missing.
+  std::string out_dir;
+  /// Generation seed (same meaning as GenerateKg's).
+  uint64_t seed = kDefaultDataSeed;
+  /// Maximum facts per world shard file.
+  uint64_t shard_triples = 1ULL << 22;
+  /// Also write the full world graph as shards (the dataset splits cover
+  /// only the admitted subsample). Needed for Table-3-style evaluation
+  /// against the closed world.
+  bool write_world = true;
+};
+
+struct StreamDatagenReport {
+  WorldCounts counts;
+  uint64_t num_train = 0;
+  uint64_t num_valid = 0;
+  uint64_t num_test = 0;
+  uint64_t world_shards = 0;
+};
+
+/// Generates `spec` under `options.seed` and streams it into
+/// `options.out_dir`. Returns the run's totals, or the first I/O error.
+StatusOr<StreamDatagenReport> StreamDataset(const GeneratorSpec& spec,
+                                            const StreamDatagenOptions& options);
+
+}  // namespace kgc
+
+#endif  // KGC_DATAGEN_STREAMING_H_

@@ -23,7 +23,7 @@ namespace {
 // a candidate listed twice contributes twice — exactly as iterating the
 // candidate list would.
 void ComputeRank(std::span<const float> scores, EntityId true_entity,
-                 const std::vector<EntityId>& known_correct,
+                 std::span<const EntityId> known_correct,
                  std::vector<uint32_t>& known_mark, double* raw,
                  double* filtered) {
   const float s_true = scores[static_cast<size_t>(true_entity)];
@@ -53,6 +53,83 @@ void ComputeRank(std::span<const float> scores, EntityId true_entity,
   *raw = static_cast<double>(greater) + static_cast<double>(equal) / 2.0 + 1.0;
   *filtered = static_cast<double>(greater - greater_known) +
               static_cast<double>(equal - equal_known) / 2.0 + 1.0;
+}
+
+// Per-shard scratch of the probe-based rank path.
+struct ProbeScratch {
+  std::vector<EntityId> candidates;
+  std::vector<uint64_t> keys;
+  std::vector<uint8_t> found;
+};
+
+// Whether an ascending-sorted adjacency span lists any entity twice (the
+// store keeps duplicate facts; the marking path counts them multiply, so
+// the probe path — which cannot — must stand down for such groups).
+bool HasAdjacentDuplicates(std::span<const EntityId> sorted) {
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] == sorted[i - 1]) return true;
+  }
+  return false;
+}
+
+// Probe-path rank: collect every candidate entity scoring >= s_true during
+// the raw sweep, then resolve which of them are known facts with one
+// prefetched batch probe against the filter store's flat membership set.
+// Returns false (leaving outputs untouched) if the candidate list exceeds
+// `candidate_cap` — degenerate all-tied score vectors would otherwise probe
+// nearly every entity, where the marking sweep is cheaper. The bail
+// decision depends only on the scores, never on the shard plan, so ranks
+// and probe counters stay bit-identical for any thread count.
+bool ComputeRankByProbe(std::span<const float> scores, EntityId true_entity,
+                        const TripleStore& filter, const Triple& triple,
+                        bool tails, size_t candidate_cap,
+                        ProbeScratch& scratch, double* raw,
+                        double* filtered) {
+  const float s_true = scores[static_cast<size_t>(true_entity)];
+  scratch.candidates.clear();
+  size_t greater = 0;
+  size_t equal = 0;
+  for (size_t e = 0; e < scores.size(); ++e) {
+    const float s = scores[e];
+    if (s > s_true) {
+      ++greater;
+    } else if (s == s_true) {
+      ++equal;
+      if (static_cast<EntityId>(e) == true_entity) continue;
+    } else {
+      continue;
+    }
+    if (scratch.candidates.size() >= candidate_cap) return false;
+    scratch.candidates.push_back(static_cast<EntityId>(e));
+  }
+  KGC_DCHECK(equal >= 1);  // the true entity itself
+  equal -= 1;
+
+  scratch.keys.clear();
+  for (EntityId e : scratch.candidates) {
+    scratch.keys.push_back(tails ? PackTriple(triple.head, triple.relation, e)
+                                 : PackTriple(e, triple.relation,
+                                              triple.tail));
+  }
+  scratch.found.resize(scratch.keys.size());
+  filter.ContainsBatch(scratch.keys, scratch.found.data());
+
+  size_t greater_known = 0;
+  size_t equal_known = 0;
+  for (size_t i = 0; i < scratch.candidates.size(); ++i) {
+    if (!scratch.found[i]) continue;
+    const float s = scores[static_cast<size_t>(scratch.candidates[i])];
+    if (s > s_true) {
+      ++greater_known;
+    } else {
+      ++equal_known;
+    }
+  }
+
+  *raw = static_cast<double>(greater) + static_cast<double>(equal) / 2.0 + 1.0;
+  *filtered = static_cast<double>(greater - greater_known) +
+              static_cast<double>(equal - equal_known) / 2.0 + 1.0;
+  return true;
 }
 
 }  // namespace
@@ -119,11 +196,18 @@ std::vector<TripleRanks> RankTriples(const LinkPredictor& predictor,
     group_start.push_back(order.size());
     const size_t num_groups = group_start.empty() ? 0 : group_start.size() - 1;
 
+    // Degenerate score vectors (huge ties) would turn the probe path into a
+    // probe of almost every entity; past this many candidates the marking
+    // sweep is the cheaper resolution. Depends only on the entity count, so
+    // the probe/mark decision is shard-plan independent.
+    const size_t candidate_cap = std::max<size_t>(1024, num_entities / 16);
+
     ParallelFor(num_groups, options.threads,
                 [&](size_t gbegin, size_t gend, int /*shard*/) {
       Stopwatch shard_watch;
       std::vector<float> scores(num_entities);
       std::vector<uint32_t> known_mark(num_entities, 0);
+      ProbeScratch probe_scratch;
       size_t evals = 0;
       size_t hits = 0;
       size_t misses = 0;
@@ -131,6 +215,16 @@ std::vector<TripleRanks> RankTriples(const LinkPredictor& predictor,
       for (size_t g = gbegin; g < gend; ++g) {
         const size_t first = group_start[g];
         const size_t last = group_start[g + 1];
+        // The known-correct adjacency is constant across the group (it is
+        // keyed by the group's (relation, anchor)), as is whether the probe
+        // path may serve it: duplicate known facts must count multiply
+        // toward the filtered rank, which only the marking sweep does.
+        const Triple& lead = test[order[first]];
+        const std::span<const EntityId> known =
+            tails ? filter.Tails(lead.head, lead.relation)
+                  : filter.Heads(lead.relation, lead.tail);
+        const bool probe_eligible =
+            options.probe_filter && !HasAdjacentDuplicates(known);
         for (size_t i = first; i < last; ++i) {
           const size_t idx = order[i];
           const Triple& triple = test[idx];
@@ -149,15 +243,16 @@ std::vector<TripleRanks> RankTriples(const LinkPredictor& predictor,
             ++hits;
           }
           TripleRanks& out = results[idx];
-          if (tails) {
-            out.triple = triple;
-            ComputeRank(scores, triple.tail,
-                        filter.Tails(triple.head, triple.relation),
-                        known_mark, &out.tail_raw, &out.tail_filtered);
-          } else {
-            ComputeRank(scores, triple.head,
-                        filter.Heads(triple.relation, triple.tail),
-                        known_mark, &out.head_raw, &out.head_filtered);
+          const EntityId true_entity = tails ? triple.tail : triple.head;
+          double* raw = tails ? &out.tail_raw : &out.head_raw;
+          double* filtered = tails ? &out.tail_filtered : &out.head_filtered;
+          if (tails) out.triple = triple;
+          if (!probe_eligible ||
+              !ComputeRankByProbe(scores, true_entity, filter, triple, tails,
+                                  candidate_cap, probe_scratch, raw,
+                                  filtered)) {
+            ComputeRank(scores, true_entity, known, known_mark, raw,
+                        filtered);
           }
           ++ranked;
         }

@@ -30,6 +30,16 @@ struct RankerOptions {
   /// a fresh sweep would produce — so this only trades memory locality for
   /// skipped sweeps on duplicate-heavy test sets.
   bool dedup_queries = true;
+  /// Resolve the filtered rank by batch-probing the filter store's flat
+  /// membership set for the candidates that outscore (or tie) the true
+  /// entity, instead of marking the known-correct list in an
+  /// entities-sized scratch array. At million-entity scale this keeps the
+  /// sweep out of a second multi-megabyte array and overlaps the probe
+  /// cache misses via software prefetch. Ranks are bit-identical on or off:
+  /// the probe path only runs when the candidate list is duplicate-free
+  /// (duplicate known facts must count multiply, which only marking does)
+  /// and small enough; otherwise the triple falls back to marking.
+  bool probe_filter = true;
 };
 
 /// Ranks every triple of `test` under `predictor`. Results align with the

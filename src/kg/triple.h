@@ -41,6 +41,26 @@ inline uint64_t PackPair(EntityId head, EntityId tail) {
          static_cast<uint32_t>(tail);
 }
 
+/// Bit budget of the packed (h, r, t) key: 24 + 16 + 24 = 64. TripleStore
+/// checks its id spaces against these bounds at construction, so a packed
+/// key can never silently alias two distinct triples.
+inline constexpr int kPackedEntityBits = 24;
+inline constexpr int kPackedRelationBits = 16;
+inline constexpr int64_t kMaxPackedEntities = int64_t{1} << kPackedEntityBits;
+inline constexpr int64_t kMaxPackedRelations =
+    int64_t{1} << kPackedRelationBits;
+
+/// Packs a whole triple into one collision-free 64-bit key (head in the top
+/// 24 bits, relation in the middle 16, tail in the low 24). Ids must be
+/// in-range for the packed widths above.
+inline uint64_t PackTriple(EntityId head, RelationId relation, EntityId tail) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(head))
+          << (kPackedRelationBits + kPackedEntityBits)) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(relation))
+          << kPackedEntityBits) |
+         static_cast<uint32_t>(tail);
+}
+
 /// Inverse of PackPair.
 inline std::pair<EntityId, EntityId> UnpackPair(uint64_t key) {
   return {static_cast<EntityId>(key >> 32),

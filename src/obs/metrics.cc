@@ -70,6 +70,7 @@ Registry::Registry() {
         kCacheRankHits, kCacheRankMisses, kCacheQuarantined,
         kCacheRegenerated, kCacheStoreUnusable, kFaultsInjected,
         kDeadlineExpired, kIngestRejectedFiles, kIngestRejectedLines,
+        kStoreProbeBatchHits, kStoreProbeBatchMisses,
         kSnapshotPublished, kSnapshotRollbacks, kSnapshotRecoveries,
         kSnapshotOrphansSwept, kSnapshotBatchesIngested,
         kSnapshotBatchesQuarantined, kSnapshotDeltaTriples,
@@ -78,6 +79,8 @@ Registry::Registry() {
   }
   gauges_.emplace(kTrainerLastLoss, std::make_unique<Gauge>());
   gauges_.emplace(kSnapshotCurrentGeneration, std::make_unique<Gauge>());
+  gauges_.emplace(kStoreBytesPerTriple, std::make_unique<Gauge>());
+  gauges_.emplace(kStorePeakRssBytes, std::make_unique<Gauge>());
   for (const char* name : {kTrainerEpochSeconds, kRankerShardSeconds,
                            kSnapshotReaderSwapSeconds}) {
     histograms_.emplace(name,

@@ -168,6 +168,13 @@ inline constexpr char kFaultsInjected[] = "kgc.faults.injected";
 inline constexpr char kDeadlineExpired[] = "kgc.deadline.expired";
 inline constexpr char kIngestRejectedFiles[] = "kgc.ingest.rejected_files";
 inline constexpr char kIngestRejectedLines[] = "kgc.ingest.rejected_lines";
+// Storage substrate (kg/triple_store): index footprint and the batched
+// membership-probe traffic of filtered ranking.
+inline constexpr char kStoreBytesPerTriple[] = "kgc.store.bytes_per_triple";
+inline constexpr char kStorePeakRssBytes[] = "kgc.store.peak_rss_bytes";
+inline constexpr char kStoreProbeBatchHits[] = "kgc.store.probe_batch_hits";
+inline constexpr char kStoreProbeBatchMisses[] =
+    "kgc.store.probe_batch_misses";
 // Snapshot lifecycle (src/snapshot): generation rotation and live readers.
 inline constexpr char kSnapshotPublished[] =
     "kgc.snapshot.generations_published";

@@ -44,9 +44,10 @@ std::vector<Evidence> ParallelRelationSweep(int32_t num_relations,
 }
 
 // Iterates over the smaller set for intersection counting.
-size_t IntersectionCount(const PairSet& a, const PairSet& b, bool reverse_b) {
-  const PairSet& small = a.size() <= b.size() ? a : b;
-  const PairSet& large = a.size() <= b.size() ? b : a;
+size_t IntersectionCount(const PairSetView& a, const PairSetView& b,
+                         bool reverse_b) {
+  const PairSetView& small = a.size() <= b.size() ? a : b;
+  const PairSetView& large = a.size() <= b.size() ? b : a;
   // When probing with reversal, the probe key must be flipped regardless of
   // which set we iterate (reversal is an involution, so |A ∩ B⁻¹| can be
   // counted by flipping the iterated element either way).
@@ -64,11 +65,12 @@ size_t IntersectionCount(const PairSet& a, const PairSet& b, bool reverse_b) {
 
 }  // namespace
 
-size_t PairIntersectionSize(const PairSet& a, const PairSet& b) {
+size_t PairIntersectionSize(const PairSetView& a, const PairSetView& b) {
   return IntersectionCount(a, b, /*reverse_b=*/false);
 }
 
-size_t PairReverseIntersectionSize(const PairSet& a, const PairSet& b) {
+size_t PairReverseIntersectionSize(const PairSetView& a,
+                                   const PairSetView& b) {
   return IntersectionCount(a, b, /*reverse_b=*/true);
 }
 
@@ -86,11 +88,11 @@ std::vector<RelationPairOverlap> FindOverlappingPairs(
   return ParallelRelationSweep<RelationPairOverlap>(
       num_relations, options.threads,
       [&](RelationId r1, std::vector<RelationPairOverlap>& out) {
-        const PairSet& pairs1 = store.Pairs(r1);
+        const PairSetView pairs1 = store.Pairs(r1);
         if (pairs1.size() < options.min_relation_size) return;
         size_t compared = 0;
         for (RelationId r2 = r1 + 1; r2 < num_relations; ++r2) {
-          const PairSet& pairs2 = store.Pairs(r2);
+          const PairSetView pairs2 = store.Pairs(r2);
           if (pairs2.size() < options.min_relation_size) continue;
           const double size1 = static_cast<double>(pairs1.size());
           const double size2 = static_cast<double>(pairs2.size());
@@ -143,7 +145,7 @@ std::vector<RelationPairOverlap> FindSymmetricRelations(
       ParallelRelationSweep<RelationPairOverlap>(
       store.num_relations(), options.threads,
       [&](RelationId r, std::vector<RelationPairOverlap>& out) {
-        const PairSet& pairs = store.Pairs(r);
+        const PairSetView pairs = store.Pairs(r);
         if (pairs.size() < options.min_relation_size) return;
         PairsComparedCounter().Increment();
         const size_t overlap = PairReverseIntersectionSize(pairs, pairs);

@@ -53,10 +53,10 @@ struct DetectorOptions {
 };
 
 /// |A ∩ B| for two packed pair sets.
-size_t PairIntersectionSize(const PairSet& a, const PairSet& b);
+size_t PairIntersectionSize(const PairSetView& a, const PairSetView& b);
 
 /// |A ∩ B⁻¹| where B⁻¹ flips every pair of B.
-size_t PairReverseIntersectionSize(const PairSet& a, const PairSet& b);
+size_t PairReverseIntersectionSize(const PairSetView& a, const PairSetView& b);
 
 /// Finds (near-)duplicate relation pairs: subject-object pair sets overlap
 /// above both thresholds. Pairs are returned with r1 < r2.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -74,11 +75,12 @@ bool FinalizeRule(const TripleStore& train, const AmieOptions& options,
 }
 
 // A rule whose support has been counted but whose PCA denominator — a sweep
-// over its body pairs — is still pending. `body_pairs` stays valid for the
-// whole mining run (it points into the TripleStore or the path-body map).
+// over its body pairs — is still pending. `body_pairs` views storage that
+// stays valid for the whole mining run (the TripleStore's CSR arrays or the
+// path-body map's sorted key vectors).
 struct RuleCandidate {
   Rule rule;
-  const PairSet* body_pairs = nullptr;
+  PairSetView body_pairs;
 };
 
 }  // namespace
@@ -107,7 +109,7 @@ std::vector<Rule> MineRules(const TripleStore& train,
     std::vector<RuleCandidate>& out = unary_local[static_cast<size_t>(shard)];
     for (size_t b = begin; b < end; ++b) {
       const RelationId body = static_cast<RelationId>(b);
-      const PairSet& body_pairs = train.Pairs(body);
+      const PairSetView body_pairs = train.Pairs(body);
       if (body_pairs.size() < options.min_support) continue;
       std::unordered_map<RelationId, size_t> same_support;
       std::unordered_map<RelationId, size_t> inverse_support;
@@ -131,7 +133,7 @@ std::vector<Rule> MineRules(const TripleStore& train,
         candidate.rule.head = head;
         candidate.rule.support = support;
         candidate.rule.body_size = body_pairs.size();
-        candidate.body_pairs = &body_pairs;
+        candidate.body_pairs = body_pairs;
         out.push_back(candidate);
       };
       for (const auto& [head, support] : same_support) {
@@ -158,8 +160,11 @@ std::vector<Rule> MineRules(const TripleStore& train,
   // sharding it would break the determinism contract. The expensive part —
   // the per-candidate PCA sweep — joins the parallel evaluation below.
   struct PathBody {
-    PairSet pairs;
+    std::unordered_set<uint64_t> pairs;
     std::unordered_map<RelationId, size_t> support;
+    // `pairs` dumped and sorted once enumeration finishes, so candidates can
+    // hold a PairSetView over stable storage.
+    std::vector<uint64_t> sorted_pairs;
   };
   std::unordered_map<uint64_t, PathBody> bodies;
   size_t total_pairs = 0;
@@ -195,9 +200,11 @@ std::vector<Rule> MineRules(const TripleStore& train,
       }
     }
   }
-  for (const auto& [key, body] : bodies) {
+  for (auto& [key, body] : bodies) {
     const RelationId r1 = static_cast<RelationId>(key >> 32);
     const RelationId r2 = static_cast<RelationId>(key & 0xffffffffULL);
+    body.sorted_pairs.assign(body.pairs.begin(), body.pairs.end());
+    std::sort(body.sorted_pairs.begin(), body.sorted_pairs.end());
     for (const auto& [head, support] : body.support) {
       if (support < options.min_support) continue;
       RuleCandidate candidate;
@@ -206,8 +213,8 @@ std::vector<Rule> MineRules(const TripleStore& train,
       candidate.rule.body2 = r2;
       candidate.rule.head = head;
       candidate.rule.support = support;
-      candidate.rule.body_size = body.pairs.size();
-      candidate.body_pairs = &body.pairs;
+      candidate.rule.body_size = body.sorted_pairs.size();
+      candidate.body_pairs = PairSetView::FromKeys(body.sorted_pairs);
       candidates.push_back(candidate);
     }
   }
@@ -225,9 +232,9 @@ std::vector<Rule> MineRules(const TripleStore& train,
               [&](size_t begin, size_t end, int /*shard*/) {
     for (size_t i = begin; i < end; ++i) {
       const RuleCandidate& candidate = candidates[i];
-      const EntitySet& head_subjects = train.Subjects(candidate.rule.head);
+      const EntitySetView head_subjects = train.Subjects(candidate.rule.head);
       size_t pca_body = 0;
-      for (uint64_t key : *candidate.body_pairs) {
+      for (uint64_t key : candidate.body_pairs) {
         const auto [bx, by] = UnpackPair(key);
         const EntityId x =
             candidate.rule.kind == RuleBodyKind::kInverse ? by : bx;

@@ -53,7 +53,8 @@ int32_t CartesianPredictor::MajorityType(RelationId r, bool objects) const {
 int32_t CartesianPredictor::ComputeMajorityType(RelationId r,
                                                 bool objects) const {
   std::unordered_map<int32_t, size_t> counts;
-  const EntitySet& entities = objects ? train_.Objects(r) : train_.Subjects(r);
+  const EntitySetView entities =
+      objects ? train_.Objects(r) : train_.Subjects(r);
   for (EntityId e : entities) {
     counts[entity_type_[static_cast<size_t>(e)]]++;
   }

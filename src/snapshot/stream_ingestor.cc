@@ -169,8 +169,8 @@ void StreamIngestor::AuditDelta(const Dataset& candidate,
   for (RelationId r : touched) {
     const size_t size_r = store.RelationSize(r);
     if (size_r >= detector.min_relation_size) {
-      const EntitySet& subjects = store.Subjects(r);
-      const EntitySet& objects = store.Objects(r);
+      const EntitySetView subjects = store.Subjects(r);
+      const EntitySetView objects = store.Objects(r);
       const double denominator =
           static_cast<double>(subjects.size()) *
           static_cast<double>(objects.size());

@@ -1,0 +1,23 @@
+// Process resource queries.
+
+#ifndef KGC_UTIL_RESOURCE_H_
+#define KGC_UTIL_RESOURCE_H_
+
+#include <sys/resource.h>
+
+#include <cstdint>
+
+namespace kgc {
+
+/// High-water-mark resident set size of this process in bytes (0 if the
+/// query fails). Monotone over the process lifetime.
+inline uint64_t PeakRssBytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kibibytes.
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+}  // namespace kgc
+
+#endif  // KGC_UTIL_RESOURCE_H_

@@ -99,6 +99,86 @@ TEST_F(TripleStoreTest, AnyRelationLinks) {
   EXPECT_FALSE(store_.AnyRelationLinks(2, 0));
 }
 
+TEST_F(TripleStoreTest, AdjacencySpansAreSortedAndStable) {
+  // Spans point into the store's CSR arrays: sorted ascending, and valid as
+  // long as the store lives (unlike the old static-empty-vector fallback).
+  const std::span<const EntityId> tails = store_.Tails(0, 0);
+  ASSERT_EQ(tails.size(), 2u);
+  EXPECT_EQ(tails[0], 1);
+  EXPECT_EQ(tails[1], 2);
+  const std::span<const EntityId> heads = store_.Heads(0, 1);
+  ASSERT_EQ(heads.size(), 2u);
+  EXPECT_EQ(heads[0], 0);
+  EXPECT_EQ(heads[1], 3);
+  // Misses (present group keys with absent partner, and out-of-range
+  // relations) are empty spans, never UB.
+  EXPECT_TRUE(store_.Tails(0, 1).empty());
+  EXPECT_TRUE(store_.Tails(0, 5).empty());
+  EXPECT_TRUE(store_.Heads(5, 0).empty());
+}
+
+TEST_F(TripleStoreTest, DuplicateTriplesKeptInAdjacencyOnceInSets) {
+  const TripleStore store({{0, 0, 1}, {0, 0, 1}, {0, 0, 2}}, 3, 1);
+  EXPECT_EQ(store.size(), 3u);             // raw triples, duplicates kept
+  EXPECT_EQ(store.Tails(0, 0).size(), 3u); // 1, 1, 2
+  EXPECT_EQ(store.Pairs(0).size(), 2u);    // distinct pairs
+  size_t iterated = 0;
+  for (uint64_t key : store.Pairs(0)) {
+    (void)key;
+    ++iterated;
+  }
+  EXPECT_EQ(iterated, 2u);
+  EXPECT_TRUE(store.Contains(0, 0, 1));
+}
+
+TEST_F(TripleStoreTest, ContainsBatchMatchesScalarContains) {
+  std::vector<uint64_t> keys;
+  std::vector<bool> expected;
+  for (EntityId h = 0; h < 4; ++h) {
+    for (RelationId r = 0; r < 2; ++r) {
+      for (EntityId t = 0; t < 4; ++t) {
+        keys.push_back(PackTriple(h, r, t));
+        expected.push_back(store_.Contains(h, r, t));
+      }
+    }
+  }
+  std::vector<uint8_t> found(keys.size(), 0xff);
+  const size_t hits = store_.ContainsBatch(keys, found.data());
+  EXPECT_EQ(hits, 4u);  // the four stored triples
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(found[i] != 0, expected[i]) << i;
+  }
+}
+
+TEST_F(TripleStoreTest, ViewIterationMatchesSetSemantics) {
+  // Subjects/Objects iterate ascending entity ids.
+  std::vector<EntityId> subjects(store_.Subjects(0).begin(),
+                                 store_.Subjects(0).end());
+  EXPECT_EQ(subjects, (std::vector<EntityId>{0, 3}));
+  EXPECT_TRUE(store_.Subjects(0).contains(3));
+  EXPECT_FALSE(store_.Subjects(0).contains(1));
+  std::vector<EntityId> objects(store_.Objects(0).begin(),
+                                store_.Objects(0).end());
+  EXPECT_EQ(objects, (std::vector<EntityId>{1, 2}));
+  // Pairs iterates distinct (h, t) keys in PackPair order.
+  std::vector<uint64_t> pairs(store_.Pairs(0).begin(), store_.Pairs(0).end());
+  EXPECT_EQ(pairs, (std::vector<uint64_t>{PackPair(0, 1), PackPair(0, 2),
+                                          PackPair(3, 1)}));
+}
+
+TEST_F(TripleStoreTest, IndexBytesIsPositiveAndBounded) {
+  EXPECT_GT(store_.IndexBytes(), 0u);
+  // A 4-triple store should take a few KiB at most.
+  EXPECT_LT(store_.IndexBytes(), size_t{1} << 20);
+}
+
+TEST(TripleStorePackingTest, RejectsIdsBeyondPackedWidths) {
+  // 2^24 entities / 2^16 relations exceed the packed key layout; the store
+  // must refuse at construction, not corrupt membership keys later.
+  EXPECT_DEATH(TripleStore({}, kMaxPackedEntities + 1, 1), "");
+  EXPECT_DEATH(TripleStore({}, 1, kMaxPackedRelations + 1), "");
+}
+
 TEST(DatasetTest, StoresAreCachedAndInvalidate) {
   Vocab vocab;
   vocab.InternEntity("a");

@@ -15,6 +15,7 @@
 
 #include "eval/ranker.h"
 #include "kg/dataset.h"
+#include "obs/metrics.h"
 #include "redundancy/detectors.h"
 #include "redundancy/leakage.h"
 #include "rules/amie.h"
@@ -301,6 +302,85 @@ TEST(ParallelDeterminismTest, QueryDedupIsBitIdenticalAcrossThreadCounts) {
       options.dedup_queries = dedup;
       ExpectSameRanks(
           baseline, RankTriples(predictor, dataset, dataset.test(), options));
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ProbeFilterIsBitIdenticalAcrossThreadCounts) {
+  // Mixed-eligibility workload: relation 0 carries duplicate train triples,
+  // so its query groups must fall back to the marking sweep (duplicates
+  // count multiply toward the filtered rank), while relation 1 is clean and
+  // takes the batched flat-set probe path. Ranks — and the probe hit/miss
+  // counters — must be bit-identical for probe on/off and every thread
+  // count.
+  const int32_t num_entities = 30;
+  Vocab vocab;
+  for (int32_t i = 0; i < num_entities; ++i) {
+    vocab.InternEntity("e" + std::to_string(i));
+  }
+  for (int r = 0; r < 2; ++r) vocab.InternRelation("r" + std::to_string(r));
+  Rng rng(11);
+  TripleList train;
+  TripleList test;
+  for (int i = 0; i < 120; ++i) {
+    Triple t{static_cast<EntityId>(rng.Uniform(num_entities)),
+             static_cast<RelationId>(rng.Uniform(2)),
+             static_cast<EntityId>(rng.Uniform(num_entities))};
+    if (i % 4 == 0) {
+      test.push_back(t);
+    } else {
+      train.push_back(t);
+      // Every third relation-0 train triple is stored twice.
+      if (t.relation == 0 && i % 3 == 0) train.push_back(t);
+    }
+  }
+  const Dataset dataset("probe", std::move(vocab), std::move(train), {},
+                        std::move(test));
+  const HashPredictor predictor(num_entities);
+
+  obs::Counter& probe_hits =
+      obs::Registry::Get().GetCounter(obs::kStoreProbeBatchHits);
+  obs::Counter& probe_misses =
+      obs::Registry::Get().GetCounter(obs::kStoreProbeBatchMisses);
+
+  RankerOptions marking;
+  marking.threads = 1;
+  marking.probe_filter = false;
+  const auto baseline =
+      RankTriples(predictor, dataset, dataset.test(), marking);
+  ASSERT_FALSE(baseline.empty());
+
+  uint64_t expected_hits_delta = 0;
+  uint64_t expected_misses_delta = 0;
+  bool first_probe_run = true;
+  for (bool probe : {false, true}) {
+    for (int threads : {1, 2, 4}) {
+      RankerOptions options;
+      options.threads = threads;
+      options.probe_filter = probe;
+      const uint64_t hits_before = probe_hits.value();
+      const uint64_t misses_before = probe_misses.value();
+      ExpectSameRanks(
+          baseline, RankTriples(predictor, dataset, dataset.test(), options));
+      const uint64_t hits_delta = probe_hits.value() - hits_before;
+      const uint64_t misses_delta = probe_misses.value() - misses_before;
+      if (!probe) {
+        // The marking path never touches the flat-set probe counters.
+        EXPECT_EQ(hits_delta, 0u);
+        EXPECT_EQ(misses_delta, 0u);
+      } else if (first_probe_run) {
+        // The clean relation must actually exercise the probe path,
+        // otherwise the on/off comparison is vacuous.
+        EXPECT_GT(hits_delta + misses_delta, 0u);
+        expected_hits_delta = hits_delta;
+        expected_misses_delta = misses_delta;
+        first_probe_run = false;
+      } else {
+        // Probe traffic is a pure function of the test list — identical for
+        // every thread count.
+        EXPECT_EQ(hits_delta, expected_hits_delta) << threads;
+        EXPECT_EQ(misses_delta, expected_misses_delta) << threads;
+      }
     }
   }
 }
