@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/exporter.h"
+#include "obs/perf_counters.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "util/deadline.h"
@@ -106,6 +108,10 @@ BenchTelemetry::BenchTelemetry(const char* name, int* argc, char** argv)
   *argc = kept;
   argv[kept] = nullptr;
   if (!report_path_.empty()) obs::EnableSpanRollups();
+  // Run-wide telemetry threads/counters start here — before the lazy
+  // worker pool exists, so perf's inherit=1 covers every worker.
+  obs::StartRunPerfCounters();
+  obs::StartExporterFromEnv(name_);
   InstallCrashHooks(this);
 }
 
@@ -117,6 +123,16 @@ int BenchTelemetry::Finish(int exit_code) {
   // (On the std::exit / signal paths the stack is never unwound, so the
   // pointer is still valid when the hooks fire.)
   g_active_telemetry = nullptr;
+  // Stop the exporter before rendering the report so its final record is
+  // on disk and its sampling cannot race the snapshot. On a fatal-signal
+  // path joining the exporter thread could deadlock (it may be mid-write
+  // or the signal may have landed on it), so abort without joining there —
+  // the time-series file stays valid because records are whole lines.
+  if (obs::RunExitCause().starts_with("signal:")) {
+    obs::AbortGlobalExporter();
+  } else {
+    obs::StopGlobalExporter();
+  }
   if (!report_path_.empty()) {
     obs::RunInfo info;
     info.name = name_;

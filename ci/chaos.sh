@@ -173,4 +173,50 @@ for site in "${ROLLBACK_SITES[@]}"; do
   echo "   crash@${site}: rolled back, registry consistent"
 done
 
+# ---------------------------------------------------------------------------
+# Partial-trace chaos: SIGKILL a traced bench mid-run. The incremental
+# drain (KGC_TRACE_DRAIN=1 drains after every span) must leave an on-disk
+# prefix that repair-parses by closing the JSON array — a killed run still
+# yields a usable trace.
+
+echo "== partial-trace chaos: SIGKILL mid-run =="
+PT_TRACE="${WORK_DIR}/partial_trace.json"
+KGC_TRACE="${PT_TRACE}" KGC_TRACE_DRAIN=1 \
+  KGC_CACHE_DIR="${WORK_DIR}/pt-cache" \
+  "${BUILD_DIR}/bench/bench_fig1_fmrr_drop" > /dev/null 2>&1 &
+PT_PID=$!
+for _ in $(seq 1 200); do
+  if [[ -s "${PT_TRACE}" ]] && grep -q '"ph":"X"' "${PT_TRACE}"; then
+    break
+  fi
+  if ! kill -0 "${PT_PID}" 2>/dev/null; then
+    echo "FAIL: traced bench exited before it could be killed"
+    exit 1
+  fi
+  sleep 0.05
+done
+kill -9 "${PT_PID}" 2>/dev/null || true
+wait "${PT_PID}" 2>/dev/null || true
+python3 - "${PT_TRACE}" <<'EOF'
+import json, sys
+raw = open(sys.argv[1]).read()
+assert raw.startswith("["), "partial trace must open a JSON array"
+# The run never reached FlushTrace, so close the array ourselves. A kill
+# landing mid-write can tear the very last line; peel lines off the tail
+# until the prefix parses.
+body = raw
+while True:
+    try:
+        events = json.loads(body.rstrip().rstrip(",") + "\n]")
+        break
+    except json.JSONDecodeError:
+        cut = body.rfind("\n")
+        assert cut > 0, "no parseable prefix in partial trace"
+        body = body[:cut]
+assert events[0]["name"] == "kgc_clock_sync", events[0]
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "no complete spans drained before SIGKILL"
+print(f"partial trace OK: {len(spans)} spans survived SIGKILL")
+EOF
+
 echo "== chaos run passed (seed ${CHAOS_SEED}) =="

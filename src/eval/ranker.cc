@@ -159,8 +159,8 @@ std::vector<TripleRanks> RankTriples(const LinkPredictor& predictor,
       obs::Registry::Get().GetCounter(obs::kRankerQueryCacheHits);
   static obs::Counter& query_misses =
       obs::Registry::Get().GetCounter(obs::kRankerQueryCacheMisses);
-  static obs::Histogram& shard_seconds =
-      obs::Registry::Get().GetHistogram(obs::kRankerShardSeconds);
+  static obs::HdrHistogram& shard_seconds =
+      obs::Registry::Get().GetDurationHistogram(obs::kRankerShardSeconds);
   sweeps.Increment();
 
   std::vector<TripleRanks> results(test.size());

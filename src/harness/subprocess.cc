@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -105,7 +106,10 @@ StatusOr<SubprocessResult> RunSubprocess(const SubprocessOptions& options) {
   double kill_at = 0.0;
   for (;;) {
     int wstatus = 0;
-    const pid_t done = ::waitpid(pid, &wstatus, WNOHANG);
+    rusage child_usage{};
+    // wait4 = waitpid + the reaped child's rusage, so the supervisor gets
+    // per-child CPU/RSS/fault accounting for free on the same poll.
+    const pid_t done = ::wait4(pid, &wstatus, WNOHANG, &child_usage);
     if (done == pid) {
       result.seconds = elapsed();
       if (WIFSIGNALED(wstatus)) {
@@ -113,11 +117,24 @@ StatusOr<SubprocessResult> RunSubprocess(const SubprocessOptions& options) {
       } else {
         result.exit_code = WEXITSTATUS(wstatus);
       }
+      result.rusage_ok = true;
+      result.cpu_user_seconds =
+          static_cast<double>(child_usage.ru_utime.tv_sec) +
+          static_cast<double>(child_usage.ru_utime.tv_usec) * 1e-6;
+      result.cpu_sys_seconds =
+          static_cast<double>(child_usage.ru_stime.tv_sec) +
+          static_cast<double>(child_usage.ru_stime.tv_usec) * 1e-6;
+      result.max_rss_bytes =
+          static_cast<int64_t>(child_usage.ru_maxrss) * 1024;  // KiB on Linux
+      result.minor_faults = child_usage.ru_minflt;
+      result.major_faults = child_usage.ru_majflt;
+      result.vol_ctx_switches = child_usage.ru_nvcsw;
+      result.invol_ctx_switches = child_usage.ru_nivcsw;
       return result;
     }
     if (done < 0 && errno != EINTR) {
       return Status::Internal(
-          StrFormat("waitpid failed: %s", strerror(errno)));
+          StrFormat("wait4 failed: %s", strerror(errno)));
     }
     if (options.timeout_seconds > 0 && !sent_term &&
         elapsed() > options.timeout_seconds) {

@@ -15,6 +15,7 @@
 #ifndef KGC_HARNESS_SUBPROCESS_H_
 #define KGC_HARNESS_SUBPROCESS_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,6 +50,17 @@ struct SubprocessResult {
   /// The watchdog fired (the child was SIGTERMed and possibly SIGKILLed).
   bool timed_out = false;
   double seconds = 0.0;
+  /// Child resource usage harvested with wait4 (covers the child and its
+  /// waited-for descendants). rusage_ok is false when the platform/WNOHANG
+  /// path could not provide it.
+  bool rusage_ok = false;
+  double cpu_user_seconds = 0.0;
+  double cpu_sys_seconds = 0.0;
+  int64_t max_rss_bytes = 0;
+  int64_t minor_faults = 0;
+  int64_t major_faults = 0;
+  int64_t vol_ctx_switches = 0;
+  int64_t invol_ctx_switches = 0;
 
   bool ok() const { return !timed_out && term_signal == 0 && exit_code == 0; }
   /// "exit:0", "exit:124", "signal:SIGSEGV", "watchdog(signal:SIGTERM)".

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "harness/subprocess.h"
+#include "obs/clock.h"
 #include "obs/json.h"
 #include "util/deadline.h"
 #include "util/file_util.h"
@@ -56,14 +57,43 @@ int QuarantineRecentArtifacts(const std::string& cache_dir,
 namespace {
 
 std::string ManifestLine(const TableRun& run) {
-  return StrFormat(
+  std::string line = StrFormat(
       "{\"schema\":\"kgc.suite_manifest.v1\",\"table\":\"%s\","
       "\"status\":\"%s\",\"attempts\":%d,\"exit\":\"%s\",\"seconds\":%s,"
-      "\"quarantined\":%d,\"stdout\":\"%s\"}\n",
+      "\"quarantined\":%d,\"stdout\":\"%s\",\"wall\":\"%s\"",
       obs::JsonEscape(run.table).c_str(), obs::JsonEscape(run.status).c_str(),
       run.attempts, obs::JsonEscape(run.exit_detail).c_str(),
       obs::JsonDouble(run.seconds).c_str(), run.quarantined,
-      obs::JsonEscape(run.stdout_path).c_str());
+      obs::JsonEscape(run.stdout_path).c_str(), obs::Iso8601UtcNow().c_str());
+  if (run.rusage_ok) {
+    line += StrFormat(
+        ",\"resources\":{\"cpu_user_seconds\":%s,\"cpu_sys_seconds\":%s,"
+        "\"max_rss_bytes\":%lld,\"minor_faults\":%lld,\"major_faults\":%lld,"
+        "\"vol_ctx_switches\":%lld,\"invol_ctx_switches\":%lld}",
+        obs::JsonDouble(run.cpu_user_seconds).c_str(),
+        obs::JsonDouble(run.cpu_sys_seconds).c_str(),
+        static_cast<long long>(run.max_rss_bytes),
+        static_cast<long long>(run.minor_faults),
+        static_cast<long long>(run.major_faults),
+        static_cast<long long>(run.vol_ctx_switches),
+        static_cast<long long>(run.invol_ctx_switches));
+  }
+  line += "}\n";
+  return line;
+}
+
+// Folds one reaped attempt's rusage into the table's totals (CPU, faults
+// and switches add up across attempts; RSS keeps the high-water mark).
+void AccumulateChildUsage(const SubprocessResult& result, TableRun* run) {
+  if (!result.rusage_ok) return;
+  run->rusage_ok = true;
+  run->cpu_user_seconds += result.cpu_user_seconds;
+  run->cpu_sys_seconds += result.cpu_sys_seconds;
+  run->max_rss_bytes = std::max(run->max_rss_bytes, result.max_rss_bytes);
+  run->minor_faults += result.minor_faults;
+  run->major_faults += result.major_faults;
+  run->vol_ctx_switches += result.vol_ctx_switches;
+  run->invol_ctx_switches += result.invol_ctx_switches;
 }
 
 }  // namespace
@@ -190,6 +220,7 @@ StatusOr<SuiteResult> RunSuite(const SuiteOptions& options) {
       }
       run.seconds += result->seconds;
       run.exit_detail = result->Describe();
+      AccumulateChildUsage(*result, &run);
       if (result->ok()) {
         run.status = "ok";
         break;
@@ -234,6 +265,16 @@ StatusOr<SuiteResult> RunSuite(const SuiteOptions& options) {
   for (const TableRun& t : suite.tables) {
     summary.seconds += t.seconds;
     summary.quarantined += t.quarantined;
+    if (t.rusage_ok) {
+      summary.rusage_ok = true;
+      summary.cpu_user_seconds += t.cpu_user_seconds;
+      summary.cpu_sys_seconds += t.cpu_sys_seconds;
+      summary.max_rss_bytes = std::max(summary.max_rss_bytes, t.max_rss_bytes);
+      summary.minor_faults += t.minor_faults;
+      summary.major_faults += t.major_faults;
+      summary.vol_ctx_switches += t.vol_ctx_switches;
+      summary.invol_ctx_switches += t.invol_ctx_switches;
+    }
   }
   std::fputs(ManifestLine(summary).c_str(), manifest);
   std::fclose(manifest);

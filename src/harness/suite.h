@@ -28,7 +28,12 @@
 //
 //   {"schema":"kgc.suite_manifest.v1","table":"bench_table5_fb15k",
 //    "status":"ok","attempts":2,"exit":"exit:0","seconds":1.9,
-//    "quarantined":0,"stdout":"out/bench_table5_fb15k.out"}
+//    "quarantined":0,"stdout":"out/bench_table5_fb15k.out",
+//    "wall":"2026-08-07T12:00:00Z","resources":{"cpu_user_seconds":1.7,...}}
+//
+// The "resources" object is the child's rusage harvested with wait4 (CPU
+// and fault totals across attempts, peak RSS over attempts); it is omitted
+// for tables where no child was ever reaped (missing binary).
 //
 // It is appended and flushed table by table, so a killed supervisor leaves
 // a readable prefix.
@@ -36,6 +41,7 @@
 #ifndef KGC_HARNESS_SUITE_H_
 #define KGC_HARNESS_SUITE_H_
 
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -87,6 +93,18 @@ struct TableRun {
   double seconds = 0.0;  ///< total across attempts
   int quarantined = 0;   ///< cache artifacts quarantined between retries
   std::string stdout_path;
+  /// Child resource usage harvested by the supervisor (wait4). CPU, fault
+  /// and context-switch totals accumulate across attempts; max_rss_bytes
+  /// is the max over attempts. rusage_ok is false when no attempt was
+  /// actually reaped (e.g. missing binary).
+  bool rusage_ok = false;
+  double cpu_user_seconds = 0.0;
+  double cpu_sys_seconds = 0.0;
+  int64_t max_rss_bytes = 0;
+  int64_t minor_faults = 0;
+  int64_t major_faults = 0;
+  int64_t vol_ctx_switches = 0;
+  int64_t invol_ctx_switches = 0;
 
   bool ok() const { return status == "ok"; }
 };

@@ -204,8 +204,8 @@ TrainStats TrainModel(KgeModel& model, const Dataset& dataset,
       obs::Registry::Get().GetCounter(obs::kTrainerResumes);
   static obs::Gauge& last_loss =
       obs::Registry::Get().GetGauge(obs::kTrainerLastLoss);
-  static obs::Histogram& epoch_seconds =
-      obs::Registry::Get().GetHistogram(obs::kTrainerEpochSeconds);
+  static obs::HdrHistogram& epoch_seconds =
+      obs::Registry::Get().GetDurationHistogram(obs::kTrainerEpochSeconds);
 
   // Per-relation head-corruption probability tph / (tph + hpt).
   std::vector<double> p_head(static_cast<size_t>(dataset.num_relations()),

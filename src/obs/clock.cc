@@ -1,0 +1,35 @@
+#include "obs/clock.h"
+
+#include <chrono>
+#include <ctime>
+
+namespace kgc::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point Epoch() {
+  static const Clock::time_point t0 = Clock::now();
+  return t0;
+}
+
+}  // namespace
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              Epoch())
+      .count();
+}
+
+double SteadyNowMs() { return static_cast<double>(SteadyNowNs()) * 1e-6; }
+
+std::string Iso8601UtcNow() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+}  // namespace kgc::obs

@@ -1,0 +1,35 @@
+// Shared telemetry clocks.
+//
+// Every obs artifact that carries a time carries two of them:
+//
+//   - a steady-clock offset from a single process-wide epoch (the first
+//     call into this module), so records from one process order and
+//     subtract exactly even when the wall clock steps, and
+//   - an ISO-8601 UTC wall timestamp, so records from *different*
+//     processes (a resumed run, a retried suite attempt) order against
+//     each other.
+//
+// Trace spans, run reports and time-series records all use the same
+// epoch, so their timelines correlate directly.
+
+#ifndef KGC_OBS_CLOCK_H_
+#define KGC_OBS_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kgc::obs {
+
+/// Nanoseconds since the process-wide steady epoch (the first call into
+/// this module from any thread). Monotone, never steps.
+int64_t SteadyNowNs();
+
+/// SteadyNowNs() in fractional milliseconds.
+double SteadyNowMs();
+
+/// Current wall time as "YYYY-MM-DDTHH:MM:SSZ" (UTC, second resolution).
+std::string Iso8601UtcNow();
+
+}  // namespace kgc::obs
+
+#endif  // KGC_OBS_CLOCK_H_

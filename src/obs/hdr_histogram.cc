@@ -1,0 +1,138 @@
+#include "obs/hdr_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace kgc::obs {
+
+int64_t MicrosFromSecondsSaturated(double seconds) {
+  if (std::isnan(seconds) || seconds <= 0.0) return 0;
+  const double micros = seconds * 1e6;
+  if (micros >= static_cast<double>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>(std::llround(micros));
+}
+
+bool SaturatingFetchAdd(std::atomic<int64_t>& sum, int64_t delta) {
+  int64_t current = sum.load(std::memory_order_relaxed);
+  for (;;) {
+    int64_t next;
+    const bool overflow = __builtin_add_overflow(current, delta, &next);
+    if (overflow) {
+      next = delta > 0 ? std::numeric_limits<int64_t>::max()
+                       : std::numeric_limits<int64_t>::min();
+      if (next == current) return true;  // already pinned
+    }
+    if (sum.compare_exchange_weak(current, next, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+      return overflow;
+    }
+  }
+}
+
+HdrHistogram::HdrHistogram() {
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t HdrHistogram::BucketIndexForMicros(uint64_t micros) {
+  if (micros < 2 * kSubBuckets) return static_cast<size_t>(micros);
+  if (micros > kMaxTrackableMicros) return kNumBuckets - 1;  // overflow
+  // Octave o = floor(log2(micros)) >= kSubBucketBits + 1. Within the
+  // octave, linear buckets of width 2^(o - kSubBucketBits):
+  // micros >> (o - kSubBucketBits) lands in [kSubBuckets, 2*kSubBuckets).
+  const int o = 63 - __builtin_clzll(micros);
+  const int shift = o - kSubBucketBits;
+  return static_cast<size_t>(shift) * kSubBuckets + (micros >> shift);
+}
+
+uint64_t HdrHistogram::BucketLowerMicros(size_t index) {
+  if (index < 2 * kSubBuckets) return index;
+  if (index >= kNumBuckets - 1) return kMaxTrackableMicros + 1;  // overflow
+  const uint64_t block = index >> kSubBucketBits;  // >= 2
+  const int shift = static_cast<int>(block) - 1;
+  const uint64_t sub = index & (kSubBuckets - 1);
+  return (kSubBuckets + sub) << shift;
+}
+
+uint64_t HdrHistogram::BucketUpperMicros(size_t index) {
+  if (index >= kNumBuckets - 1) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return BucketLowerMicros(index + 1);
+}
+
+void HdrHistogram::ObserveMicros(uint64_t micros) {
+  buckets_[BucketIndexForMicros(micros)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t add =
+      micros > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())
+          ? std::numeric_limits<int64_t>::max()
+          : static_cast<int64_t>(micros);
+  if (SaturatingFetchAdd(sum_micros_, add)) {
+    sum_saturations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HdrHistogram::Observe(double seconds) {
+  ObserveMicros(static_cast<uint64_t>(MicrosFromSecondsSaturated(seconds)));
+}
+
+double HdrHistogram::Quantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += bucket_count(i);
+    if (cumulative >= target) {
+      if (i == kNumBuckets - 1) {
+        // Overflow bucket has no finite upper edge; report its lower one.
+        return static_cast<double>(BucketLowerMicros(i)) * 1e-6;
+      }
+      return static_cast<double>(BucketUpperMicros(i)) * 1e-6;
+    }
+  }
+  return 0.0;  // unreachable: cumulative == count() by the last bucket
+}
+
+double HdrHistogram::MinEstimate() const {
+  if (count() == 0) return 0.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (bucket_count(i) > 0) {
+      return static_cast<double>(BucketLowerMicros(i)) * 1e-6;
+    }
+  }
+  return 0.0;
+}
+
+double HdrHistogram::MaxEstimate() const {
+  if (count() == 0) return 0.0;
+  for (size_t i = kNumBuckets; i-- > 0;) {
+    if (bucket_count(i) > 0) {
+      if (i == kNumBuckets - 1) {
+        return static_cast<double>(BucketLowerMicros(i)) * 1e-6;
+      }
+      return static_cast<double>(BucketUpperMicros(i)) * 1e-6;
+    }
+  }
+  return 0.0;
+}
+
+void HdrHistogram::ResetForTest() {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
+  sum_saturations_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace kgc::obs

@@ -1,0 +1,109 @@
+// Log-linear HDR histogram for latency recording.
+//
+// The fixed-bucket Histogram (obs/metrics.h) needs its edges chosen up
+// front, so one edge list cannot give useful p999s for both a 50us shard
+// and a 30s epoch. This histogram uses the HdrHistogram bucket layout
+// instead: values (in integer microseconds) below 64us get exact 1us
+// buckets, and every power-of-two octave above that is subdivided into 32
+// linear sub-buckets, giving a fixed <= 1/32 (~3.1%) relative bucket width
+// across the whole tracked range — 1us to ~4.7 hours — with O(1)
+// arithmetic bucket indexing (no edge search on the hot path).
+//
+// State is order-independent integers, exactly like the fixed-bucket
+// histogram: per-bucket atomic counts, an atomic observation count, and a
+// saturating fixed-point micro-unit sum. Two runs that observe the same
+// multiset of durations — in any order, from any number of threads — hold
+// bit-identical state.
+//
+// Quantiles are extracted exactly from the bucket counts: Quantile(q)
+// returns the *upper edge* of the bucket holding the q-th ranked
+// observation, so the estimate is always >= the true quantile and within
+// one bucket width of it.
+
+#ifndef KGC_OBS_HDR_HISTOGRAM_H_
+#define KGC_OBS_HDR_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace kgc::obs {
+
+class HdrHistogram {
+ public:
+  /// Exact 1us buckets below 2^(kSubBucketBits+1)us; 2^kSubBucketBits
+  /// linear sub-buckets per octave above.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBucketBits;
+  /// Largest tracked value: 2^34-1 micros (~4.7 hours). Larger values
+  /// land in the overflow bucket.
+  static constexpr int kMaxOctave = 33;
+  static constexpr uint64_t kMaxTrackableMicros =
+      (1ull << (kMaxOctave + 1)) - 1;
+
+  HdrHistogram();
+
+  /// Records a duration in seconds. Negative / NaN clamp to 0; values
+  /// beyond the tracked range land in the overflow bucket (and saturate
+  /// the sum rather than wrapping it).
+  void Observe(double seconds);
+  void ObserveMicros(uint64_t micros);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of observations in seconds, to 1us fixed-point resolution.
+  /// Saturates at ~292e3 years; sum_saturations() counts clamped adds.
+  double sum() const {
+    return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) *
+           1e-6;
+  }
+  uint64_t sum_saturations() const {
+    return sum_saturations_.load(std::memory_order_relaxed);
+  }
+
+  /// Upper edge (seconds) of the bucket holding the ceil(q * count)-th
+  /// smallest observation; 0 when empty. q outside [0,1] is clamped.
+  double Quantile(double q) const;
+
+  /// Lower edge (seconds) of the first / upper edge of the last non-empty
+  /// bucket; 0 when empty.
+  double MinEstimate() const;
+  double MaxEstimate() const;
+
+  /// Bucket introspection (for export and tests). Buckets are
+  /// [BucketLowerMicros(i), BucketUpperMicros(i)); the final index is the
+  /// overflow bucket.
+  static size_t num_buckets() { return kNumBuckets; }
+  uint64_t bucket_count(size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+  static size_t BucketIndexForMicros(uint64_t micros);
+  static uint64_t BucketLowerMicros(size_t index);
+  static uint64_t BucketUpperMicros(size_t index);
+
+  void ResetForTest();
+
+ private:
+  // Buckets 0..63 cover [0,64)us exactly; each octave o in [6,kMaxOctave]
+  // adds kSubBuckets more; +1 overflow bucket at the end.
+  static constexpr size_t kNumBuckets =
+      2 * kSubBuckets + (kMaxOctave - kSubBucketBits) * kSubBuckets + 1;
+
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_micros_{0};
+  std::atomic<uint64_t> sum_saturations_{0};
+};
+
+/// Converts a duration in seconds to integer micros, clamping NaN and
+/// negatives to 0 and values beyond int64 range to INT64_MAX (plain
+/// llround would be undefined there).
+int64_t MicrosFromSecondsSaturated(double seconds);
+
+/// `sum += delta`, clamping at the int64 extremes instead of wrapping.
+/// Returns true when the add was clamped. Once saturated, the sum stays
+/// pinned at the extreme.
+bool SaturatingFetchAdd(std::atomic<int64_t>& sum, int64_t delta);
+
+}  // namespace kgc::obs
+
+#endif  // KGC_OBS_HDR_HISTOGRAM_H_

@@ -1,0 +1,260 @@
+#include "obs/json_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace kgc::obs {
+
+// Friended assembly shim: JsonValue keeps its internals private; the
+// parser (anonymous namespace below, so it cannot be friended directly)
+// builds values through these.
+struct JsonValueBuilder {
+  static JsonValue MakeBool(bool b) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue MakeNumber(double n) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    v.number_ = n;
+    return v;
+  }
+  static JsonValue MakeString(std::string s) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue MakeArray(JsonValue::Array items) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    v.array_ = std::move(items);
+    return v;
+  }
+  static JsonValue MakeObject(JsonValue::Object members) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    v.object_ = std::move(members);
+    return v;
+  }
+};
+
+namespace {
+
+// Recursive-descent parser over a string_view cursor. Depth-limited so a
+// hostile document cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool ParseDocument(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out, 0)) return false;
+    SkipSpace();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char* c) const {
+    if (pos_ >= text_.size()) return false;
+    *c = text_[pos_];
+    return true;
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth);
+  bool ParseString(std::string* out);
+  bool ParseNumber(double* out);
+  bool ParseArray(JsonValue* out, int depth);
+  bool ParseObject(JsonValue* out, int depth);
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool Parser::ParseString(std::string* out) {
+  if (!Consume('"')) return false;
+  out->clear();
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_++];
+    if (c == '"') return true;
+    if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (pos_ >= text_.size()) return false;
+    const char escape = text_[pos_++];
+    switch (escape) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        if (pos_ + 4 > text_.size()) return false;
+        for (int i = 0; i < 4; ++i) {
+          if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+            return false;
+          }
+        }
+        pos_ += 4;
+        out->push_back('?');  // no unicode decoding (see header)
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+bool Parser::ParseNumber(double* out) {
+  const size_t start = pos_;
+  if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+  while (pos_ < text_.size() &&
+         (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+          text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+          text_[pos_] == '+' || text_[pos_] == '-')) {
+    ++pos_;
+  }
+  if (pos_ == start) return false;
+  const std::string token(text_.substr(start, pos_ - start));
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0' &&
+         std::isdigit(static_cast<unsigned char>(
+             token[token[0] == '-' ? 1 : 0]));
+}
+
+bool Parser::ParseArray(JsonValue* out, int depth) {
+  if (!Consume('[')) return false;
+  *out = JsonValue();
+  JsonValue::Array items;
+  SkipSpace();
+  if (Consume(']')) {
+    // empty array
+  } else {
+    for (;;) {
+      JsonValue item;
+      if (!ParseValue(&item, depth + 1)) return false;
+      items.push_back(std::move(item));
+      SkipSpace();
+      if (Consume(']')) break;
+      if (!Consume(',')) return false;
+      SkipSpace();
+    }
+  }
+  *out = JsonValueBuilder::MakeArray(std::move(items));
+  return true;
+}
+
+bool Parser::ParseObject(JsonValue* out, int depth) {
+  if (!Consume('{')) return false;
+  *out = JsonValue();
+  JsonValue::Object members;
+  SkipSpace();
+  if (Consume('}')) {
+    // empty object
+  } else {
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return false;
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      members[std::move(key)] = std::move(value);
+      SkipSpace();
+      if (Consume('}')) break;
+      if (!Consume(',')) return false;
+    }
+  }
+  *out = JsonValueBuilder::MakeObject(std::move(members));
+  return true;
+}
+
+bool Parser::ParseValue(JsonValue* out, int depth) {
+  if (depth > kMaxDepth) return false;
+  SkipSpace();
+  char c;
+  if (!Peek(&c)) return false;
+  switch (c) {
+    case '{':
+      return ParseObject(out, depth);
+    case '[':
+      return ParseArray(out, depth);
+    case '"': {
+      std::string s;
+      if (!ParseString(&s)) return false;
+      *out = JsonValueBuilder::MakeString(std::move(s));
+      return true;
+    }
+    case 't':
+      if (!ConsumeLiteral("true")) return false;
+      *out = JsonValueBuilder::MakeBool(true);
+      return true;
+    case 'f':
+      if (!ConsumeLiteral("false")) return false;
+      *out = JsonValueBuilder::MakeBool(false);
+      return true;
+    case 'n':
+      if (!ConsumeLiteral("null")) return false;
+      *out = JsonValue();
+      return true;
+    default: {
+      double n;
+      if (!ParseNumber(&n)) return false;
+      *out = JsonValueBuilder::MakeNumber(n);
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out) {
+  *out = JsonValue();
+  Parser parser(text);
+  JsonValue parsed;
+  if (!parser.ParseDocument(&parsed)) return false;
+  *out = std::move(parsed);
+  return true;
+}
+
+}  // namespace kgc::obs

@@ -1,0 +1,66 @@
+// Minimal JSON parser for the telemetry tooling (tools/kgc_top, tests)
+// that reads back the JSON this tree writes (run reports, time-series
+// records, trace events). Standard-library-only so it can live in the obs
+// layer; strict enough to reject malformed documents, small enough to
+// audit. Not a general-purpose JSON library: no streaming, no \uXXXX
+// surrogate pairs (escapes decode to '?'), numbers parse as double.
+
+#ifndef KGC_OBS_JSON_PARSE_H_
+#define KGC_OBS_JSON_PARSE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgc::obs {
+
+struct JsonValueBuilder;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  // std::map keeps keys ordered, which makes tooling output deterministic.
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  /// Member lookup on an object; nullptr on missing key or non-object.
+  const JsonValue* Find(const std::string& key) const;
+
+  double AsNumber(double fallback = 0.0) const {
+    return type_ == Type::kNumber ? number_ : fallback;
+  }
+  bool AsBool(bool fallback = false) const {
+    return type_ == Type::kBool ? bool_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const { return array_; }
+  const Object& AsObject() const { return object_; }
+
+  /// Parses one complete JSON document. Returns false (and leaves *out
+  /// default-constructed) on any syntax error or trailing garbage.
+  static bool Parse(std::string_view text, JsonValue* out);
+
+ private:
+  friend struct JsonValueBuilder;  // internal assembly (json_parse.cc)
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace kgc::obs
+
+#endif  // KGC_OBS_JSON_PARSE_H_

@@ -23,8 +23,18 @@ void Histogram::Observe(double value) {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   if (std::isfinite(value)) {
-    sum_micros_.fetch_add(static_cast<int64_t>(std::llround(value * 1e6)),
-                          std::memory_order_relaxed);
+    // Fixed-point micro-unit sum. Converting via llround(value * 1e6) is
+    // undefined beyond int64 range and the plain fetch_add used to wrap —
+    // both clamp now, and the clamp is counted.
+    int64_t micros;
+    if (value >= 0.0) {
+      micros = MicrosFromSecondsSaturated(value);
+    } else {
+      micros = -MicrosFromSecondsSaturated(-value);
+    }
+    if (SaturatingFetchAdd(sum_micros_, micros)) {
+      sum_saturations_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -34,6 +44,7 @@ void Histogram::ResetForTest() {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_micros_.store(0, std::memory_order_relaxed);
+  sum_saturations_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<double> ExponentialBuckets(double start, double factor,
@@ -81,10 +92,11 @@ Registry::Registry() {
   gauges_.emplace(kSnapshotCurrentGeneration, std::make_unique<Gauge>());
   gauges_.emplace(kStoreBytesPerTriple, std::make_unique<Gauge>());
   gauges_.emplace(kStorePeakRssBytes, std::make_unique<Gauge>());
+  // Wall-clock durations use the log-linear HDR layout: one shape covers
+  // microsecond shards and multi-second epochs at ~3% relative precision.
   for (const char* name : {kTrainerEpochSeconds, kRankerShardSeconds,
                            kSnapshotReaderSwapSeconds}) {
-    histograms_.emplace(name,
-                        std::make_unique<Histogram>(DefaultLatencyBuckets()));
+    durations_.emplace(name, std::make_unique<HdrHistogram>());
   }
 }
 
@@ -124,6 +136,15 @@ Histogram& Registry::GetHistogram(const std::string& name,
   return *it->second;
 }
 
+HdrHistogram& Registry::GetDurationHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = durations_.find(name);
+  if (it == durations_.end()) {
+    it = durations_.emplace(name, std::make_unique<HdrHistogram>()).first;
+  }
+  return *it->second;
+}
+
 MetricsSnapshot Registry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snapshot;
@@ -148,6 +169,21 @@ MetricsSnapshot Registry::Snapshot() const {
     sample.sum = histogram->sum();
     snapshot.histograms.push_back(std::move(sample));
   }
+  snapshot.durations.reserve(durations_.size());
+  for (const auto& [name, hdr] : durations_) {
+    DurationSample sample;
+    sample.name = name;
+    sample.count = hdr->count();
+    sample.sum = hdr->sum();
+    sample.sum_saturations = hdr->sum_saturations();
+    sample.p50 = hdr->Quantile(0.50);
+    sample.p90 = hdr->Quantile(0.90);
+    sample.p99 = hdr->Quantile(0.99);
+    sample.p999 = hdr->Quantile(0.999);
+    sample.min = hdr->MinEstimate();
+    sample.max = hdr->MaxEstimate();
+    snapshot.durations.push_back(std::move(sample));
+  }
   return snapshot;
 }
 
@@ -158,6 +194,7 @@ void Registry::ResetAllForTest() {
   for (const auto& [name, histogram] : histograms_) {
     histogram->ResetForTest();
   }
+  for (const auto& [name, hdr] : durations_) hdr->ResetForTest();
 }
 
 }  // namespace kgc::obs

@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/hdr_histogram.h"
+
 namespace kgc::obs {
 
 /// Monotonically increasing event count. Lock-free; relaxed ordering is
@@ -88,10 +90,15 @@ class Histogram {
     return buckets_[index].load(std::memory_order_relaxed);
   }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  /// Sum of observations, to fixed-point (1e-6) resolution.
+  /// Sum of observations, to fixed-point (1e-6) resolution. The fixed-point
+  /// accumulator saturates at the int64 extremes instead of wrapping;
+  /// sum_saturations() counts how many observations were clamped.
   double sum() const {
     return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) *
            1e-6;
+  }
+  uint64_t sum_saturations() const {
+    return sum_saturations_.load(std::memory_order_relaxed);
   }
   void ResetForTest();
 
@@ -100,6 +107,7 @@ class Histogram {
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
   std::atomic<uint64_t> count_{0};
   std::atomic<int64_t> sum_micros_{0};
+  std::atomic<uint64_t> sum_saturations_{0};
 };
 
 /// `count` ascending bucket edges starting at `start`, each `factor` times
@@ -123,12 +131,26 @@ struct HistogramSample {
   uint64_t count = 0;
   double sum = 0.0;
 };
+/// Quantiles extracted exactly from an HdrHistogram's buckets (seconds).
+struct DurationSample {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0.0;
+  uint64_t sum_saturations = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
 
 /// A point-in-time copy of every registered metric, sorted by name.
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  std::vector<DurationSample> durations;
 };
 
 /// Canonical metric names. The registry pre-registers all of them so every
@@ -205,6 +227,10 @@ class Registry {
   /// latency buckets); for an existing one the original edges win.
   Histogram& GetHistogram(const std::string& name,
                           std::vector<double> edges = {});
+  /// HDR duration histogram (obs/hdr_histogram.h) — the right choice for
+  /// wall-clock durations, where one fixed edge list cannot cover both a
+  /// 50us shard and a 30s epoch. All canonical *_seconds metrics live here.
+  HdrHistogram& GetDurationHistogram(const std::string& name);
 
   MetricsSnapshot Snapshot() const;
 
@@ -218,6 +244,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<HdrHistogram>> durations_;
 };
 
 }  // namespace kgc::obs

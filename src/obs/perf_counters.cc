@@ -1,0 +1,134 @@
+#include "obs/perf_counters.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/resource_stats.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace kgc::obs {
+namespace {
+
+constexpr int kNumEvents = 4;
+
+struct PerfState {
+  bool started = false;          // StartRunPerfCounters ran (even if all failed)
+  bool forced_unavailable = false;
+  int fds[kNumEvents] = {-1, -1, -1, -1};
+};
+
+std::mutex g_mutex;
+PerfState g_state;
+
+#if defined(__linux__)
+
+constexpr uint64_t kEventConfigs[kNumEvents] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int OpenEvent(uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 0;
+  // inherit: count threads created after the open (the lazy worker pool).
+  // This is why the events are independent fds — inherited events cannot
+  // be read as a PERF_FORMAT_GROUP.
+  attr.inherit = 1;
+  // Counting user work only also lowers the perf_event_paranoid bar.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          /*group_fd=*/-1, /*flags=*/0ul);
+  return static_cast<int>(fd);
+}
+
+int64_t ReadEvent(int fd) {
+  if (fd < 0) return -1;
+  uint64_t value = 0;
+  const ssize_t n = read(fd, &value, sizeof(value));
+  if (n != static_cast<ssize_t>(sizeof(value))) return -1;
+  return static_cast<int64_t>(value);
+}
+
+void CloseAllLocked() {
+  for (int& fd : g_state.fds) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+}
+
+#else  // !__linux__
+
+int OpenEvent(uint64_t) { return -1; }
+int64_t ReadEvent(int) { return -1; }
+void CloseAllLocked() {}
+
+#endif
+
+bool AnyOpenLocked() {
+  for (const int fd : g_state.fds) {
+    if (fd >= 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void StartRunPerfCounters() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_state.started) return;
+  g_state.started = true;
+  const char* env = std::getenv("KGC_PERF");
+  if (env == nullptr || env[0] == '\0' || env[0] == '0') return;
+  if (g_state.forced_unavailable || TelemetryFailpointHit("obs:perf")) return;
+#if defined(__linux__)
+  for (int i = 0; i < kNumEvents; ++i) {
+    g_state.fds[i] = OpenEvent(kEventConfigs[i]);  // EPERM/ENOENT → -1
+  }
+#endif
+}
+
+bool RunPerfActive() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_state.forced_unavailable) return false;
+  return AnyOpenLocked();
+}
+
+PerfValues RunPerfValues() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  PerfValues values;
+  if (g_state.forced_unavailable || TelemetryFailpointHit("obs:perf")) {
+    return values;
+  }
+  values.cycles = ReadEvent(g_state.fds[0]);
+  values.instructions = ReadEvent(g_state.fds[1]);
+  values.cache_misses = ReadEvent(g_state.fds[2]);
+  values.branch_misses = ReadEvent(g_state.fds[3]);
+  values.ok = values.cycles >= 0 || values.instructions >= 0 ||
+              values.cache_misses >= 0 || values.branch_misses >= 0;
+  return values;
+}
+
+void ForcePerfUnavailableForTest(bool unavailable) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_state.forced_unavailable = unavailable;
+  if (unavailable) {
+    CloseAllLocked();
+  } else {
+    g_state.started = false;  // allow a fresh StartRunPerfCounters
+  }
+}
+
+}  // namespace kgc::obs

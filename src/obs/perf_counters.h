@@ -1,0 +1,51 @@
+// Opt-in hardware perf counters (perf_event_open) for bench runs.
+//
+// When KGC_PERF=1, StartRunPerfCounters opens four independent counting
+// events — cycles, instructions, cache misses, branch misses — with
+// inherit=1 so threads spawned *after* the open (the lazy thread pool,
+// the exporter) are counted too. The events are independent rather than a
+// group because inherited events cannot be read with PERF_FORMAT_GROUP;
+// independent fds keep the read path trivial and let each counter degrade
+// on its own.
+//
+// Degradation is the default, not the exception: containers commonly deny
+// perf_event_open (EPERM / perf_event_paranoid), and some kernels lack
+// specific generic events (ENOENT). Any counter that fails to open simply
+// reports -1; PerfValues::ok is true when at least one counter is live.
+// The "obs:perf" telemetry failpoint forces the fully-unavailable path.
+
+#ifndef KGC_OBS_PERF_COUNTERS_H_
+#define KGC_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace kgc::obs {
+
+/// Cumulative counter values since StartRunPerfCounters. A field is -1
+/// when that counter is unavailable; ok is false when none are.
+struct PerfValues {
+  bool ok = false;
+  int64_t cycles = -1;
+  int64_t instructions = -1;
+  int64_t cache_misses = -1;
+  int64_t branch_misses = -1;
+};
+
+/// Starts run-wide counters when KGC_PERF=1 (otherwise a no-op).
+/// Idempotent. Call early — before worker threads exist — so inherit=1
+/// covers them.
+void StartRunPerfCounters();
+
+/// True when at least one hardware counter is live.
+bool RunPerfActive();
+
+/// Reads the current cumulative values (all -1 / ok=false when inactive).
+PerfValues RunPerfValues();
+
+/// Forces the unavailable path (and closes any open counters) so tests
+/// can exercise degradation regardless of host support.
+void ForcePerfUnavailableForTest(bool unavailable);
+
+}  // namespace kgc::obs
+
+#endif  // KGC_OBS_PERF_COUNTERS_H_

@@ -2,26 +2,20 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <ctime>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 
+#include "obs/clock.h"
+#include "obs/exporter.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/resource_stats.h"
 #include "obs/trace.h"
 
 namespace kgc::obs {
 namespace {
-
-std::string NowIso8601Utc() {
-  const std::time_t now = std::time(nullptr);
-  std::tm utc{};
-  gmtime_r(&now, &utc);
-  char buf[32];
-  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
-  return buf;
-}
 
 std::mutex g_exit_cause_mutex;
 std::string g_exit_cause;  // guarded by g_exit_cause_mutex
@@ -46,11 +40,14 @@ std::string RenderRunReport(const RunInfo& info) {
   out << "{\"schema\":\"kgc.run_report.v1\"";
   out << ",\"name\":\"" << JsonEscape(info.name) << "\"";
   out << ",\"timestamp\":\""
-      << JsonEscape(info.timestamp.empty() ? NowIso8601Utc()
+      << JsonEscape(info.timestamp.empty() ? Iso8601UtcNow()
                                            : info.timestamp)
       << "\"";
   out << ",\"threads\":" << info.threads;
   out << ",\"wall_seconds\":" << JsonDouble(info.wall_seconds);
+  // Offset from the shared steady epoch (obs/clock.h), so report lines
+  // correlate with trace spans and time-series records from the same run.
+  out << ",\"steady_ms\":" << JsonDouble(SteadyNowMs());
   out << ",\"exit_code\":" << info.exit_code;
   std::string cause = info.exit_cause;
   if (cause.empty()) cause = RunExitCause();
@@ -101,6 +98,20 @@ std::string RenderRunReport(const RunInfo& info) {
   }
   out << "}";
 
+  out << ",\"durations\":{";
+  for (size_t i = 0; i < snapshot.durations.size(); ++i) {
+    const DurationSample& d = snapshot.durations[i];
+    out << (i > 0 ? "," : "") << "\"" << JsonEscape(d.name)
+        << "\":{\"count\":" << d.count << ",\"sum\":" << JsonDouble(d.sum)
+        << ",\"sum_saturations\":" << d.sum_saturations
+        << ",\"p50\":" << JsonDouble(d.p50) << ",\"p90\":" << JsonDouble(d.p90)
+        << ",\"p99\":" << JsonDouble(d.p99)
+        << ",\"p999\":" << JsonDouble(d.p999)
+        << ",\"min\":" << JsonDouble(d.min) << ",\"max\":" << JsonDouble(d.max)
+        << "}";
+  }
+  out << "}";
+
   out << ",\"spans\":{";
   for (size_t i = 0; i < rollups.size(); ++i) {
     const SpanRollup& r = rollups[i];
@@ -110,7 +121,58 @@ std::string RenderRunReport(const RunInfo& info) {
         << ",\"min_seconds\":" << JsonDouble(r.min_seconds)
         << ",\"max_seconds\":" << JsonDouble(r.max_seconds) << "}";
   }
-  out << "}}";
+  out << "}";
+
+  // Process-cumulative resource usage plus per-deadline-phase deltas.
+  const ResourceUsage usage = SampleProcessResources();
+  out << ",\"resources\":{\"process\":{\"cpu_user_seconds\":"
+      << JsonDouble(usage.cpu_user_seconds)
+      << ",\"cpu_sys_seconds\":" << JsonDouble(usage.cpu_sys_seconds)
+      << ",\"max_rss_bytes\":" << usage.max_rss_bytes
+      << ",\"minor_faults\":" << usage.minor_faults
+      << ",\"major_faults\":" << usage.major_faults
+      << ",\"vol_ctx_switches\":" << usage.vol_ctx_switches
+      << ",\"invol_ctx_switches\":" << usage.invol_ctx_switches;
+  if (usage.io_ok) {
+    out << ",\"read_bytes\":" << usage.read_bytes
+        << ",\"write_bytes\":" << usage.write_bytes;
+  }
+  out << "},\"phases\":[";
+  const std::vector<PhaseResourceStats> phases = CollectPhaseResources();
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResourceStats& p = phases[i];
+    out << (i > 0 ? "," : "") << "{\"name\":\"" << JsonEscape(p.name)
+        << "\",\"wall_seconds\":" << JsonDouble(p.wall_seconds)
+        << ",\"cpu_user_seconds\":" << JsonDouble(p.cpu_user_seconds)
+        << ",\"cpu_sys_seconds\":" << JsonDouble(p.cpu_sys_seconds)
+        << ",\"max_rss_bytes\":" << p.max_rss_bytes
+        << ",\"minor_faults\":" << p.minor_faults
+        << ",\"major_faults\":" << p.major_faults
+        << ",\"vol_ctx_switches\":" << p.vol_ctx_switches
+        << ",\"invol_ctx_switches\":" << p.invol_ctx_switches;
+    if (p.read_bytes >= 0) {
+      out << ",\"read_bytes\":" << p.read_bytes
+          << ",\"write_bytes\":" << p.write_bytes;
+    }
+    if (p.perf_ok) {
+      out << ",\"perf\":{\"cycles\":" << p.cycles
+          << ",\"instructions\":" << p.instructions
+          << ",\"cache_misses\":" << p.cache_misses
+          << ",\"branch_misses\":" << p.branch_misses << "}";
+    }
+    out << "}";
+  }
+  out << "]}";
+
+  const PerfValues perf = RunPerfValues();
+  if (perf.ok) {
+    out << ",\"perf\":{\"cycles\":" << perf.cycles
+        << ",\"instructions\":" << perf.instructions
+        << ",\"cache_misses\":" << perf.cache_misses
+        << ",\"branch_misses\":" << perf.branch_misses << "}";
+  }
+
+  out << "}";
   return out.str();
 }
 
@@ -130,6 +192,20 @@ bool AppendRunReport(const std::string& path, const RunInfo& info) {
 std::string MetricsPathFromEnv() {
   const char* path = std::getenv("KGC_METRICS");
   return (path != nullptr && path[0] != '\0') ? path : "";
+}
+
+int FinishProcessReport(const std::string& name, double wall_seconds,
+                        int exit_code) {
+  StopGlobalExporter();
+  const std::string path = MetricsPathFromEnv();
+  if (!path.empty()) {
+    RunInfo info;
+    info.name = name;
+    info.wall_seconds = wall_seconds;
+    info.exit_code = exit_code;
+    AppendRunReport(path, info);
+  }
+  return exit_code;
 }
 
 }  // namespace kgc::obs

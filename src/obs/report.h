@@ -45,6 +45,13 @@ bool AppendRunReport(const std::string& path, const RunInfo& info);
 /// The KGC_METRICS destination, or "" when unset.
 std::string MetricsPathFromEnv();
 
+/// One-stop telemetry epilogue for tool entry points (kgc_stream,
+/// kgc_datagen): stops the metrics exporter (writing its final time-series
+/// record) and appends a run report to KGC_METRICS when set. Returns
+/// `exit_code` so callers can `return FinishProcessReport(...)`.
+int FinishProcessReport(const std::string& name, double wall_seconds,
+                        int exit_code);
+
 }  // namespace kgc::obs
 
 #endif  // KGC_OBS_REPORT_H_

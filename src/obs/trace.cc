@@ -1,14 +1,12 @@
 #include "obs/trace.h"
 
-#include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <map>
 #include <mutex>
 
+#include "obs/clock.h"
 #include "obs/json.h"
 
 namespace kgc::obs {
@@ -21,6 +19,8 @@ constexpr int kUninitialized = -1;
 constexpr int kTracingBit = 1;
 constexpr int kRollupsBit = 2;
 std::atomic<int> g_mode{kUninitialized};
+
+constexpr size_t kDefaultDrainThreshold = 4096;
 
 struct Event {
   std::string name;
@@ -43,9 +43,13 @@ struct Rollup {
 struct TraceState {
   std::mutex mutex;
   std::string path;
-  bool flushed = false;
+  FILE* file = nullptr;        // open once the first drain happens
+  bool write_failed = false;
+  uint64_t events_written = 0;
+  size_t drain_threshold = kDefaultDrainThreshold;
+  bool finalized = false;
   bool atexit_registered = false;
-  std::vector<Event> events;
+  std::vector<Event> events;  // buffered, not yet drained
   std::map<std::string, Rollup> rollups;
 };
 
@@ -58,14 +62,6 @@ std::atomic<uint64_t> g_next_span_id{0};
 thread_local uint64_t tls_current_span = 0;
 thread_local int tls_depth = 0;
 
-int64_t NowNanos() {
-  using Clock = std::chrono::steady_clock;
-  static const Clock::time_point t0 = Clock::now();
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                              t0)
-      .count();
-}
-
 void FlushAtExit() { FlushTrace(); }
 
 void RegisterAtExitFlushLocked(TraceState& state) {
@@ -75,8 +71,56 @@ void RegisterAtExitFlushLocked(TraceState& state) {
   }
 }
 
-// Reads KGC_TRACE / KGC_METRICS once and publishes the mode. Returns the
-// resolved mode.
+void WriteEventJson(FILE* out, const Event& e) {
+  std::fprintf(
+      out, "{\"name\":\"%s\",\"cat\":\"kgc\",\"ph\":\"X\",\"pid\":1,"
+           "\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{\"id\":%llu,"
+           "\"parent\":%llu,\"depth\":%d%s}}",
+      JsonEscape(e.name).c_str(), e.tid,
+      JsonDouble(static_cast<double>(e.start_ns) * 1e-3).c_str(),
+      JsonDouble(static_cast<double>(e.duration_ns) * 1e-3).c_str(),
+      static_cast<unsigned long long>(e.id),
+      static_cast<unsigned long long>(e.parent_id), e.depth, e.args.c_str());
+}
+
+// Appends all buffered events to the trace file, opening it (and writing
+// the array header + clock-sync metadata event) on the first drain. Each
+// event is one complete ",\n"-prefixed line flushed before return, so a
+// SIGKILL between drains never tears an event — appending "]" to whatever
+// is on disk always yields valid JSON.
+bool DrainLocked(TraceState& state) {
+  if (state.finalized || state.path.empty()) return false;
+  if (state.file == nullptr) {
+    if (state.write_failed) return false;
+    state.file = std::fopen(state.path.c_str(), "w");
+    if (state.file == nullptr) {
+      state.write_failed = true;
+      std::fprintf(stderr, "[WARN] cannot write trace file %s\n",
+                   state.path.c_str());
+      return false;
+    }
+    // Clock-sync metadata: the wall time at which the shared steady epoch
+    // reads `steady_ms`, so trace timestamps (which are steady offsets)
+    // can be anchored to real time and to run reports / time-series lines.
+    std::fprintf(
+        state.file,
+        "[\n{\"name\":\"kgc_clock_sync\",\"cat\":\"__metadata\",\"ph\":\"M\","
+        "\"pid\":1,\"tid\":0,\"args\":{\"wall\":\"%s\",\"steady_ms\":%s}}",
+        Iso8601UtcNow().c_str(), JsonDouble(SteadyNowMs()).c_str());
+    ++state.events_written;
+  }
+  for (const Event& e : state.events) {
+    std::fputs(",\n", state.file);
+    WriteEventJson(state.file, e);
+    ++state.events_written;
+  }
+  state.events.clear();
+  std::fflush(state.file);
+  return true;
+}
+
+// Reads KGC_TRACE / KGC_METRICS / KGC_TRACE_DRAIN once and publishes the
+// mode. Returns the resolved mode.
 int InitFromEnv() {
   TraceState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
@@ -92,6 +136,11 @@ int InitFromEnv() {
   if (const char* metrics = std::getenv("KGC_METRICS");
       metrics != nullptr && metrics[0] != '\0') {
     mode |= kRollupsBit;
+  }
+  if (const char* drain = std::getenv("KGC_TRACE_DRAIN");
+      drain != nullptr && drain[0] != '\0') {
+    const long threshold = std::atol(drain);
+    if (threshold > 0) state.drain_threshold = static_cast<size_t>(threshold);
   }
   g_mode.store(mode, std::memory_order_release);
   return mode;
@@ -118,8 +167,14 @@ void StartTracing(const std::string& path) {
   Mode();  // settle env init first so it cannot overwrite this
   TraceState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.file != nullptr) {
+    std::fclose(state.file);
+    state.file = nullptr;
+  }
   state.path = path;
-  state.flushed = false;
+  state.write_failed = false;
+  state.events_written = 0;
+  state.finalized = false;
   RegisterAtExitFlushLocked(state);
   g_mode.fetch_or(kTracingBit | kRollupsBit, std::memory_order_release);
 }
@@ -129,41 +184,25 @@ void EnableSpanRollups() {
   g_mode.fetch_or(kRollupsBit, std::memory_order_release);
 }
 
+void SetTraceDrainThresholdForTest(size_t threshold) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.drain_threshold = threshold > 0 ? threshold : 1;
+}
+
 bool FlushTrace() {
   if (!TracingEnabled()) return true;
   TraceState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
-  if (state.flushed || state.path.empty()) return true;
-
-  std::vector<const Event*> ordered;
-  ordered.reserve(state.events.size());
-  for (const Event& event : state.events) ordered.push_back(&event);
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const Event* a, const Event* b) {
-                     return a->start_ns < b->start_ns;
-                   });
-
-  std::ofstream out(state.path, std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "[WARN] cannot write trace file %s\n",
-                 state.path.c_str());
-    return false;
-  }
-  out << "{\"traceEvents\":[\n";
-  for (size_t i = 0; i < ordered.size(); ++i) {
-    const Event& e = *ordered[i];
-    out << "{\"name\":\"" << JsonEscape(e.name)
-        << "\",\"cat\":\"kgc\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
-        << ",\"ts\":" << JsonDouble(static_cast<double>(e.start_ns) * 1e-3)
-        << ",\"dur\":" << JsonDouble(static_cast<double>(e.duration_ns) * 1e-3)
-        << ",\"args\":{\"id\":" << e.id << ",\"parent\":" << e.parent_id
-        << ",\"depth\":" << e.depth << e.args << "}}"
-        << (i + 1 < ordered.size() ? ",\n" : "\n");
-  }
-  out << "],\"displayTimeUnit\":\"ms\"}\n";
-  out.flush();
-  state.flushed = true;
-  return static_cast<bool>(out);
+  if (state.finalized || state.path.empty()) return true;
+  DrainLocked(state);
+  if (state.file == nullptr) return false;  // nothing ever opened / I/O error
+  std::fputs("\n]\n", state.file);
+  const bool ok = std::fflush(state.file) == 0;
+  std::fclose(state.file);
+  state.file = nullptr;
+  state.finalized = true;
+  return ok;
 }
 
 std::vector<SpanRollup> CollectSpanRollups() {
@@ -205,10 +244,17 @@ std::vector<RecordedSpan> SnapshotSpansForTest() {
 void ResetTracingForTest() {
   TraceState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.file != nullptr) {
+    std::fclose(state.file);
+    state.file = nullptr;
+  }
   state.events.clear();
   state.rollups.clear();
   state.path.clear();
-  state.flushed = false;
+  state.write_failed = false;
+  state.events_written = 0;
+  state.drain_threshold = kDefaultDrainThreshold;
+  state.finalized = false;
   g_mode.store(0, std::memory_order_release);
 }
 
@@ -222,19 +268,19 @@ TraceSpan::TraceSpan(const char* name) {
   depth_ = tls_depth;
   tls_current_span = id_;
   ++tls_depth;
-  start_ns_ = NowNanos();
+  start_ns_ = SteadyNowNs();
 }
 
 TraceSpan::~TraceSpan() {
   if (!active_) return;
-  const int64_t duration_ns = NowNanos() - start_ns_;
+  const int64_t duration_ns = SteadyNowNs() - start_ns_;
   tls_current_span = parent_id_;
   --tls_depth;
 
   const int mode = g_mode.load(std::memory_order_relaxed);
   TraceState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
-  if ((mode & kTracingBit) != 0) {
+  if ((mode & kTracingBit) != 0 && !state.finalized) {
     Event event;
     event.name = name_;
     event.args = std::move(args_);
@@ -245,6 +291,7 @@ TraceSpan::~TraceSpan() {
     event.start_ns = start_ns_;
     event.duration_ns = duration_ns;
     state.events.push_back(std::move(event));
+    if (state.events.size() >= state.drain_threshold) DrainLocked(state);
   }
   if ((mode & kRollupsBit) != 0) {
     Rollup& rollup = state.rollups[name_];

@@ -4,9 +4,14 @@
 // ranking sweep, one ParallelFor shard). Spans do two independent things:
 //
 //   1. Trace export. When tracing is enabled — `KGC_TRACE=<path>` in the
-//      environment, or StartTracing(path) — every completed span is buffered
-//      and written at process exit (or FlushTrace()) as Chrome `trace_event`
-//      JSON: load the file in chrome://tracing or https://ui.perfetto.dev.
+//      environment, or StartTracing(path) — completed spans are buffered
+//      and drained incrementally to the trace file as Chrome `trace_event`
+//      JSON (load it in chrome://tracing or https://ui.perfetto.dev). The
+//      file uses the JSON *array* format and every drained event is a
+//      complete line, so a run killed mid-flight (SIGKILL, OOM) leaves a
+//      usable partial trace: append "]" and it parses. The buffer drains
+//      whenever it reaches `KGC_TRACE_DRAIN` events (default 4096) and is
+//      finalized at process exit (or FlushTrace()).
 //   2. Span rollups. When rollups are enabled (implied by tracing or by
 //      `KGC_METRICS`), per-name aggregates (count, total/min/max seconds)
 //      are maintained for the run report (obs/report.h).
@@ -47,10 +52,15 @@ void StartTracing(const std::string& path);
 /// Turns on rollup collection without trace export.
 void EnableSpanRollups();
 
-/// Writes buffered events to the trace path as Chrome trace JSON. Called
-/// automatically at exit; calling it earlier finalizes the file then (the
-/// write happens once per StartTracing). Returns false on I/O failure.
+/// Drains any buffered events and finalizes the trace file (writes the
+/// closing "]"). Called automatically at exit; calling it earlier
+/// finalizes the file then (once per StartTracing). Returns false on I/O
+/// failure.
 bool FlushTrace();
+
+/// Overrides the drain threshold (events buffered before a write-out).
+/// 1 makes every span durable immediately — what the chaos harness uses.
+void SetTraceDrainThresholdForTest(size_t threshold);
 
 struct SpanRollup {
   std::string name;
@@ -64,7 +74,7 @@ struct SpanRollup {
 /// unless SpanRollupsEnabled().
 std::vector<SpanRollup> CollectSpanRollups();
 
-/// One buffered trace event, exposed for tests.
+/// One buffered (not yet drained) trace event, exposed for tests.
 struct RecordedSpan {
   std::string name;
   int tid = 0;

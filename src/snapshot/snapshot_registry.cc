@@ -425,7 +425,7 @@ bool SnapshotReader::Repin() {
   pinned_ = std::move(next);
   obs::Registry::Get().GetCounter(obs::kSnapshotReaderSwaps).Increment();
   obs::Registry::Get()
-      .GetHistogram(obs::kSnapshotReaderSwapSeconds)
+      .GetDurationHistogram(obs::kSnapshotReaderSwapSeconds)
       .Observe(watch.ElapsedSeconds());
   return true;
 }

@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/resource_stats.h"
 #include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -67,6 +68,10 @@ double Deadline::phase_budget() const {
 void Deadline::BeginPhase(const char* name) {
   g_phase_start_ns.store(NowNanos(), std::memory_order_relaxed);
   RecordHeartbeat(name);
+  // Phase boundaries double as resource-accounting boundaries: opening a
+  // phase closes the previous one, so the run report's per-phase CPU /
+  // fault / I/O deltas partition the run exactly like the deadline phases.
+  obs::BeginPhaseResources(name);
 }
 
 double Deadline::PhaseElapsedSeconds() const {

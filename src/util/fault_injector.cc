@@ -3,10 +3,22 @@
 #include <cstdlib>
 
 #include "obs/metrics.h"
+#include "obs/resource_stats.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace kgc {
+namespace {
+
+// Bridge for the obs-layer telemetry failpoints ("obs:procfs",
+// "obs:rusage", "obs:perf"): obs cannot depend on this injector (it is the
+// lowest layer), so it exposes a hook that we route into the site
+// registry. Armed via e.g. KGC_FAULTS=enospc@obs:procfs:times=3.
+bool TelemetryFailpointBridge(const char* site) {
+  return FaultInjector::Get().ShouldFailAt(site);
+}
+
+}  // namespace
 
 bool ParseFaultKind(const std::string& name, FaultKind* kind) {
   if (name == "torn_write") {
@@ -35,6 +47,7 @@ FaultInjector& FaultInjector::Get() {
     if (const char* spec = std::getenv("KGC_FAULTS")) {
       instance->ArmFromSpec(spec);
     }
+    obs::SetTelemetryFailpoint(&TelemetryFailpointBridge);
     return instance;
   }();
   return *injector;

@@ -25,6 +25,9 @@
 
 #include "datagen/presets.h"
 #include "datagen/streaming.h"
+#include "obs/exporter.h"
+#include "obs/perf_counters.h"
+#include "obs/report.h"
 #include "util/resource.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -72,6 +75,9 @@ bool ResolvePreset(const std::string& name, GeneratorSpec* spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  kgc::obs::StartRunPerfCounters();
+  kgc::obs::StartExporterFromEnv("kgc_datagen");
+  kgc::Stopwatch run_watch;
   std::string preset;
   StreamDatagenOptions options;
   std::string value;
@@ -90,14 +96,16 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "kgc_datagen: unknown argument %s\n", arg.c_str());
       PrintUsage();
-      return 2;
+      return kgc::obs::FinishProcessReport("kgc_datagen",
+                                           run_watch.ElapsedSeconds(), 2);
     }
   }
   GeneratorSpec spec;
   if (preset.empty() || options.out_dir.empty() ||
       !ResolvePreset(preset, &spec)) {
     PrintUsage();
-    return 2;
+    return kgc::obs::FinishProcessReport("kgc_datagen",
+                                         run_watch.ElapsedSeconds(), 2);
   }
 
   kgc::Stopwatch watch;
@@ -105,7 +113,8 @@ int main(int argc, char** argv) {
   if (!report.ok()) {
     std::fprintf(stderr, "kgc_datagen: %s\n",
                  report.status().ToString().c_str());
-    return 1;
+    return kgc::obs::FinishProcessReport("kgc_datagen",
+                                         run_watch.ElapsedSeconds(), 1);
   }
   std::printf("dataset=%s\n", spec.name.c_str());
   std::printf("out_dir=%s\n", options.out_dir.c_str());
@@ -124,5 +133,6 @@ int main(int argc, char** argv) {
   std::printf("wall_seconds=%.3f\n", watch.ElapsedSeconds());
   std::printf("peak_rss_bytes=%llu\n",
               static_cast<unsigned long long>(kgc::PeakRssBytes()));
-  return 0;
+  return kgc::obs::FinishProcessReport("kgc_datagen",
+                                       run_watch.ElapsedSeconds(), 0);
 }

@@ -41,9 +41,13 @@
 
 #include "datagen/presets.h"
 #include "kg/dataset.h"
+#include "obs/exporter.h"
+#include "obs/perf_counters.h"
+#include "obs/report.h"
 #include "snapshot/snapshot_registry.h"
 #include "snapshot/stream_ingestor.h"
 #include "util/crc32.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace {
@@ -198,9 +202,7 @@ int RunStatus(const SnapshotRegistry& registry) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int StreamMain(int argc, char** argv) {
   StreamFlags flags;
   if (const char* env = std::getenv("KGC_SNAPSHOT_DIR")) {
     flags.snapshot_dir = env;
@@ -338,4 +340,18 @@ int main(int argc, char** argv) {
     }
   }
   return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Same telemetry bracket as the bench binaries: perf + exporter start
+  // before any work, run report + final time-series record at exit
+  // (KGC_METRICS / KGC_METRICS_INTERVAL_MS opt-in, see obs/exporter.h).
+  kgc::obs::StartRunPerfCounters();
+  kgc::obs::StartExporterFromEnv("kgc_stream");
+  kgc::Stopwatch watch;
+  const int rc = StreamMain(argc, argv);
+  return kgc::obs::FinishProcessReport("kgc_stream", watch.ElapsedSeconds(),
+                                       rc);
 }
