@@ -1,28 +1,45 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "obs/exporter.h"
+#include "obs/metrics.h"
 #include "obs/perf_counters.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "util/check.h"
 #include "util/deadline.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/rng.h"
 #include "util/string_util.h"
+#include "util/vecmath.h"
 
 namespace kgc::bench {
 namespace {
 
-// If `arg` is `prefix` + value, stores value and returns true.
-bool ConsumeFlag(const std::string& arg, const char* prefix,
-                 std::string* value) {
-  if (!arg.starts_with(prefix)) return false;
-  *value = arg.substr(std::string(prefix).size());
-  return true;
+// Matches argv[*i] against `--name=value` or the two-token `--name value`
+// form (advancing *i past the consumed value token). The shared primitive
+// behind BenchTelemetry's flag stripping and the public Consume*Flag
+// helpers, so every bench flag accepts both spellings.
+bool MatchValueFlag(char** argv, int argc, int* i, const char* name,
+                    std::string* value) {
+  const std::string arg = argv[*i];
+  const std::string prefix = std::string(name) + "=";
+  if (arg.starts_with(prefix)) {
+    *value = arg.substr(prefix.size());
+    return true;
+  }
+  if (arg == name && *i + 1 < argc) {
+    *value = argv[++*i];
+    return true;
+  }
+  return false;
 }
 
 // The telemetry bracket the crash hooks flush. One per process: bench
@@ -88,13 +105,12 @@ BenchTelemetry::BenchTelemetry(const char* name, int* argc, char** argv)
     : name_(name), report_path_(obs::MetricsPathFromEnv()) {
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
-    const std::string arg = argv[i];
     std::string value;
-    if (ConsumeFlag(arg, "--report=", &value)) {
+    if (MatchValueFlag(argv, *argc, &i, "--report", &value)) {
       report_path_ = value;
-    } else if (ConsumeFlag(arg, "--trace=", &value)) {
+    } else if (MatchValueFlag(argv, *argc, &i, "--trace", &value)) {
       obs::StartTracing(value);
-    } else if (ConsumeFlag(arg, "--log-level=", &value)) {
+    } else if (MatchValueFlag(argv, *argc, &i, "--log-level", &value)) {
       LogLevel level;
       if (ParseLogLevel(value, &level)) {
         SetLogLevel(level);
@@ -195,6 +211,225 @@ std::vector<std::string> RawAndFilteredRow(const std::string& label,
                                            const LinkPredictionMetrics& m) {
   return {label,        Mr(m.mr),      Pct(m.hits10),  Mrr(m.mrr),
           Mr(m.fmr),    Pct(m.fhits10), Mrr(m.fmrr)};
+}
+
+bool ConsumeValueFlag(int* argc, char** argv, const char* name,
+                      std::string* value) {
+  bool found = false;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string v;
+    if (MatchValueFlag(argv, *argc, &i, name, &v)) {
+      *value = v;
+      found = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  argv[kept] = nullptr;
+  return found;
+}
+
+bool ConsumeBoolFlag(int* argc, char** argv, const char* name) {
+  bool found = false;
+  int kept = 1;
+  const std::string bare = name;
+  const std::string prefix = bare + "=";
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == bare) {
+      found = true;
+    } else if (arg.starts_with(prefix)) {
+      const std::string v = arg.substr(prefix.size());
+      found = (v == "true" || v == "1");
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  argv[kept] = nullptr;
+  return found;
+}
+
+ClusteredL2Model::ClusteredL2Model(int32_t num_entities, size_t dim,
+                                   int32_t num_relations, uint64_t seed)
+    : num_entities_(num_entities),
+      num_relations_(num_relations),
+      dim_(dim),
+      entities_(static_cast<size_t>(num_entities) * dim),
+      relations_(static_cast<size_t>(num_relations) * dim) {
+  Rng rng(seed);
+  // Clusters of near-duplicates: one random direction per cluster, scaled
+  // to a log-normal norm, each member jittered by ~1% of that norm. The
+  // cluster size exceeds the bench K ladder's headline K, so a query's
+  // top-K lives inside its anchor's cluster and the top-K distance stays
+  // tiny relative to the inter-cluster norm spread.
+  constexpr size_t kClusterSize = 16;
+  std::vector<float> center(dim);
+  double center_norm = 1.0;
+  for (size_t e = 0; e < static_cast<size_t>(num_entities); ++e) {
+    if (e % kClusterSize == 0) {
+      double norm2 = 0.0;
+      for (size_t j = 0; j < dim; ++j) {
+        center[j] = static_cast<float>(rng.Normal());
+        norm2 += static_cast<double>(center[j]) * center[j];
+      }
+      center_norm = std::exp(rng.Normal(0.0, 0.5));
+      const double scale = center_norm / std::sqrt(std::max(norm2, 1e-30));
+      for (size_t j = 0; j < dim; ++j) {
+        center[j] = static_cast<float>(center[j] * scale);
+      }
+    }
+    const double jitter =
+        0.01 * center_norm / std::sqrt(static_cast<double>(dim));
+    float* row = &entities_[e * dim];
+    for (size_t j = 0; j < dim; ++j) {
+      row[j] = center[j] + static_cast<float>(rng.Normal(0.0, jitter));
+    }
+  }
+  // Relations translate by far less than the inter-cluster spacing, so the
+  // query stays near its anchor's cluster.
+  const double rel_sd = 0.002 / std::sqrt(static_cast<double>(dim));
+  for (float& x : relations_) {
+    x = static_cast<float>(rng.Normal(0.0, rel_sd));
+  }
+}
+
+void ClusteredL2Model::ScoreTails(int32_t head, int32_t relation,
+                                  std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  auto q = vec::GetScratch(dim_, 0);
+  BuildSweepQuery(/*tails=*/true, relation, head, q);
+  vec::Ops().l2_rows(q.data(), entities_.data(),
+                     static_cast<size_t>(num_entities_), dim_, dim_,
+                     out.data());
+  vec::Negate(out);
+}
+
+void ClusteredL2Model::ScoreHeads(int32_t relation, int32_t tail,
+                                  std::span<float> out) const {
+  KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  auto q = vec::GetScratch(dim_, 0);
+  BuildSweepQuery(/*tails=*/false, relation, tail, q);
+  vec::Ops().l2_rows(q.data(), entities_.data(),
+                     static_cast<size_t>(num_entities_), dim_, dim_,
+                     out.data());
+  vec::Negate(out);
+}
+
+bool ClusteredL2Model::DescribeSweep(bool tails, int32_t relation,
+                                     SweepSpec* spec) const {
+  (void)tails;
+  (void)relation;
+  spec->kind = SweepKind::kL2;
+  spec->rows = entities_.data();
+  spec->num_rows = static_cast<size_t>(num_entities_);
+  spec->stride = dim_;
+  spec->dim = dim_;
+  spec->query_len = dim_;
+  spec->negate = true;
+  spec->stable_rows = true;
+  return true;
+}
+
+void ClusteredL2Model::BuildSweepQuery(bool tails, int32_t relation,
+                                       int32_t anchor,
+                                       std::span<float> query) const {
+  const float* av = &entities_[static_cast<size_t>(anchor) * dim_];
+  const float* rv = &relations_[static_cast<size_t>(relation) * dim_];
+  for (size_t j = 0; j < dim_; ++j) {
+    query[j] = tails ? av[j] + rv[j] : av[j] - rv[j];
+  }
+}
+
+std::vector<TopKQuery> MakeTopKBenchQueries(int32_t num_entities,
+                                            int32_t num_relations,
+                                            size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TopKQuery> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    TopKQuery q;
+    q.tails = (i % 2) == 0;
+    q.relation =
+        static_cast<RelationId>(rng.Uniform(static_cast<uint64_t>(num_relations)));
+    q.anchor =
+        static_cast<EntityId>(rng.Uniform(static_cast<uint64_t>(num_entities)));
+    q.watch = {
+        static_cast<EntityId>(rng.Uniform(static_cast<uint64_t>(num_entities)))};
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+TopKBenchPoint MeasureTopKRetrieval(const LinkPredictor& predictor,
+                                    const std::string& label,
+                                    std::span<const TopKQuery> queries, int k,
+                                    bool prune, bool cross_check, int reps) {
+  TopKBenchPoint point;
+  point.label = label;
+  point.num_entities = predictor.num_entities();
+  point.num_queries = queries.size();
+  point.k = k;
+  point.prune = prune;
+
+  TopKOptions options;
+  options.k = k;
+  options.prune = prune;
+  options.threads = 1;  // oracle is serial; compare core-for-core
+  const TopKEngine engine(predictor, options);
+
+  if (cross_check) {
+    TopKOptions checked = options;
+    checked.cross_check = true;  // aborts on any engine/oracle mismatch
+    TopKEngine(predictor, checked).Run(queries, nullptr);
+    point.cross_checked = true;
+  }
+
+  // Counter deltas over exactly one engine run (counters are cumulative
+  // per process and thread-count independent).
+  auto& registry = obs::Registry::Get();
+  obs::Counter& tiles = registry.GetCounter(obs::kTopKTilesPruned);
+  obs::Counter& scored = registry.GetCounter(obs::kTopKEntitiesScored);
+  obs::Counter& pushes = registry.GetCounter(obs::kTopKHeapPushes);
+  obs::Counter& batched = registry.GetCounter(obs::kTopKQueriesBatched);
+  const uint64_t tiles0 = tiles.value();
+  const uint64_t scored0 = scored.value();
+  const uint64_t pushes0 = pushes.value();
+  const uint64_t batched0 = batched.value();
+  engine.Run(queries, nullptr);
+  point.tiles_pruned = tiles.value() - tiles0;
+  point.entities_scored = scored.value() - scored0;
+  point.heap_pushes = pushes.value() - pushes0;
+  point.queries_batched = batched.value() - batched0;
+  const double swept = static_cast<double>(point.num_queries) *
+                       static_cast<double>(point.num_entities);
+  point.scored_fraction =
+      swept > 0 ? static_cast<double>(point.entities_scored) / swept : 0.0;
+
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch watch;
+    engine.Run(queries, nullptr);
+    const double seconds = watch.ElapsedSeconds();
+    if (rep == 0 || seconds < point.engine_seconds) {
+      point.engine_seconds = seconds;
+    }
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch watch;
+    for (const TopKQuery& query : queries) {
+      TopKEngine::OracleTopK(predictor, query, k, nullptr);
+    }
+    const double seconds = watch.ElapsedSeconds();
+    if (rep == 0 || seconds < point.oracle_seconds) {
+      point.oracle_seconds = seconds;
+    }
+  }
+  point.speedup = point.engine_seconds > 0
+                      ? point.oracle_seconds / point.engine_seconds
+                      : 0.0;
+  return point;
 }
 
 void PrintHeader(const std::string& title, const std::string& paper_ref) {

@@ -15,6 +15,7 @@
 #include "core/audit.h"
 #include "core/experiment_context.h"
 #include "eval/comparison.h"
+#include "eval/topk.h"
 #include "rules/amie.h"
 #include "rules/simple_rule_model.h"
 #include "util/stopwatch.h"
@@ -59,6 +60,95 @@ class BenchTelemetry {
 ///     return kgc::bench::RunBench(argc, argv, "bench_table5_fb15k", Run);
 ///   }
 int RunBench(int argc, char** argv, const char* name, int (*run)());
+
+/// Argv flag consumption for bench binaries that also hand argv to
+/// google-benchmark. Both helpers accept the `--name=value` and the
+/// `--name value` spellings, remove every matched token from argv
+/// (compacting in place and updating *argc), and must therefore run
+/// BEFORE benchmark::Initialize — whatever is left over is what
+/// ReportUnrecognizedArguments sees, so stripped flags compose freely
+/// with --benchmark_filter and friends.
+///
+/// ConsumeValueFlag returns true and stores the last occurrence's value
+/// when the flag appears; ConsumeBoolFlag returns true when the bare
+/// flag (or `--name=true`/`--name=1`) appears.
+bool ConsumeValueFlag(int* argc, char** argv, const char* name,
+                      std::string* value);
+bool ConsumeBoolFlag(int* argc, char** argv, const char* name);
+
+/// Synthetic retrieval workload for the top-K benches.
+///
+/// Real trained TransE tables are nearly unit-norm (the trainer projects
+/// entities to the sphere), which makes norm-bound pruning vacuous — the
+/// honest rows in the bench report show exactly that. This model instead
+/// embodies the redundancy thesis of the paper (§3: near-duplicate
+/// entities dominate the benchmarks): entities come in clusters of
+/// near-duplicates, cluster norms follow a log-normal spread, and queries
+/// land near cluster centres. Top-K distances are then tiny relative to
+/// the norm spread, so the norm-sorted tile bound discards most of the
+/// table — the regime the fast path is built for.
+///
+/// Scoring is -L2(entity - (anchor ± relation)), exposed through the
+/// sweep API exactly like the production translational models.
+class ClusteredL2Model final : public LinkPredictor {
+ public:
+  ClusteredL2Model(int32_t num_entities, size_t dim, int32_t num_relations,
+                   uint64_t seed);
+
+  const char* name() const override { return "ClusteredL2"; }
+  int32_t num_entities() const override { return num_entities_; }
+  int32_t num_relations() const { return num_relations_; }
+
+  void ScoreTails(int32_t head, int32_t relation,
+                  std::span<float> out) const override;
+  void ScoreHeads(int32_t relation, int32_t tail,
+                  std::span<float> out) const override;
+  bool DescribeSweep(bool tails, int32_t relation,
+                     SweepSpec* spec) const override;
+  void BuildSweepQuery(bool tails, int32_t relation, int32_t anchor,
+                       std::span<float> query) const override;
+
+ private:
+  int32_t num_entities_;
+  int32_t num_relations_;
+  size_t dim_;
+  std::vector<float> entities_;   // row-major num_entities x dim
+  std::vector<float> relations_;  // row-major num_relations x dim
+};
+
+/// Deterministic mixed head/tail top-K queries over a model's id space.
+std::vector<TopKQuery> MakeTopKBenchQueries(int32_t num_entities,
+                                            int32_t num_relations,
+                                            size_t count, uint64_t seed);
+
+/// One measured point of the top-K fast path against the full-sweep oracle.
+struct TopKBenchPoint {
+  std::string label;        // workload name, e.g. "clustered_l2"
+  int64_t num_entities = 0;
+  size_t num_queries = 0;
+  int k = 0;
+  bool prune = true;
+  double oracle_seconds = 0;  // best-of-reps, serial OracleTopK per query
+  double engine_seconds = 0;  // best-of-reps, TopKEngine threads=1
+  double speedup = 0;         // oracle_seconds / engine_seconds
+  // kgc.topk.* counter deltas over one engine run.
+  uint64_t tiles_pruned = 0;
+  uint64_t entities_scored = 0;
+  uint64_t heap_pushes = 0;
+  uint64_t queries_batched = 0;
+  double scored_fraction = 0;  // entities_scored / (num_queries * entities)
+  bool cross_checked = false;  // an oracle cross-check run passed
+};
+
+/// Times the engine against the per-query oracle on `queries` (unfiltered),
+/// best-of-`reps` wall clock for each side, engine pinned to one thread so
+/// the comparison is core-for-core. When `cross_check` is set, one extra
+/// (untimed) engine run executes with TopKOptions::cross_check — it aborts
+/// the process on any bit-level disagreement with the oracle.
+TopKBenchPoint MeasureTopKRetrieval(const LinkPredictor& predictor,
+                                    const std::string& label,
+                                    std::span<const TopKQuery> queries, int k,
+                                    bool prune, bool cross_check, int reps);
 
 /// Builds the canonical context: cache dir from $KGC_CACHE_DIR (default
 /// "kgc_cache"), default seeds, quiet training logs.

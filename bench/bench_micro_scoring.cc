@@ -2,7 +2,7 @@
 // throughput per model, plus triple-store lookup costs. These are the
 // throughput primitives the whole harness is built on.
 //
-// After the google-benchmark suite, four sections write machine-readable
+// After the google-benchmark suite, five sections write machine-readable
 // JSON to BENCH_scoring.json in the working directory:
 //   - thread_scaling:    the full RankTriples sweep at 1 / 2 / N workers;
 //   - kernel_paths:      per-model ScoreTails sweeps under the generic vs
@@ -11,7 +11,16 @@
 //                        query deduplication off vs on, with the
 //                        score_evals deltas;
 //   - exporter_overhead: the ScoreTails sweep with the live metrics
-//                        exporter off vs running at 100 ms.
+//                        exporter off vs running at 100 ms;
+//   - topk:              the TopKEngine fast path vs the full-sweep oracle
+//                        at 100k entities (K ladder, prune on/off, honest
+//                        unit-norm and dot-product rows).
+//
+// Flags: the telemetry flags (--report/--trace/--log-level) and --topk
+// (run only the topk post-suite section) accept both --flag=value and
+// --flag value spellings and are stripped from argv before
+// benchmark::Initialize, so they compose with --benchmark_filter and the
+// rest of google-benchmark's flags in any order.
 
 #include <benchmark/benchmark.h>
 
@@ -515,8 +524,114 @@ void RunExporterOverhead(std::ostream& out) {
               static_cast<unsigned long long>(records));
 }
 
-/// Runs the post-suite sections and composes BENCH_scoring.json.
-int RunPostSuiteSections() {
+// --- Top-K retrieval -------------------------------------------------------
+
+/// Times the TopKEngine fast path against the per-query full-sweep oracle
+/// at 100k entities and writes the topk JSON section. Three workloads:
+///   - clustered_l2: near-duplicate clusters with a log-normal norm spread
+///     (bench::ClusteredL2Model, the paper's redundancy regime) — the K
+///     ladder, plus a prune-off row isolating blocking + heap selection;
+///   - transe_unit_norm: a fresh TransE table, whose entities the model
+///     projects to the unit sphere — every norm is 1, the norm bound can
+///     prune nothing, and the row shows the honest blocking-only speedup
+///     for trained translational models;
+///   - distmult_dot: a dot-product sweep, never pruned by construction.
+/// Each workload's K=10 row first runs an oracle cross-check (aborts on a
+/// bit-level mismatch). The acceptance target is >= 5x at K=10 on
+/// clustered_l2; a miss is reported but not fatal here — the hard gate
+/// lives in bench_scale --smoke.
+int RunTopKRetrieval(std::ostream& out) {
+  constexpr int32_t kEntities = 100000;
+  constexpr size_t kDim = 64;
+  constexpr int32_t kRelations = 8;
+  constexpr size_t kQueries = 128;
+  constexpr int kReps = 3;
+  constexpr double kTargetSpeedup = 5.0;
+
+  const std::vector<TopKQuery> queries =
+      bench::MakeTopKBenchQueries(kEntities, kRelations, kQueries, 17);
+  std::vector<bench::TopKBenchPoint> points;
+  {
+    const bench::ClusteredL2Model clustered(kEntities, kDim, kRelations, 23);
+    for (int k : {1, 10, 100}) {
+      points.push_back(bench::MeasureTopKRetrieval(
+          clustered, "clustered_l2", queries, k, /*prune=*/true,
+          /*cross_check=*/k == 10, kReps));
+    }
+    points.push_back(bench::MeasureTopKRetrieval(
+        clustered, "clustered_l2", queries, 10, /*prune=*/false,
+        /*cross_check=*/false, kReps));
+  }
+  {
+    ModelHyperParams params = DefaultHyperParams(ModelType::kTransE);
+    params.dim = kDim;
+    const auto transe =
+        CreateModel(ModelType::kTransE, kEntities, kRelations, params);
+    points.push_back(bench::MeasureTopKRetrieval(
+        *transe, "transe_unit_norm", queries, 10, /*prune=*/true,
+        /*cross_check=*/true, kReps));
+  }
+  {
+    ModelHyperParams params = DefaultHyperParams(ModelType::kDistMult);
+    params.dim = kDim;
+    const auto distmult =
+        CreateModel(ModelType::kDistMult, kEntities, kRelations, params);
+    points.push_back(bench::MeasureTopKRetrieval(
+        *distmult, "distmult_dot", queries, 10, /*prune=*/true,
+        /*cross_check=*/true, kReps));
+  }
+
+  double headline = 0.0;
+  for (const bench::TopKBenchPoint& p : points) {
+    if (p.label == "clustered_l2" && p.k == 10 && p.prune) {
+      headline = p.speedup;
+    }
+  }
+
+  out << "  \"topk\": {\n"
+      << "    \"num_entities\": " << kEntities << ",\n"
+      << "    \"dim\": " << kDim << ",\n"
+      << "    \"num_queries\": " << kQueries << ",\n"
+      << "    \"target_speedup_clustered_k10\": " << kTargetSpeedup << ",\n"
+      << "    \"headline_speedup_clustered_k10\": " << headline << ",\n"
+      << "    \"results\": [\n";
+  std::printf("\ntop-K retrieval (engine threads=1 vs full-sweep oracle, "
+              "%d entities, dim %zu, %zu queries)\n",
+              kEntities, kDim, kQueries);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const bench::TopKBenchPoint& p = points[i];
+    out << "      {\"workload\": \"" << p.label << "\", \"k\": " << p.k
+        << ", \"prune\": " << (p.prune ? "true" : "false")
+        << ", \"cross_checked\": " << (p.cross_checked ? "true" : "false")
+        << ", \"oracle_seconds\": " << p.oracle_seconds
+        << ", \"engine_seconds\": " << p.engine_seconds
+        << ", \"speedup\": " << p.speedup
+        << ", \"tiles_pruned\": " << p.tiles_pruned
+        << ", \"entities_scored\": " << p.entities_scored
+        << ", \"scored_fraction\": " << p.scored_fraction
+        << ", \"heap_pushes\": " << p.heap_pushes
+        << ", \"queries_batched\": " << p.queries_batched << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+    std::printf("  %-16s K=%-3d prune=%-3s  oracle %.3fs  engine %.3fs  "
+                "%6.2fx  scored %5.1f%%  tiles_pruned %llu%s\n",
+                p.label.c_str(), p.k, p.prune ? "on" : "off",
+                p.oracle_seconds, p.engine_seconds, p.speedup,
+                p.scored_fraction * 100.0,
+                static_cast<unsigned long long>(p.tiles_pruned),
+                p.cross_checked ? "  [cross-checked]" : "");
+  }
+  out << "    ]\n  }";
+  std::printf("  headline: clustered_l2 K=10 prune=on %.2fx  (target >= "
+              "%.1fx: %s)\n",
+              headline, kTargetSpeedup,
+              headline >= kTargetSpeedup ? "MET" : "MISSED");
+  return 0;
+}
+
+/// Runs the post-suite sections and composes BENCH_scoring.json. With
+/// --topk only the topk section is produced (and the JSON holds just that
+/// section).
+int RunPostSuiteSections(bool topk_only) {
   const SyntheticKg& kg = SharedKg();
   std::ofstream out("BENCH_scoring.json");
   if (!out) {
@@ -531,13 +646,18 @@ int RunPostSuiteSections() {
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n"
       << "  \"default_threads\": " << DefaultThreadCount() << ",\n";
-  int rc = RunThreadScaling(out);
-  out << ",\n";
-  RunKernelPaths(out);
-  out << ",\n";
-  rc |= RunQueryDedup(out);
-  out << ",\n";
-  RunExporterOverhead(out);
+  int rc = 0;
+  if (!topk_only) {
+    rc = RunThreadScaling(out);
+    out << ",\n";
+    RunKernelPaths(out);
+    out << ",\n";
+    rc |= RunQueryDedup(out);
+    out << ",\n";
+    RunExporterOverhead(out);
+    out << ",\n";
+  }
+  rc |= RunTopKRetrieval(out);
   out << "\n}\n";
   std::printf("-> BENCH_scoring.json\n");
   return rc;
@@ -547,14 +667,18 @@ int RunPostSuiteSections() {
 }  // namespace kgc
 
 int main(int argc, char** argv) {
-  // Telemetry flags must come off argv before google-benchmark sees them,
-  // or ReportUnrecognizedArguments rejects the invocation.
+  // Telemetry flags and --topk must come off argv before google-benchmark
+  // sees them, or ReportUnrecognizedArguments rejects the invocation. Both
+  // strippers accept the --flag=value and --flag value forms, so e.g.
+  //   bench_micro_scoring --benchmark_filter=NONE --topk --report out.jsonl
+  // works in any argument order.
   kgc::bench::BenchTelemetry telemetry("bench_micro_scoring", &argc, argv);
+  const bool topk_only = kgc::bench::ConsumeBoolFlag(&argc, argv, "--topk");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return telemetry.Finish(1);
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return telemetry.Finish(kgc::RunPostSuiteSections());
+  return telemetry.Finish(kgc::RunPostSuiteSections(topk_only));
 }

@@ -1,0 +1,116 @@
+// Top-K retrieval fast path (DESIGN.md "Top-K retrieval").
+//
+// Answers "which K entities score best for this query" without
+// materializing the full score vector the ranking protocol sweeps. Three
+// mechanisms stack:
+//
+//   1. Blocked multi-query sweeps — queries that share a (direction,
+//      relation) group are scored in blocks against entity-table tiles
+//      through the *_rows_block vecmath kernels, so each embedding row is
+//      streamed through cache once per tile instead of once per query.
+//   2. Bounded per-query heaps — a K-entry heap ordered by
+//      (score desc, entity asc) replaces the full score vector; the
+//      entity-id tie-break makes results a pure function of the model, so
+//      they are bit-identical across KGC_THREADS and kernel paths.
+//   3. Exact norm-bound pruning (distance sweeps only) — per-entity norms,
+//      computed once per run and sorted into norm-coherent tiles, give the
+//      lower bound dist(q, e) >= | ||q|| - ||e|| | per tile; tiles whose
+//      bound cannot beat the heap threshold are skipped entirely. The bound
+//      is exact for L2 (reverse triangle inequality), valid for L1 via
+//      ||x||_1 >= ||x||_2, and widened per row for the offset kinds
+//      (TransH/TransD) by |coef| * ||v||. Dot-product and complex-modulus
+//      sweeps are never pruned. A conservative floating-point slack keeps
+//      the skip decision on the safe side of kernel rounding.
+//
+// Every per-(query, row) score is produced by the same fixed-order kernel
+// reduction as ScoreTails/ScoreHeads, so the fast path's top-K lists equal
+// the truncated full ranking bit for bit; TopKOptions::cross_check asserts
+// exactly that against the oracle inside Run. Models without a kernel
+// sweep (DescribeSweep == false, e.g. rule predictors) fall back to the
+// full Score* sweep with heap selection — correct, just not fast.
+
+#ifndef KGC_EVAL_TOPK_H_
+#define KGC_EVAL_TOPK_H_
+
+#include <span>
+#include <vector>
+
+#include "kg/link_predictor.h"
+#include "kg/triple_store.h"
+
+namespace kgc {
+
+struct TopKOptions {
+  /// Entries kept per query (raw and filtered lists each).
+  int k = 10;
+  /// RankerOptions routing switch: when set, EvaluatePredictor resolves
+  /// Hits@K through the fast path (rank/MRR keep the full sweep).
+  bool enabled = false;
+  /// Norm-bound tile pruning for distance sweeps. Results are bit-identical
+  /// on or off; off only costs the skipped work.
+  bool prune = true;
+  /// Assert fast top-K == oracle truncated ranking (lists, scores, watch
+  /// scores) for every query inside Run. Expensive: runs the full sweep.
+  bool cross_check = false;
+  /// Queries scored per blocked kernel call.
+  int query_block = 8;
+  /// Entity rows per tile (also the pruning granularity).
+  int tile_rows = 256;
+  /// Worker threads (0 = KGC_THREADS / hardware default). Results and
+  /// kgc.topk.* counters are bit-identical for any value.
+  int threads = 0;
+};
+
+/// One retrieval query: rank candidate tails of (anchor, relation, ?) when
+/// tails is set, else candidate heads of (?, relation, anchor).
+struct TopKQuery {
+  bool tails = true;
+  RelationId relation = 0;
+  EntityId anchor = 0;
+  /// Entities whose exact scores the caller needs regardless of whether
+  /// they reach the top-K (e.g. the true entity of a test triple). Scored
+  /// directly, outside the pruned sweep.
+  std::vector<EntityId> watch;
+};
+
+struct TopKEntry {
+  float score = 0.0f;
+  EntityId entity = 0;
+};
+
+struct TopKResult {
+  /// Best-first (score desc, entity asc), at most K entries.
+  std::vector<TopKEntry> raw;
+  /// Same, excluding entities that complete a known triple in the filter
+  /// store. Equals `raw` when Run was given no filter.
+  std::vector<TopKEntry> filtered;
+  /// Exact scores for TopKQuery::watch, in order.
+  std::vector<float> watch_scores;
+};
+
+class TopKEngine {
+ public:
+  TopKEngine(const LinkPredictor& predictor, const TopKOptions& options);
+
+  /// Retrieves top-K for every query. `filter` may be null (filtered lists
+  /// then mirror the raw lists). Queries are grouped by (direction,
+  /// relation) and groups are sharded whole across threads, so results and
+  /// counters never depend on the thread count.
+  std::vector<TopKResult> Run(std::span<const TopKQuery> queries,
+                              const TripleStore* filter) const;
+
+  /// Full-ranking oracle: ScoreTails/ScoreHeads over every entity, sorted
+  /// by (score desc, entity asc), truncated to k. The reference Run must
+  /// match bit for bit.
+  static TopKResult OracleTopK(const LinkPredictor& predictor,
+                               const TopKQuery& query, int k,
+                               const TripleStore* filter);
+
+ private:
+  const LinkPredictor& predictor_;
+  TopKOptions options_;
+};
+
+}  // namespace kgc
+
+#endif  // KGC_EVAL_TOPK_H_

@@ -64,29 +64,52 @@ void ComplEx::ApplyGradient(const Triple& triple, float d_loss_d_score,
 
 void ComplEx::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const auto hv = entities_.Row(h);
-  const auto rv = relations_.Row(r);
   const size_t d = static_cast<size_t>(params_.dim);
-  // q = h * r (complex product); score(e) = q_re . e_re + q_im . e_im.
   auto q = vec::GetScratch(2 * d, 0);
-  const auto& ops = vec::Ops();
-  ops.complex_hadamard(hv.data(), rv.data(), d, /*conj_a=*/false, q.data());
-  ops.dot_rows(q.data(), entities_.raw(), static_cast<size_t>(num_entities_),
-               2 * d, 2 * d, out.data());
+  BuildSweepQuery(/*tails=*/true, r, h, q);
+  vec::Ops().dot_rows(q.data(), entities_.raw(),
+                      static_cast<size_t>(num_entities_), 2 * d, 2 * d,
+                      out.data());
 }
 
 void ComplEx::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const auto tv = entities_.Row(t);
+  const size_t d = static_cast<size_t>(params_.dim);
+  auto q = vec::GetScratch(2 * d, 0);
+  BuildSweepQuery(/*tails=*/false, r, t, q);
+  vec::Ops().dot_rows(q.data(), entities_.raw(),
+                      static_cast<size_t>(num_entities_), 2 * d, 2 * d,
+                      out.data());
+}
+
+bool ComplEx::DescribeSweep(bool tails, RelationId r, SweepSpec* spec) const {
+  (void)tails;
+  (void)r;
+  spec->kind = SweepKind::kDot;
+  spec->rows = entities_.raw();
+  spec->num_rows = static_cast<size_t>(num_entities_);
+  spec->stride = 2 * static_cast<size_t>(params_.dim);
+  spec->dim = spec->stride;
+  spec->query_len = spec->stride;
+  spec->stable_rows = true;
+  return true;
+}
+
+void ComplEx::BuildSweepQuery(bool tails, RelationId r, EntityId anchor,
+                              std::span<float> q) const {
+  const auto av = entities_.Row(anchor);
   const auto rv = relations_.Row(r);
   const size_t d = static_cast<size_t>(params_.dim);
-  // As a function of h: score = h_re . q_re + h_im . q_im with
-  // q = conj(r) * t (Hermitian product).
-  auto q = vec::GetScratch(2 * d, 0);
-  const auto& ops = vec::Ops();
-  ops.complex_hadamard(rv.data(), tv.data(), d, /*conj_a=*/true, q.data());
-  ops.dot_rows(q.data(), entities_.raw(), static_cast<size_t>(num_entities_),
-               2 * d, 2 * d, out.data());
+  if (tails) {
+    // q = h * r (complex product); score(e) = q_re . e_re + q_im . e_im.
+    vec::Ops().complex_hadamard(av.data(), rv.data(), d, /*conj_a=*/false,
+                                q.data());
+  } else {
+    // As a function of h: score = h_re . q_re + h_im . q_im with
+    // q = conj(r) * t (Hermitian product).
+    vec::Ops().complex_hadamard(rv.data(), av.data(), d, /*conj_a=*/true,
+                                q.data());
+  }
 }
 
 void ComplEx::Serialize(BinaryWriter& writer) const {

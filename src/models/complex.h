@@ -23,6 +23,10 @@ class ComplEx final : public KgeModel {
                      float lr) override;
   void ScoreTails(EntityId h, RelationId r, std::span<float> out) const override;
   void ScoreHeads(RelationId r, EntityId t, std::span<float> out) const override;
+  bool DescribeSweep(bool tails, RelationId r,
+                     SweepSpec* spec) const override;
+  void BuildSweepQuery(bool tails, RelationId r, EntityId anchor,
+                       std::span<float> q) const override;
 
   void Serialize(BinaryWriter& writer) const override;
   Status Deserialize(BinaryReader& reader) override;

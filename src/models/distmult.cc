@@ -58,11 +58,9 @@ void DistMult::ApplyGradient(const Triple& triple, float d_loss_d_score,
 void DistMult::ScoreTails(EntityId h, RelationId r,
                           std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const auto hv = entities_.Row(h);
-  const auto rv = relations_.Row(r);
   const size_t dim = static_cast<size_t>(params_.dim);
   auto q = vec::GetScratch(dim, 0);
-  for (size_t j = 0; j < dim; ++j) q[j] = hv[j] * rv[j];
+  BuildSweepQuery(/*tails=*/true, r, h, q);
   vec::Ops().dot_rows(q.data(), entities_.raw(),
                       static_cast<size_t>(num_entities_), dim, dim,
                       out.data());
@@ -71,14 +69,35 @@ void DistMult::ScoreTails(EntityId h, RelationId r,
 void DistMult::ScoreHeads(RelationId r, EntityId t,
                           std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const auto tv = entities_.Row(t);
-  const auto rv = relations_.Row(r);
   const size_t dim = static_cast<size_t>(params_.dim);
   auto q = vec::GetScratch(dim, 0);
-  for (size_t j = 0; j < dim; ++j) q[j] = tv[j] * rv[j];
+  BuildSweepQuery(/*tails=*/false, r, t, q);
   vec::Ops().dot_rows(q.data(), entities_.raw(),
                       static_cast<size_t>(num_entities_), dim, dim,
                       out.data());
+}
+
+bool DistMult::DescribeSweep(bool tails, RelationId r,
+                             SweepSpec* spec) const {
+  (void)tails;
+  (void)r;
+  spec->kind = SweepKind::kDot;
+  spec->rows = entities_.raw();
+  spec->num_rows = static_cast<size_t>(num_entities_);
+  spec->stride = static_cast<size_t>(params_.dim);
+  spec->dim = spec->stride;
+  spec->query_len = spec->stride;
+  spec->stable_rows = true;
+  return true;
+}
+
+void DistMult::BuildSweepQuery(bool tails, RelationId r, EntityId anchor,
+                               std::span<float> q) const {
+  (void)tails;  // the h*r and t*r queries have the same form
+  const auto av = entities_.Row(anchor);
+  const auto rv = relations_.Row(r);
+  const size_t dim = static_cast<size_t>(params_.dim);
+  for (size_t j = 0; j < dim; ++j) q[j] = av[j] * rv[j];
 }
 
 void DistMult::Serialize(BinaryWriter& writer) const {

@@ -78,14 +78,8 @@ void Rescal::ApplyGradient(const Triple& triple, float d_loss_d_score,
 void Rescal::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   const size_t dim = static_cast<size_t>(params_.dim);
-  const auto hv = entities_.Row(h);
-  const auto w = matrices_.Row(r);
-  // q = h^T W, then score(e) = q . e.
   auto q = vec::GetScratch(dim, 0);
-  for (size_t j = 0; j < dim; ++j) q[j] = 0.0f;
-  for (size_t i = 0; i < dim; ++i) {
-    vec::Axpy(hv[i], w.data() + i * dim, q.data(), dim);
-  }
+  BuildSweepQuery(/*tails=*/true, r, h, q);
   vec::Ops().dot_rows(q.data(), entities_.raw(),
                       static_cast<size_t>(num_entities_), dim, dim,
                       out.data());
@@ -94,14 +88,41 @@ void Rescal::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
 void Rescal::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   const size_t dim = static_cast<size_t>(params_.dim);
-  const auto tv = entities_.Row(t);
-  const auto w = matrices_.Row(r);
-  // q = W t, then score(e) = e . q.
   auto q = vec::GetScratch(dim, 0);
-  const auto& ops = vec::Ops();
-  ops.dot_rows(tv.data(), w.data(), dim, dim, dim, q.data());
-  ops.dot_rows(q.data(), entities_.raw(), static_cast<size_t>(num_entities_),
-               dim, dim, out.data());
+  BuildSweepQuery(/*tails=*/false, r, t, q);
+  vec::Ops().dot_rows(q.data(), entities_.raw(),
+                      static_cast<size_t>(num_entities_), dim, dim,
+                      out.data());
+}
+
+bool Rescal::DescribeSweep(bool tails, RelationId r, SweepSpec* spec) const {
+  (void)tails;
+  (void)r;
+  spec->kind = SweepKind::kDot;
+  spec->rows = entities_.raw();
+  spec->num_rows = static_cast<size_t>(num_entities_);
+  spec->stride = static_cast<size_t>(params_.dim);
+  spec->dim = spec->stride;
+  spec->query_len = spec->stride;
+  spec->stable_rows = true;
+  return true;
+}
+
+void Rescal::BuildSweepQuery(bool tails, RelationId r, EntityId anchor,
+                             std::span<float> q) const {
+  const size_t dim = static_cast<size_t>(params_.dim);
+  const auto av = entities_.Row(anchor);
+  const auto w = matrices_.Row(r);
+  if (tails) {
+    // q = h^T W, then score(e) = q . e.
+    for (size_t j = 0; j < dim; ++j) q[j] = 0.0f;
+    for (size_t i = 0; i < dim; ++i) {
+      vec::Axpy(av[i], w.data() + i * dim, q.data(), dim);
+    }
+  } else {
+    // q = W t, then score(e) = e . q.
+    vec::Ops().dot_rows(av.data(), w.data(), dim, dim, dim, q.data());
+  }
 }
 
 void Rescal::Serialize(BinaryWriter& writer) const {

@@ -79,16 +79,9 @@ void RotatE::ApplyGradient(const Triple& triple, float d_loss_d_score,
 
 void RotatE::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const auto hv = entities_.Row(h);
-  const auto theta = phases_.Row(r);
   const size_t d = static_cast<size_t>(params_.dim);
   auto q = vec::GetScratch(2 * d, 0);
-  for (size_t j = 0; j < d; ++j) {
-    const float c = std::cos(theta[j]);
-    const float s = std::sin(theta[j]);
-    q[j] = hv[j] * c - hv[d + j] * s;
-    q[d + j] = hv[j] * s + hv[d + j] * c;
-  }
+  BuildSweepQuery(/*tails=*/true, r, h, q);
   vec::Ops().cabs_rows(q.data(), entities_.raw(),
                        static_cast<size_t>(num_entities_), 2 * d, d,
                        out.data());
@@ -97,21 +90,51 @@ void RotatE::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
 
 void RotatE::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const auto tv = entities_.Row(t);
-  const auto theta = phases_.Row(r);
   const size_t d = static_cast<size_t>(params_.dim);
-  // |h o r - t| = |h - t o r^{-1}| since |r_j| = 1: rotate t backwards.
   auto q = vec::GetScratch(2 * d, 0);
-  for (size_t j = 0; j < d; ++j) {
-    const float c = std::cos(theta[j]);
-    const float s = std::sin(theta[j]);
-    q[j] = tv[j] * c + tv[d + j] * s;
-    q[d + j] = -tv[j] * s + tv[d + j] * c;
-  }
+  BuildSweepQuery(/*tails=*/false, r, t, q);
   vec::Ops().cabs_rows(q.data(), entities_.raw(),
                        static_cast<size_t>(num_entities_), 2 * d, d,
                        out.data());
   vec::Negate(out);
+}
+
+bool RotatE::DescribeSweep(bool tails, RelationId r, SweepSpec* spec) const {
+  (void)tails;
+  (void)r;
+  const size_t d = static_cast<size_t>(params_.dim);
+  spec->kind = SweepKind::kCabs;
+  spec->rows = entities_.raw();
+  spec->num_rows = static_cast<size_t>(num_entities_);
+  spec->stride = 2 * d;
+  spec->dim = d;  // half_dim for the cabs kernel
+  spec->query_len = 2 * d;
+  spec->negate = true;
+  spec->stable_rows = true;
+  return true;
+}
+
+void RotatE::BuildSweepQuery(bool tails, RelationId r, EntityId anchor,
+                             std::span<float> q) const {
+  const auto av = entities_.Row(anchor);
+  const auto theta = phases_.Row(r);
+  const size_t d = static_cast<size_t>(params_.dim);
+  if (tails) {
+    for (size_t j = 0; j < d; ++j) {
+      const float c = std::cos(theta[j]);
+      const float s = std::sin(theta[j]);
+      q[j] = av[j] * c - av[d + j] * s;
+      q[d + j] = av[j] * s + av[d + j] * c;
+    }
+  } else {
+    // |h o r - t| = |h - t o r^{-1}| since |r_j| = 1: rotate t backwards.
+    for (size_t j = 0; j < d; ++j) {
+      const float c = std::cos(theta[j]);
+      const float s = std::sin(theta[j]);
+      q[j] = av[j] * c + av[d + j] * s;
+      q[d + j] = -av[j] * s + av[d + j] * c;
+    }
+  }
 }
 
 void RotatE::Serialize(BinaryWriter& writer) const {

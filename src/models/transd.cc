@@ -120,50 +120,72 @@ void TransD::ApplyGradient(const Triple& triple, float d_loss_d_score,
 
 void TransD::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const auto hv = entities_.Row(h);
-  const auto hp = entity_proj_.Row(h);
-  const auto rv = relations_.Row(r);
-  const auto rp = relation_proj_.Row(r);
+  SweepSpec spec;
+  DescribeSweep(/*tails=*/true, r, &spec);  // fills coef in scratch slot 1
   const size_t dim = static_cast<size_t>(params_.dim);
-  const size_t n = static_cast<size_t>(num_entities_);
-  const double ph = Dot(hp, hv);
   auto q = vec::GetScratch(dim, 0);
-  for (size_t j = 0; j < dim; ++j) {
-    q[j] = static_cast<float>(hv[j] + ph * rp[j] + rv[j]);
-  }
-  auto coef = vec::GetScratch(n, 1);
+  BuildSweepQuery(/*tails=*/true, r, h, q);
   const auto& ops = vec::Ops();
-  ops.rowwise_dot(entity_proj_.raw(), dim, entities_.raw(), dim, n, dim,
-                  coef.data());
   const auto sweep =
       params_.l1_distance ? ops.l1_offset_rows : ops.l2_offset_rows;
-  sweep(q.data(), rp.data(), coef.data(), -1.0f, entities_.raw(), n, dim,
-        dim, out.data());
+  sweep(q.data(), spec.v, spec.coef, spec.coef_scale, spec.rows,
+        spec.num_rows, spec.stride, spec.dim, out.data());
   vec::Negate(out);
 }
 
 void TransD::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const auto tv = entities_.Row(t);
-  const auto tp = entity_proj_.Row(t);
+  SweepSpec spec;
+  DescribeSweep(/*tails=*/false, r, &spec);
+  const size_t dim = static_cast<size_t>(params_.dim);
+  auto q = vec::GetScratch(dim, 0);
+  BuildSweepQuery(/*tails=*/false, r, t, q);
+  const auto& ops = vec::Ops();
+  const auto sweep =
+      params_.l1_distance ? ops.l1_offset_rows : ops.l2_offset_rows;
+  sweep(q.data(), spec.v, spec.coef, spec.coef_scale, spec.rows,
+        spec.num_rows, spec.stride, spec.dim, out.data());
+  vec::Negate(out);
+}
+
+bool TransD::DescribeSweep(bool tails, RelationId r, SweepSpec* spec) const {
+  (void)tails;
+  const size_t dim = static_cast<size_t>(params_.dim);
+  const size_t n = static_cast<size_t>(num_entities_);
+  auto coef = vec::GetScratch(n, 1);
+  vec::Ops().rowwise_dot(entity_proj_.raw(), dim, entities_.raw(), dim, n,
+                         dim, coef.data());
+  spec->kind = params_.l1_distance ? SweepKind::kL1Offset : SweepKind::kL2Offset;
+  spec->rows = entities_.raw();
+  spec->num_rows = n;
+  spec->stride = dim;
+  spec->dim = dim;
+  spec->query_len = dim;
+  spec->v = relation_proj_.Row(r).data();
+  spec->coef = coef.data();
+  spec->coef_scale = -1.0f;
+  spec->negate = true;
+  spec->stable_rows = true;
+  return true;
+}
+
+void TransD::BuildSweepQuery(bool tails, RelationId r, EntityId anchor,
+                             std::span<float> q) const {
+  const auto av = entities_.Row(anchor);
+  const auto ap = entity_proj_.Row(anchor);
   const auto rv = relations_.Row(r);
   const auto rp = relation_proj_.Row(r);
   const size_t dim = static_cast<size_t>(params_.dim);
-  const size_t n = static_cast<size_t>(num_entities_);
-  const double pt = Dot(tp, tv);
-  auto q = vec::GetScratch(dim, 0);
-  for (size_t j = 0; j < dim; ++j) {
-    q[j] = static_cast<float>(tv[j] + pt * rp[j] - rv[j]);
+  const double pa = Dot(ap, av);
+  if (tails) {
+    for (size_t j = 0; j < dim; ++j) {
+      q[j] = static_cast<float>(av[j] + pa * rp[j] + rv[j]);
+    }
+  } else {
+    for (size_t j = 0; j < dim; ++j) {
+      q[j] = static_cast<float>(av[j] + pa * rp[j] - rv[j]);
+    }
   }
-  auto coef = vec::GetScratch(n, 1);
-  const auto& ops = vec::Ops();
-  ops.rowwise_dot(entity_proj_.raw(), dim, entities_.raw(), dim, n, dim,
-                  coef.data());
-  const auto sweep =
-      params_.l1_distance ? ops.l1_offset_rows : ops.l2_offset_rows;
-  sweep(q.data(), rp.data(), coef.data(), -1.0f, entities_.raw(), n, dim,
-        dim, out.data());
-  vec::Negate(out);
 }
 
 void TransD::OnEpochBegin(int epoch) {

@@ -73,11 +73,9 @@ void TransE::ApplyGradient(const Triple& triple, float d_loss_d_score,
 
 void TransE::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const auto hv = entities_.Row(h);
-  const auto rv = relations_.Row(r);
   const size_t dim = static_cast<size_t>(params_.dim);
   auto q = vec::GetScratch(dim, 0);
-  for (size_t j = 0; j < dim; ++j) q[j] = hv[j] + rv[j];
+  BuildSweepQuery(/*tails=*/true, r, h, q);
   const auto& ops = vec::Ops();
   const auto sweep = params_.l1_distance ? ops.l1_rows : ops.l2_rows;
   sweep(q.data(), entities_.raw(), static_cast<size_t>(num_entities_), dim,
@@ -87,16 +85,40 @@ void TransE::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
 
 void TransE::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const auto rv = relations_.Row(r);
-  const auto tv = entities_.Row(t);
   const size_t dim = static_cast<size_t>(params_.dim);
   auto q = vec::GetScratch(dim, 0);
-  for (size_t j = 0; j < dim; ++j) q[j] = tv[j] - rv[j];  // -dist(e - (t - r))
+  BuildSweepQuery(/*tails=*/false, r, t, q);
   const auto& ops = vec::Ops();
   const auto sweep = params_.l1_distance ? ops.l1_rows : ops.l2_rows;
   sweep(q.data(), entities_.raw(), static_cast<size_t>(num_entities_), dim,
         dim, out.data());
   vec::Negate(out);
+}
+
+bool TransE::DescribeSweep(bool tails, RelationId r, SweepSpec* spec) const {
+  (void)tails;
+  (void)r;
+  spec->kind = params_.l1_distance ? SweepKind::kL1 : SweepKind::kL2;
+  spec->rows = entities_.raw();
+  spec->num_rows = static_cast<size_t>(num_entities_);
+  spec->stride = static_cast<size_t>(params_.dim);
+  spec->dim = spec->stride;
+  spec->query_len = spec->stride;
+  spec->negate = true;
+  spec->stable_rows = true;
+  return true;
+}
+
+void TransE::BuildSweepQuery(bool tails, RelationId r, EntityId anchor,
+                             std::span<float> q) const {
+  const auto av = entities_.Row(anchor);
+  const auto rv = relations_.Row(r);
+  const size_t dim = static_cast<size_t>(params_.dim);
+  if (tails) {
+    for (size_t j = 0; j < dim; ++j) q[j] = av[j] + rv[j];
+  } else {
+    for (size_t j = 0; j < dim; ++j) q[j] = av[j] - rv[j];  // -dist(e-(t-r))
+  }
 }
 
 void TransE::OnEpochBegin(int epoch) {

@@ -111,40 +111,66 @@ void TransH::ApplyGradient(const Triple& triple, float d_loss_d_score,
 
 void TransH::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
-  const auto wv = normals_.Row(r);
-  const auto dv = translations_.Row(r);
+  SweepSpec spec;
+  DescribeSweep(/*tails=*/true, r, &spec);  // fills coef in scratch slot 1
   const size_t dim = static_cast<size_t>(params_.dim);
-  const size_t n = static_cast<size_t>(num_entities_);
   auto q = vec::GetScratch(dim, 0);
-  Project(entities_.Row(h), wv, q);
-  for (size_t j = 0; j < dim; ++j) q[j] += dv[j];
-  auto coef = vec::GetScratch(n, 1);
+  BuildSweepQuery(/*tails=*/true, r, h, q);
   const auto& ops = vec::Ops();
-  ops.dot_rows(wv.data(), entities_.raw(), n, dim, dim, coef.data());
   const auto sweep =
       params_.l1_distance ? ops.l1_offset_rows : ops.l2_offset_rows;
-  sweep(q.data(), wv.data(), coef.data(), 1.0f, entities_.raw(), n, dim, dim,
-        out.data());
+  sweep(q.data(), spec.v, spec.coef, spec.coef_scale, spec.rows,
+        spec.num_rows, spec.stride, spec.dim, out.data());
   vec::Negate(out);
 }
 
 void TransH::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
+  SweepSpec spec;
+  DescribeSweep(/*tails=*/false, r, &spec);
+  const size_t dim = static_cast<size_t>(params_.dim);
+  auto q = vec::GetScratch(dim, 0);
+  BuildSweepQuery(/*tails=*/false, r, t, q);
+  const auto& ops = vec::Ops();
+  const auto sweep =
+      params_.l1_distance ? ops.l1_offset_rows : ops.l2_offset_rows;
+  sweep(q.data(), spec.v, spec.coef, spec.coef_scale, spec.rows,
+        spec.num_rows, spec.stride, spec.dim, out.data());
+  vec::Negate(out);
+}
+
+bool TransH::DescribeSweep(bool tails, RelationId r, SweepSpec* spec) const {
+  (void)tails;
+  const auto wv = normals_.Row(r);
+  const size_t dim = static_cast<size_t>(params_.dim);
+  const size_t n = static_cast<size_t>(num_entities_);
+  auto coef = vec::GetScratch(n, 1);
+  vec::Ops().dot_rows(wv.data(), entities_.raw(), n, dim, dim, coef.data());
+  spec->kind = params_.l1_distance ? SweepKind::kL1Offset : SweepKind::kL2Offset;
+  spec->rows = entities_.raw();
+  spec->num_rows = n;
+  spec->stride = dim;
+  spec->dim = dim;
+  spec->query_len = dim;
+  spec->v = wv.data();
+  spec->coef = coef.data();
+  spec->coef_scale = 1.0f;
+  spec->negate = true;
+  spec->stable_rows = true;
+  return true;
+}
+
+void TransH::BuildSweepQuery(bool tails, RelationId r, EntityId anchor,
+                             std::span<float> q) const {
   const auto wv = normals_.Row(r);
   const auto dv = translations_.Row(r);
   const size_t dim = static_cast<size_t>(params_.dim);
-  const size_t n = static_cast<size_t>(num_entities_);
-  auto q = vec::GetScratch(dim, 0);
-  Project(entities_.Row(t), wv, q);
-  for (size_t j = 0; j < dim; ++j) q[j] -= dv[j];
-  auto coef = vec::GetScratch(n, 1);
-  const auto& ops = vec::Ops();
-  ops.dot_rows(wv.data(), entities_.raw(), n, dim, dim, coef.data());
-  const auto sweep =
-      params_.l1_distance ? ops.l1_offset_rows : ops.l2_offset_rows;
-  sweep(q.data(), wv.data(), coef.data(), 1.0f, entities_.raw(), n, dim, dim,
-        out.data());
-  vec::Negate(out);
+  Project(entities_.Row(anchor), wv, q);
+  if (tails) {
+    for (size_t j = 0; j < dim; ++j) q[j] += dv[j];
+  } else {
+    for (size_t j = 0; j < dim; ++j) q[j] -= dv[j];
+  }
 }
 
 void TransH::OnEpochBegin(int epoch) {

@@ -151,10 +151,8 @@ void TransR::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   const size_t dim = static_cast<size_t>(params_.dim);
   const std::vector<float>& projected = ProjectedEntities(r);
-  const auto rv = relations_.Row(r);
   auto q = vec::GetScratch(dim, 0);
-  const float* hp = projected.data() + static_cast<size_t>(h) * dim;
-  for (size_t j = 0; j < dim; ++j) q[j] = hp[j] + rv[j];
+  BuildSweepQuery(/*tails=*/true, r, h, q);
   const auto& ops = vec::Ops();
   const auto sweep = params_.l1_distance ? ops.l1_rows : ops.l2_rows;
   sweep(q.data(), projected.data(), static_cast<size_t>(num_entities_), dim,
@@ -166,15 +164,43 @@ void TransR::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   const size_t dim = static_cast<size_t>(params_.dim);
   const std::vector<float>& projected = ProjectedEntities(r);
-  const auto rv = relations_.Row(r);
   auto q = vec::GetScratch(dim, 0);
-  const float* tp = projected.data() + static_cast<size_t>(t) * dim;
-  for (size_t j = 0; j < dim; ++j) q[j] = tp[j] - rv[j];
+  BuildSweepQuery(/*tails=*/false, r, t, q);
   const auto& ops = vec::Ops();
   const auto sweep = params_.l1_distance ? ops.l1_rows : ops.l2_rows;
   sweep(q.data(), projected.data(), static_cast<size_t>(num_entities_), dim,
         dim, out.data());
   vec::Negate(out);
+}
+
+bool TransR::DescribeSweep(bool tails, RelationId r, SweepSpec* spec) const {
+  (void)tails;
+  const std::vector<float>& projected = ProjectedEntities(r);
+  const size_t dim = static_cast<size_t>(params_.dim);
+  spec->kind = params_.l1_distance ? SweepKind::kL1 : SweepKind::kL2;
+  spec->rows = projected.data();
+  spec->num_rows = static_cast<size_t>(num_entities_);
+  spec->stride = dim;
+  spec->dim = dim;
+  spec->query_len = dim;
+  spec->negate = true;
+  // The projected table is a thread-local buffer refilled per relation, so
+  // its address cannot key any cache that outlives this relation's group.
+  spec->stable_rows = false;
+  return true;
+}
+
+void TransR::BuildSweepQuery(bool tails, RelationId r, EntityId anchor,
+                             std::span<float> q) const {
+  const size_t dim = static_cast<size_t>(params_.dim);
+  const std::vector<float>& projected = ProjectedEntities(r);
+  const auto rv = relations_.Row(r);
+  const float* ap = projected.data() + static_cast<size_t>(anchor) * dim;
+  if (tails) {
+    for (size_t j = 0; j < dim; ++j) q[j] = ap[j] + rv[j];
+  } else {
+    for (size_t j = 0; j < dim; ++j) q[j] = ap[j] - rv[j];
+  }
 }
 
 void TransR::OnEpochBegin(int epoch) {

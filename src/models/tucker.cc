@@ -135,7 +135,7 @@ void TuckER::ScoreTails(EntityId h, RelationId r, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   const size_t de = static_cast<size_t>(dim_e_);
   auto u = vec::GetScratch(de, 0);
-  ContractHeadRelation(entities_.Row(h), relations_.Row(r), u);
+  BuildSweepQuery(/*tails=*/true, r, h, u);
   vec::Ops().dot_rows(u.data(), entities_.raw(),
                       static_cast<size_t>(num_entities_), de, de, out.data());
 }
@@ -144,9 +144,32 @@ void TuckER::ScoreHeads(RelationId r, EntityId t, std::span<float> out) const {
   KGC_CHECK_EQ(static_cast<int64_t>(out.size()), num_entities_);
   const size_t de = static_cast<size_t>(dim_e_);
   auto v = vec::GetScratch(de, 0);
-  ContractRelationTail(relations_.Row(r), entities_.Row(t), v);
+  BuildSweepQuery(/*tails=*/false, r, t, v);
   vec::Ops().dot_rows(v.data(), entities_.raw(),
                       static_cast<size_t>(num_entities_), de, de, out.data());
+}
+
+bool TuckER::DescribeSweep(bool tails, RelationId r, SweepSpec* spec) const {
+  (void)tails;
+  (void)r;
+  spec->kind = SweepKind::kDot;
+  spec->rows = entities_.raw();
+  spec->num_rows = static_cast<size_t>(num_entities_);
+  spec->stride = static_cast<size_t>(dim_e_);
+  spec->dim = spec->stride;
+  spec->query_len = spec->stride;
+  spec->stable_rows = true;
+  return true;
+}
+
+void TuckER::BuildSweepQuery(bool tails, RelationId r, EntityId anchor,
+                             std::span<float> q) const {
+  if (tails) {
+    ContractHeadRelation(entities_.Row(anchor), relations_.Row(r), q);
+  } else {
+    // ContractRelationTail scratches slot 1 internally; q must not alias it.
+    ContractRelationTail(relations_.Row(r), entities_.Row(anchor), q);
+  }
 }
 
 void TuckER::Serialize(BinaryWriter& writer) const {

@@ -98,6 +98,48 @@ struct KernelOps {
   void (*cabs_rows)(const float* q, const float* rows, size_t num_rows,
                     size_t stride, size_t half_dim, float* out);
 
+  /// Blocked multi-query variants: num_q query vectors (qs walks `q_stride`
+  /// floats per query) against the same rows, writing num_q score rows of
+  /// `out_stride` floats each: out[qi * out_stride + i] = kernel(q_qi, row_i).
+  /// The inner (per-query) loop runs inside the row loop so each embedding
+  /// row is loaded once per tile and scored against the whole query block.
+  /// Per (query, row) the reduction is the same Reduce() expression as the
+  /// single-query kernel above, so scores are bit-exact vs that path.
+  void (*dot_rows_block)(const float* qs, size_t q_stride, size_t num_q,
+                         const float* rows, size_t num_rows, size_t stride,
+                         size_t dim, float* out, size_t out_stride);
+
+  /// Blocked l1_rows (see dot_rows_block for the layout contract).
+  void (*l1_rows_block)(const float* qs, size_t q_stride, size_t num_q,
+                        const float* rows, size_t num_rows, size_t stride,
+                        size_t dim, float* out, size_t out_stride);
+
+  /// Blocked l2_rows.
+  void (*l2_rows_block)(const float* qs, size_t q_stride, size_t num_q,
+                        const float* rows, size_t num_rows, size_t stride,
+                        size_t dim, float* out, size_t out_stride);
+
+  /// Blocked l1_offset_rows. The per-row coefficient array is shared by the
+  /// whole query block: coef[i] depends only on the relation and row (w·e_i
+  /// for TransH, p_t·t for TransD), never on the query.
+  void (*l1_offset_rows_block)(const float* qs, size_t q_stride, size_t num_q,
+                               const float* v, const float* coef,
+                               float coef_scale, const float* rows,
+                               size_t num_rows, size_t stride, size_t dim,
+                               float* out, size_t out_stride);
+
+  /// Blocked l2_offset_rows.
+  void (*l2_offset_rows_block)(const float* qs, size_t q_stride, size_t num_q,
+                               const float* v, const float* coef,
+                               float coef_scale, const float* rows,
+                               size_t num_rows, size_t stride, size_t dim,
+                               float* out, size_t out_stride);
+
+  /// Blocked cabs_rows (q_stride covers the full 2 * half_dim layout).
+  void (*cabs_rows_block)(const float* qs, size_t q_stride, size_t num_q,
+                          const float* rows, size_t num_rows, size_t stride,
+                          size_t half_dim, float* out, size_t out_stride);
+
   /// Complex Hadamard product in split re/im layout: out = a ∘ b, or
   /// conj(a) ∘ b when conj_a is set. Element-wise, no reduction.
   void (*complex_hadamard)(const float* a, const float* b, size_t half_dim,

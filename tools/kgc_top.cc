@@ -21,11 +21,14 @@
 //
 // Exit code: 0 on success, 1 when no record could be read, 2 on usage.
 
+#include <sys/ioctl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -103,6 +106,36 @@ double NumberField(const JsonValue& object, const char* key,
   return value == nullptr ? fallback : value->AsNumber(fallback);
 }
 
+// Columns of the attached terminal: TIOCGWINSZ, then $COLUMNS (set by
+// shells even when stdout is piped), then the classic 80.
+int TerminalWidth() {
+  winsize ws{};
+  if (ioctl(STDOUT_FILENO, TIOCGWINSZ, &ws) == 0 && ws.ws_col > 0) {
+    return ws.ws_col;
+  }
+  if (const char* cols = std::getenv("COLUMNS");
+      cols != nullptr && cols[0] != '\0') {
+    const int parsed = std::atoi(cols);
+    if (parsed > 0) return parsed;
+  }
+  return 80;
+}
+
+// Label column width for a metric table: wide enough for the longest name
+// so the numbers align, but only if such a row still fits the terminal.
+// Returns 0 when it cannot fit — the caller then renders each metric as
+// two lines (full name, then the numbers indented) instead of truncating
+// the name: metric names like kgc.topk.entities_scored carry their
+// meaning in the suffix, which is exactly what truncation would cut.
+size_t LabelWidth(size_t longest_name, size_t header_width,
+                  size_t numeric_width, int term_width) {
+  const size_t width = std::max(longest_name, header_width);
+  if (width + 1 + numeric_width <= static_cast<size_t>(term_width)) {
+    return width;
+  }
+  return 0;
+}
+
 void RenderRecord(const JsonValue& record) {
   const JsonValue* run = record.Find("run");
   const JsonValue* wall = record.Find("wall");
@@ -138,26 +171,59 @@ void RenderRecord(const JsonValue& record) {
                 NumberField(*perf, "branch_misses"));
   }
 
+  const int term_width = TerminalWidth();
   const JsonValue* counters = record.Find("counters");
   if (counters != nullptr && counters->is_object() &&
       !counters->AsObject().empty()) {
-    std::printf("\n%-44s %14s %10s %12s\n", "COUNTER", "TOTAL", "DELTA",
-                "RATE/S");
+    size_t longest = 0;
+    for (const auto& [name, sample] : counters->AsObject()) {
+      longest = std::max(longest, name.size());
+    }
+    // Numeric tail: "%14.0f %10.0f %12.1f" plus the separating spaces.
+    const size_t label =
+        LabelWidth(longest, std::strlen("COUNTER"), 38, term_width);
+    if (label > 0) {
+      std::printf("\n%-*s %14s %10s %12s\n", static_cast<int>(label),
+                  "COUNTER", "TOTAL", "DELTA", "RATE/S");
+    } else {
+      std::printf("\nCOUNTER, then %14s %10s %12s\n", "TOTAL", "DELTA",
+                  "RATE/S");
+    }
     for (const auto& [name, sample] : counters->AsObject()) {
       const double total = NumberField(sample, "total");
       const double delta = NumberField(sample, "delta");
       const double rate = dt_ms > 0.0 ? delta * 1000.0 / dt_ms : 0.0;
-      std::printf("%-44s %14.0f %10.0f %12.1f\n", name.c_str(), total, delta,
-                  rate);
+      if (label > 0) {
+        std::printf("%-*s %14.0f %10.0f %12.1f\n", static_cast<int>(label),
+                    name.c_str(), total, delta, rate);
+      } else {
+        std::printf("%s\n  %14.0f %10.0f %12.1f\n", name.c_str(), total,
+                    delta, rate);
+      }
     }
   }
 
   const JsonValue* gauges = record.Find("gauges");
   if (gauges != nullptr && gauges->is_object() &&
       !gauges->AsObject().empty()) {
-    std::printf("\n%-44s %14s\n", "GAUGE", "VALUE");
+    size_t longest = 0;
     for (const auto& [name, value] : gauges->AsObject()) {
-      std::printf("%-44s %14.3f\n", name.c_str(), value.AsNumber());
+      longest = std::max(longest, name.size());
+    }
+    const size_t label =
+        LabelWidth(longest, std::strlen("GAUGE"), 14, term_width);
+    if (label > 0) {
+      std::printf("\n%-*s %14s\n", static_cast<int>(label), "GAUGE", "VALUE");
+    } else {
+      std::printf("\nGAUGE, then %14s\n", "VALUE");
+    }
+    for (const auto& [name, value] : gauges->AsObject()) {
+      if (label > 0) {
+        std::printf("%-*s %14.3f\n", static_cast<int>(label), name.c_str(),
+                    value.AsNumber());
+      } else {
+        std::printf("%s\n  %14.3f\n", name.c_str(), value.AsNumber());
+      }
     }
   }
 
