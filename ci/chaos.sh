@@ -174,6 +174,93 @@ for site in "${ROLLBACK_SITES[@]}"; do
 done
 
 # ---------------------------------------------------------------------------
+# Serving chaos: SIGKILL kgc_serve mid-load (via the crash@serve:batch
+# failpoint, so the kill lands deterministically inside batch scoring),
+# restart it against the same registry, and assert that
+#
+#   1. the server actually died at the failpoint (exit 137),
+#   2. the restart recovers the newest intact generation and goes READY,
+#   3. kgc_load — which validated every OK reply against scoring
+#      fingerprints computed from the snapshot — reports ZERO mismatches
+#      across the kill (the restarted server's scores are bit-identical;
+#      a model that came back different would fail every CRC), and
+#   4. the load survived the outage via reconnect rather than erroring out.
+
+SERVE="${BUILD_DIR}/tools/kgc_serve"
+LOAD="${BUILD_DIR}/tools/kgc_load"
+if [[ ! -x "${SERVE}" || ! -x "${LOAD}" ]]; then
+  echo "== building kgc_serve and kgc_load =="
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target kgc_serve_tool kgc_load
+fi
+
+SERVE_SOCK="${WORK_DIR}/serve.sock"
+SERVE_SNAP="${WORK_DIR}/serve-snap"
+SERVE_FLAGS=(--socket="${SERVE_SOCK}" --snapshot-dir="${SERVE_SNAP}"
+             --bootstrap=scale:1000 --bootstrap-epochs=4 --seed=7 --threads=1)
+
+start_serve() {  # start_serve [env KGC_FAULTS spec]
+  local faults="${1:-}"
+  KGC_FAULTS="${faults}" "${SERVE}" "${SERVE_FLAGS[@]}" \
+    > "${WORK_DIR}/serve.log" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 600); do
+    grep -q '^READY' "${WORK_DIR}/serve.log" 2>/dev/null && return 0
+    if ! kill -0 "${SERVE_PID}" 2>/dev/null; then
+      echo "FAIL: kgc_serve exited before READY:"
+      tail -5 "${WORK_DIR}/serve.log"
+      exit 1
+    fi
+    sleep 0.05
+  done
+  echo "FAIL: kgc_serve never went READY"
+  exit 1
+}
+
+echo "== serving chaos: SIGKILL mid-load, restart, fingerprint check =="
+# skip=400 lets the load ramp up before the failpoint hard-exits the
+# server mid-batch; times=1 so the restarted server serves normally.
+start_serve "crash@serve:batch:skip=400"
+"${LOAD}" --socket="${SERVE_SOCK}" --snapshot-dir="${SERVE_SNAP}" \
+  --connections=4 --duration-s=6 --queries=64 --k=10 \
+  --json="${WORK_DIR}/serving_chaos.json" \
+  > "${WORK_DIR}/load.log" 2>&1 &
+LOAD_PID=$!
+
+set +e
+wait "${SERVE_PID}"
+SERVE_RC=$?
+set -e
+if [[ ${SERVE_RC} -ne 137 ]]; then
+  echo "FAIL: crash@serve:batch did not kill kgc_serve (exit ${SERVE_RC})"
+  kill "${LOAD_PID}" 2>/dev/null || true
+  exit 1
+fi
+echo "   server died at failpoint (exit 137); restarting"
+start_serve  # same flags: recovery must land on the same generation 0
+
+set +e
+wait "${LOAD_PID}"
+LOAD_RC=$?
+set -e
+cat "${WORK_DIR}/load.log" | sed 's/^/   /'
+if [[ ${LOAD_RC} -ne 0 ]]; then
+  echo "FAIL: kgc_load failed across the kill (exit ${LOAD_RC})"
+  exit 1
+fi
+python3 - "${WORK_DIR}/serving_chaos.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "kgc.serving_bench.v1", r["schema"]
+assert r["fingerprint_mismatches"] == 0, r
+assert r["replies_ok"] > 0, r
+assert r["reconnects"] >= 1, "load never saw the outage: %r" % r
+print(f"serving chaos OK: {r['replies_ok']} replies fingerprint-clean "
+      f"across SIGKILL ({r['reconnects']} reconnects)")
+EOF
+kill "${SERVE_PID}" 2>/dev/null || true
+wait "${SERVE_PID}" 2>/dev/null || true
+
+# ---------------------------------------------------------------------------
 # Partial-trace chaos: SIGKILL a traced bench mid-run. The incremental
 # drain (KGC_TRACE_DRAIN=1 drains after every span) must leave an on-disk
 # prefix that repair-parses by closing the JSON array — a killed run still

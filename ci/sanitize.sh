@@ -50,8 +50,12 @@ if [[ "${SANITIZERS}" == *thread* ]]; then
   # otherwise convert that report into exit(66) and break harness_test's
   # exit-status attribution checks. Data-race detection is unaffected.
   export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:report_signal_unsafe=0"
+  # serve_test joins the TSan list: the server fans one accept thread, one
+  # reader thread per connection and a batch thread across a shared bounded
+  # queue, refcounted snapshot pins and per-connection write locks — the
+  # densest cross-thread surface in the tree.
   ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-        -R '^(parallel_test|eval_test|redundancy_test|rules_test|core_test|obs_test|vecmath_test|harness_test|ingest_test|kg_test|flat_set_test|topk_test)$'
+        -R '^(parallel_test|eval_test|redundancy_test|rules_test|core_test|obs_test|vecmath_test|harness_test|ingest_test|kg_test|flat_set_test|topk_test|serve_test)$'
 else
   echo "== running tier-1 tests =="
   # halt_on_error keeps CI failures crisp; detect_leaks stays on by default
@@ -80,6 +84,55 @@ else
     # slows both sides alike).
     echo "== bench_scale smoke budget under ASan =="
     "${BUILD_DIR}/bench/bench_scale" --smoke
+
+    # Serving overload smoke under ASan: a short kgc_serve + kgc_load
+    # session with a deliberately tiny admission queue and a stall
+    # failpoint in batch scoring. Asserts the robustness path actually
+    # fired (>= 1 request shed with a typed OVERLOADED reply, zero
+    # fingerprint mismatches on the replies that did land) and that
+    # SIGTERM drains cleanly (exit 0) — all with leak detection on, so
+    # shed/drained requests that leak their buffers fail the leg.
+    echo "== serving overload smoke under ASan =="
+    SMOKE_DIR="$(mktemp -d)"
+    trap 'rm -rf "${SMOKE_DIR}"' EXIT
+    # 8 closed-loop connections against a 2-deep queue: while a stalled
+    # batch holds the worker, at most 2 requests sit admitted and the
+    # other 6 must shed (a queue >= the connection count could never
+    # overflow under closed-loop load).
+    KGC_FAULTS="stall@serve:batch:times=100000:ms=25" \
+      KGC_SERVE_QUEUE=2 KGC_SERVE_MAX_BATCH=4 \
+      "${BUILD_DIR}/tools/kgc_serve" --socket="${SMOKE_DIR}/s.sock" \
+      --snapshot-dir="${SMOKE_DIR}/snap" --bootstrap=tiny \
+      --bootstrap-epochs=3 --threads=1 \
+      > "${SMOKE_DIR}/serve.log" 2>&1 &
+    SERVE_PID=$!
+    for _ in $(seq 1 600); do
+      grep -q '^READY' "${SMOKE_DIR}/serve.log" 2>/dev/null && break
+      kill -0 "${SERVE_PID}" 2>/dev/null || {
+        echo "FAIL: kgc_serve died before READY"; cat "${SMOKE_DIR}/serve.log"
+        exit 1
+      }
+      sleep 0.05
+    done
+    "${BUILD_DIR}/tools/kgc_load" --socket="${SMOKE_DIR}/s.sock" \
+      --snapshot-dir="${SMOKE_DIR}/snap" --connections=8 --duration-s=3 \
+      --queries=32 --k=5 --json="${SMOKE_DIR}/overload.json"
+    kill -TERM "${SERVE_PID}"
+    if ! wait "${SERVE_PID}"; then
+      echo "FAIL: kgc_serve did not drain cleanly on SIGTERM"
+      tail -5 "${SMOKE_DIR}/serve.log"
+      exit 1
+    fi
+    grep '^drain' "${SMOKE_DIR}/serve.log"
+    python3 - "${SMOKE_DIR}/overload.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["shed"] >= 1, "overload never shed a request: %r" % r
+assert r["fingerprint_mismatches"] == 0, r
+assert r["replies_ok"] > 0, r
+print(f"overload smoke OK: {r['shed']} shed, {r['replies_ok']} ok, "
+      f"0 mismatches, clean drain")
+EOF
   fi
 fi
 

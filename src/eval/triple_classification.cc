@@ -61,14 +61,13 @@ double BestThreshold(std::vector<ScoredExample>& examples) {
   return best_threshold;
 }
 
-}  // namespace
-
-TripleClassificationResult EvaluateTripleClassification(
+// Threshold fitting over the validation split. Takes the caller's Rng so
+// EvaluateTripleClassification keeps its historical draw order (valid-split
+// corruption first, then test corruption from the same stream) bit-exact.
+ClassificationThresholds FitThresholdsWithRng(
     const KgeModel& model, const Dataset& dataset,
-    const TripleClassificationOptions& options) {
-  TripleClassificationResult result;
+    const TripleClassificationOptions& options, Rng& rng) {
   const TripleStore& all = dataset.all_store();
-  Rng rng(options.seed);
 
   // Score balanced valid examples per relation.
   std::vector<std::vector<ScoredExample>> valid_scores(
@@ -85,15 +84,53 @@ TripleClassificationResult EvaluateTripleClassification(
     global_scores.push_back(neg);
   }
 
-  const double global_threshold = BestThreshold(global_scores);
-  result.thresholds.assign(static_cast<size_t>(dataset.num_relations()),
-                           global_threshold);
+  ClassificationThresholds thresholds;
+  thresholds.global = BestThreshold(global_scores);
+  thresholds.per_relation.assign(
+      static_cast<size_t>(dataset.num_relations()), thresholds.global);
   for (RelationId r = 0; r < dataset.num_relations(); ++r) {
     auto& scores = valid_scores[static_cast<size_t>(r)];
     if (scores.size() >= 4) {
-      result.thresholds[static_cast<size_t>(r)] = BestThreshold(scores);
+      thresholds.per_relation[static_cast<size_t>(r)] = BestThreshold(scores);
     }
   }
+  return thresholds;
+}
+
+}  // namespace
+
+ClassificationThresholds FitClassificationThresholds(
+    const KgeModel& model, const Dataset& dataset,
+    const TripleClassificationOptions& options) {
+  Rng rng(options.seed);
+  return FitThresholdsWithRng(model, dataset, options, rng);
+}
+
+std::vector<ClassifiedTriple> ClassifyTriples(
+    const KgeModel& model, const ClassificationThresholds& thresholds,
+    std::span<const Triple> triples) {
+  std::vector<ClassifiedTriple> out;
+  out.reserve(triples.size());
+  for (const Triple& t : triples) {
+    ClassifiedTriple c;
+    c.score = model.Score(t.head, t.relation, t.tail);
+    c.threshold = thresholds.ThresholdFor(t.relation);
+    c.label = c.score >= c.threshold;
+    out.push_back(c);
+  }
+  return out;
+}
+
+TripleClassificationResult EvaluateTripleClassification(
+    const KgeModel& model, const Dataset& dataset,
+    const TripleClassificationOptions& options) {
+  TripleClassificationResult result;
+  const TripleStore& all = dataset.all_store();
+  Rng rng(options.seed);
+
+  const ClassificationThresholds fitted =
+      FitThresholdsWithRng(model, dataset, options, rng);
+  result.thresholds = fitted.per_relation;
 
   // Classify the balanced test set.
   size_t true_positives = 0, true_negatives = 0, total = 0;

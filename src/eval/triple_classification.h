@@ -8,6 +8,7 @@
 #ifndef KGC_EVAL_TRIPLE_CLASSIFICATION_H_
 #define KGC_EVAL_TRIPLE_CLASSIFICATION_H_
 
+#include <span>
 #include <vector>
 
 #include "kg/dataset.h"
@@ -20,6 +21,44 @@ struct TripleClassificationOptions {
   /// Corrupt heads and tails with equal probability (true) or tails only.
   bool corrupt_both_sides = true;
 };
+
+/// Per-relation decision thresholds fitted on the validation split.
+/// Relations with too few validation examples (or ids outside the fitted
+/// range — online queries can name arbitrary ids) fall back to the global
+/// threshold.
+struct ClassificationThresholds {
+  std::vector<double> per_relation;
+  double global = 0.0;
+
+  double ThresholdFor(RelationId relation) const {
+    if (relation < 0 ||
+        static_cast<size_t>(relation) >= per_relation.size()) {
+      return global;
+    }
+    return per_relation[static_cast<size_t>(relation)];
+  }
+};
+
+/// One classified triple: the model score, the threshold applied, and the
+/// resulting label (score >= threshold => true).
+struct ClassifiedTriple {
+  double score = 0.0;
+  double threshold = 0.0;
+  bool label = false;
+};
+
+/// Fits thresholds on `dataset`'s validation split (the first half of the
+/// EvaluateTripleClassification protocol). Deterministic in options.seed.
+ClassificationThresholds FitClassificationThresholds(
+    const KgeModel& model, const Dataset& dataset,
+    const TripleClassificationOptions& options = {});
+
+/// Batched online entry point: scores and labels every triple against
+/// pre-fitted thresholds. No RNG, no corruption — this is the serving path
+/// (kgc_serve), bit-deterministic given (model, thresholds).
+std::vector<ClassifiedTriple> ClassifyTriples(
+    const KgeModel& model, const ClassificationThresholds& thresholds,
+    std::span<const Triple> triples);
 
 struct TripleClassificationResult {
   /// Overall test accuracy in [0, 1].

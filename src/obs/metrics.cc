@@ -86,17 +86,27 @@ Registry::Registry() {
         kSnapshotPublished, kSnapshotRollbacks, kSnapshotRecoveries,
         kSnapshotOrphansSwept, kSnapshotBatchesIngested,
         kSnapshotBatchesQuarantined, kSnapshotDeltaTriples,
-        kSnapshotColdStarts, kSnapshotReaderSwaps}) {
+        kSnapshotColdStarts, kSnapshotReaderSwaps, kSnapshotRepinRetries,
+        kServeRequests, kServeRepliesOk, kServeShed, kServeDeadlineExceeded,
+        kServeMalformed, kServeDegraded, kServeSlowClientDrops,
+        kServeConnsAccepted, kServeConnsRejected, kServeDrained}) {
     counters_.emplace(name, std::make_unique<Counter>());
   }
   gauges_.emplace(kTrainerLastLoss, std::make_unique<Gauge>());
   gauges_.emplace(kSnapshotCurrentGeneration, std::make_unique<Gauge>());
   gauges_.emplace(kStoreBytesPerTriple, std::make_unique<Gauge>());
   gauges_.emplace(kStorePeakRssBytes, std::make_unique<Gauge>());
+  gauges_.emplace(kServeQueueDepth, std::make_unique<Gauge>());
+  // Batch occupancy is a small-integer distribution, not a duration: plain
+  // power-of-two edges beat the latency-shaped defaults.
+  histograms_.emplace(kServeBatchSize,
+                      std::make_unique<Histogram>(std::vector<double>{
+                          1, 2, 4, 8, 16, 32, 64, 128}));
   // Wall-clock durations use the log-linear HDR layout: one shape covers
   // microsecond shards and multi-second epochs at ~3% relative precision.
   for (const char* name : {kTrainerEpochSeconds, kRankerShardSeconds,
-                           kSnapshotReaderSwapSeconds}) {
+                           kSnapshotReaderSwapSeconds, kServeRequestSeconds,
+                           kServeBatchSeconds}) {
     durations_.emplace(name, std::make_unique<HdrHistogram>());
   }
 }

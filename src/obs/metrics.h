@@ -220,6 +220,29 @@ inline constexpr char kSnapshotCurrentGeneration[] =
     "kgc.snapshot.current_generation";
 inline constexpr char kSnapshotReaderSwapSeconds[] =
     "kgc.snapshot.reader_swap_seconds";
+/// Transient CURRENT-read/load failures absorbed by SnapshotReader::Repin's
+/// bounded-backoff retry loop (a racing rotation, mid-replace pointer).
+inline constexpr char kSnapshotRepinRetries[] = "kgc.snapshot.repin_retries";
+// Online serving (src/serve): admission control, deadlines and degradation
+// of the kgc_serve request path (see EXPERIMENTS.md for per-metric docs).
+inline constexpr char kServeRequests[] = "kgc.serve.requests";
+inline constexpr char kServeRepliesOk[] = "kgc.serve.replies_ok";
+inline constexpr char kServeShed[] = "kgc.serve.shed";
+inline constexpr char kServeDeadlineExceeded[] =
+    "kgc.serve.deadline_exceeded";
+inline constexpr char kServeMalformed[] = "kgc.serve.malformed";
+inline constexpr char kServeDegraded[] = "kgc.serve.degraded";
+inline constexpr char kServeSlowClientDrops[] =
+    "kgc.serve.slow_client_drops";
+inline constexpr char kServeConnsAccepted[] =
+    "kgc.serve.connections_accepted";
+inline constexpr char kServeConnsRejected[] =
+    "kgc.serve.connections_rejected";
+inline constexpr char kServeDrained[] = "kgc.serve.drained_requests";
+inline constexpr char kServeQueueDepth[] = "kgc.serve.queue_depth";
+inline constexpr char kServeBatchSize[] = "kgc.serve.batch_size";
+inline constexpr char kServeRequestSeconds[] = "kgc.serve.request_seconds";
+inline constexpr char kServeBatchSeconds[] = "kgc.serve.batch_seconds";
 
 class Registry {
  public:

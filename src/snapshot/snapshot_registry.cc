@@ -414,7 +414,77 @@ void SnapshotRegistry::AppendRotationLog(const SnapshotManifest& manifest) {
   std::fclose(log);
 }
 
+Status SnapshotRegistry::RefreshFromDisk() const {
+  // Mid-rotation, CURRENT passes through transient states another process
+  // can observe: absent (between unlink and the atomic-rename landing on
+  // some filesystems), half-written by a torn write, or pointing at a
+  // generation whose directory rename has not landed. Each is retryable;
+  // five attempts with 1ms * 2^n backoff outlasts any healthy rotation.
+  constexpr int kMaxAttempts = 5;
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (attempt > 0) {
+      obs::Registry::Get()
+          .GetCounter(obs::kSnapshotRepinRetries)
+          .Increment();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(int64_t{1} << (attempt - 1)));
+    }
+    auto text = ReadFileToString(CurrentPath());
+    if (!text.ok()) {
+      if (text.status().code() == StatusCode::kNotFound) {
+        // Empty registry — or a rotation's unlink/rename window. If a
+        // generation is already live in memory, keep serving it; an empty
+        // registry stays empty either way.
+        return Status::Ok();
+      }
+      last = text.status();
+      continue;
+    }
+    auto pointer = ParseCurrentPointer(*text);
+    if (!pointer.ok()) {
+      last = pointer.status();  // torn or garbage CURRENT: retry
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const int64_t in_memory =
+          current_ == nullptr ? -1 : current_->manifest.generation;
+      if (pointer->generation == in_memory) return Status::Ok();
+    }
+    Status valid =
+        ValidateGeneration(pointer->generation, &pointer->manifest_crc32);
+    if (!valid.ok()) {
+      last = valid;
+      continue;
+    }
+    auto loaded = LoadGeneration(pointer->generation);
+    if (!loaded.ok()) {
+      last = loaded.status();
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      current_ = std::make_shared<const LoadedGeneration>(std::move(*loaded));
+    }
+    obs::Registry::Get()
+        .GetGauge(obs::kSnapshotCurrentGeneration)
+        .Set(static_cast<double>(pointer->generation));
+    return Status::Ok();
+  }
+  return last;
+}
+
 bool SnapshotReader::Repin() {
+  // Pick up rotations from other processes first; on persistent failure
+  // (registry root vanished, CURRENT corrupt beyond the retry budget) the
+  // in-memory generation keeps serving and the pin simply does not move.
+  Status refreshed = registry_->RefreshFromDisk();
+  if (!refreshed.ok()) {
+    LogWarning("snapshot: repin refresh failed, keeping generation %lld: %s",
+               static_cast<long long>(generation_number()),
+               refreshed.ToString().c_str());
+  }
   if (pinned_ != nullptr &&
       registry_->current_generation() == pinned_->manifest.generation) {
     return false;

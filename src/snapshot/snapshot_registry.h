@@ -118,6 +118,16 @@ class SnapshotRegistry {
   Status Rollback(const SnapshotManifest& manifest,
                   std::filesystem::file_time_type staged_since);
 
+  /// Re-reads CURRENT and, when it names a generation other than the
+  /// in-memory one (another process rotated, or this process restarted
+  /// behind a writer), validates + loads it and swaps the live pointer.
+  /// A racing rotation can surface transient failures — a missing,
+  /// half-written, or unparseable CURRENT, or a generation whose rename
+  /// has not landed yet — so each failure is retried with bounded
+  /// exponential backoff (kgc.snapshot.repin_retries). On exhaustion the
+  /// previous generation stays live and the last error is returned.
+  Status RefreshFromDisk() const;
+
   /// Reads and validates a generation from disk (manifest -> data ->
   /// model, checking every content hash).
   StatusOr<LoadedGeneration> LoadGeneration(int64_t generation) const;
@@ -142,7 +152,7 @@ class SnapshotRegistry {
   bool recovered_ = false;
 
   mutable std::mutex mutex_;  // guards current_ swap vs reader pins
-  std::shared_ptr<const LoadedGeneration> current_;
+  mutable std::shared_ptr<const LoadedGeneration> current_;  // RefreshFromDisk
 };
 
 /// CRC-32 over the five OpenKE files of a generation's data/ directory, in

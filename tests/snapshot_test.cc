@@ -5,13 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kg/dataset.h"
+#include "obs/metrics.h"
 #include "snapshot/manifest.h"
 #include "snapshot/snapshot_registry.h"
 #include "snapshot/stream_ingestor.h"
@@ -346,6 +349,73 @@ TEST_F(SnapshotLifecycleTest, ReaderPinsOldGenerationAcrossRotation) {
   EXPECT_TRUE(reader.Repin());
   EXPECT_EQ(reader.generation_number(), 1);
   EXPECT_FALSE(reader.Repin());  // already newest
+}
+
+// Regression test for Repin during a CURRENT rotation window: a reader
+// repinning while CURRENT is absent, torn, or pointing at a half-renamed
+// generation must keep its pin (bounded retries, counted in
+// kgc.snapshot.repin_retries), then pick up the rotation once CURRENT is
+// intact again — including rotations published by another process.
+TEST_F(SnapshotLifecycleTest, RepinRetriesAcrossCurrentRotationWindow) {
+  auto registry = MustOpen();
+  StreamIngestor ingestor(*registry, FastOptions());
+  ASSERT_TRUE(ingestor.Bootstrap(MakeBase()).ok());
+  SnapshotReader reader(*registry);
+  ASSERT_EQ(reader.generation_number(), 0);
+
+  // A second registry on the same root stands in for another process
+  // publishing generation 1 behind this registry's back.
+  auto writer = MustOpen();
+  StreamIngestor remote(*writer, FastOptions());
+  ASSERT_EQ(MustIngest(remote, WarmBatch(), "b0", 0).outcome, "published");
+  ASSERT_EQ(registry->current_generation(), 0);  // in-memory view is stale
+
+  auto& retries =
+      obs::Registry::Get().GetCounter(obs::kSnapshotRepinRetries);
+  const uint64_t retries_before = retries.value();
+  const std::string intact = *ReadFileToString(registry->CurrentPath());
+
+  // Mid-rotation window: CURRENT is torn garbage. Repin must retry with
+  // backoff, give up without moving the pin, and count the retries.
+  ASSERT_TRUE(WriteStringToFile(registry->CurrentPath(), "{torn").ok());
+  EXPECT_FALSE(reader.Repin());
+  EXPECT_EQ(reader.generation_number(), 0);
+  EXPECT_GE(retries.value(), retries_before + 4);
+
+  // CURRENT missing entirely (the replace's unlink..rename gap): the
+  // reader keeps the in-memory generation without burning retries.
+  fs::remove(registry->CurrentPath());
+  EXPECT_FALSE(reader.Repin());
+  EXPECT_EQ(reader.generation_number(), 0);
+
+  // Rotation completes: the very next Repin lands on generation 1.
+  ASSERT_TRUE(WriteStringToFile(registry->CurrentPath(), intact).ok());
+  EXPECT_TRUE(reader.Repin());
+  EXPECT_EQ(reader.generation_number(), 1);
+  ASSERT_NE(reader.generation()->model, nullptr);
+  (void)reader.generation()->model->Score(0, 0, 1);
+
+  // Race a repinning reader against a writer flipping CURRENT between
+  // torn and intact: the pin must stay on a live, scoreable generation
+  // through every interleaving.
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    for (int i = 0; i < 200 && !stop.load(); ++i) {
+      (void)!WriteStringToFile(registry->CurrentPath(), "{torn").ok();
+      (void)!WriteStringToFile(registry->CurrentPath(), intact).ok();
+    }
+    (void)!WriteStringToFile(registry->CurrentPath(), intact).ok();
+  });
+  for (int i = 0; i < 50; ++i) {
+    (void)reader.Repin();
+    const auto pinned = reader.generation();
+    ASSERT_NE(pinned, nullptr);
+    ASSERT_NE(pinned->model, nullptr);
+    (void)pinned->model->Score(0, 0, 1);
+  }
+  stop.store(true);
+  flipper.join();
+  EXPECT_GE(reader.generation_number(), 1);
 }
 
 // Arms an I/O-error fault at each rotation failpoint in turn and checks
